@@ -1,0 +1,43 @@
+"""Shared state for the benchmark harness.
+
+All figure benches draw from one :class:`~repro.experiments.Study` per
+profile, so the Case-3 measurement is paid once and reused by Figures
+4, 6, and 7 — exactly as in the paper, where all three figures read the
+same experiment.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROFILE`` — ``ci`` (default) or ``full``.
+* ``REPRO_BENCH_SA_ITERS`` — annealing iterations per tuning problem
+  (default 8 for ``ci``; use the profile default for archival runs).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.experiments import Study
+from repro.experiments.reporting import figure_report
+
+_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "ci")
+_SA_ITERS = int(os.environ.get("REPRO_BENCH_SA_ITERS", "8"))
+
+_studies: Dict[str, Study] = {}
+
+
+def shared_study() -> Study:
+    """The process-wide Study used by every figure bench."""
+    study = _studies.get(_PROFILE)
+    if study is None:
+        study = Study(profile=_PROFILE, sa_iterations=_SA_ITERS)
+        _studies[_PROFILE] = study
+    return study
+
+
+def run_figure(number: int, quantity: str = "G", precision: int = 1):
+    """Regenerate one paper figure and print its report; returns the data."""
+    fig = shared_study().figure(number)
+    print()
+    print(figure_report(fig, quantity, precision=precision))
+    return fig

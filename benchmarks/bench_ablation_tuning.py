@@ -1,0 +1,50 @@
+"""Ablation: does enabler tuning matter for the metric?
+
+DESIGN.md calls out the simulated-annealing enabler tuning (paper Step
+3) as a load-bearing design choice.  This bench compares the overhead
+G(k) measured (a) at the tuned settings and (b) at frozen default
+settings, at an up-scaled Case-1 point.  If tuning were cosmetic, the
+two would agree and the "minimum cost" in the metric's definition would
+be vacuous.
+"""
+
+from repro.core.annealing import AnnealingSchedule
+from repro.core.tuner import EnablerTuner
+from repro.experiments.cases import get_case, make_simulate
+from repro.experiments.config import PROFILES
+from repro.experiments.reporting import format_table
+
+
+def measure(rms: str = "LOWEST", k: float = 3.0):
+    case = get_case(1)
+    profile = PROFILES["ci"]
+    simulate = make_simulate(case, rms, profile)
+    tuner = EnablerTuner(
+        simulate,
+        case.enabler_space(),
+        schedule=AnnealingSchedule(iterations=8, t0=0.5),
+        seed=3,
+    )
+    base = tuner.tune_base(1.0)
+    tuned = tuner.tune(k, base.efficiency)
+    frozen = simulate(k, case.enabler_space().default_settings())
+    return base, tuned, frozen
+
+
+def test_ablation_enabler_tuning(benchmark):
+    base, tuned, frozen = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        ["tuned", tuned.G, tuned.efficiency, tuned.success_rate],
+        ["frozen defaults", frozen.record.G, frozen.record.efficiency, frozen.success_rate],
+    ]
+    print()
+    print(f"Case 1, LOWEST, k=3 (E0={base.efficiency:.3f}):")
+    print(format_table(["settings", "G(k)", "E(k)", "success"], rows, precision=3))
+
+    # Tuning must land (much) closer to the isoefficiency target than
+    # the frozen defaults do.
+    tuned_gap = abs(tuned.efficiency - base.efficiency)
+    frozen_gap = abs(frozen.record.efficiency - base.efficiency)
+    assert tuned_gap <= frozen_gap + 1e-9
+    # And the tuned point must remain a healthy system.
+    assert tuned.success_rate >= 0.85

@@ -1,0 +1,71 @@
+"""Extension bench (paper future work b+c): H(k) under DAG workloads.
+
+Scales the system Case-1 style while the workload carries precedence
+constraints, and reads the *RP overhead* curve H(k) instead of G(k).
+A design that load-shares aggressively (LOWEST) pays growing staging
+costs as pipelines fragment across more clusters; CENTRAL's single
+cluster space pays none.  This is the measurement the paper's
+conclusion proposes as future work.
+"""
+
+from repro.experiments import SimulationConfig, build_system, summarize
+from repro.experiments.reporting import format_table
+from repro.grid import JobState
+
+
+def run_point(rms: str, k: int):
+    cfg = SimulationConfig(
+        rms=rms,
+        n_schedulers=4 * k,
+        n_resources=12 * k,
+        workload_rate=12 * 0.00028 * k,
+        update_interval=8.5,
+        horizon=8000.0,
+        drain=60000.0,
+        dependency_prob=0.5,
+        seed=31,
+    )
+    system = build_system(cfg)
+    system.sim.run(until=cfg.horizon)
+    deadline = cfg.horizon + cfg.drain
+    while system.sim.now < deadline and any(
+        j.state != JobState.COMPLETED for j in system.jobs
+    ):
+        system.sim.run(until=min(deadline, system.sim.now + 2000.0))
+    m = summarize(system)
+    staged = system.coordinator.staged_edges if system.coordinator else 0
+    return m, staged
+
+
+def sweep():
+    out = {}
+    for rms in ("LOWEST", "CENTRAL"):
+        out[rms] = [run_point(rms, k) for k in (1, 2, 3)]
+    return out
+
+
+def test_extension_hk_scalability_under_dags(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for rms, pts in results.items():
+        rows.append(
+            [rms]
+            + [m.record.H for m, _ in pts]
+            + [staged for _, staged in pts]
+        )
+    print()
+    print(
+        format_table(
+            ["RMS", "H(1)", "H(2)", "H(3)", "edges(1)", "edges(2)", "edges(3)"],
+            rows,
+            precision=1,
+        )
+    )
+    lowest = results["LOWEST"]
+    central = results["CENTRAL"]
+    # H grows with scale for the load-sharing design...
+    assert lowest[-1][0].record.H > lowest[0][0].record.H
+    # ...and exceeds CENTRAL's H at top scale (CENTRAL never stages
+    # across clusters: it has one cluster space).
+    assert lowest[-1][0].record.H > central[-1][0].record.H
+    assert central[-1][1] == 0  # no cross-cluster staging under CENTRAL

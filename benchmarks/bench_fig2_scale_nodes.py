@@ -1,0 +1,39 @@
+"""Figure 2 / Table 2 — Case 1: G(k) when the RP scales by network size.
+
+Regenerates the paper's Figure 2 series: minimum tuned RMS overhead
+G(k) for all seven designs as resources, schedulers, and workload grow
+together.  Paper shapes to hold: the distributed designs start with far
+higher overhead than CENTRAL but track the workload; CENTRAL cannot
+sustain its base efficiency as the pool grows (its measured points go
+infeasible and Eq. (2) fails); LOWEST is the cheapest distributed
+design, the push+pull hybrids the most expensive.
+"""
+
+from _shared import run_figure
+
+
+def test_figure2_scaling_rp_by_nodes(benchmark):
+    fig = benchmark.pedantic(run_figure, args=(2,), rounds=1, iterations=1)
+    series = fig.series
+
+    # Distributed designs incur substantially larger base overhead than
+    # CENTRAL (paper §3.4, Fig. 2 discussion).
+    central_base = series["CENTRAL"].G[0]
+    for name in ("LOWEST", "RESERVE", "AUCTION", "S-I", "R-I", "Sy-I"):
+        assert series[name].G[0] > 2.0 * central_base, (
+            f"{name} base overhead should dwarf CENTRAL's"
+        )
+
+    # CENTRAL is the design that stops being isoefficiency-feasible as
+    # the network grows.
+    central_feasible = [p.feasible for p in series["CENTRAL"].result.points]
+    lowest_feasible = [p.feasible for p in series["LOWEST"].result.points]
+    assert sum(lowest_feasible) > sum(central_feasible)
+
+    # LOWEST's overhead stays within a modest factor of the workload
+    # growth (scalable); its normalized overhead is the smallest or
+    # near-smallest among the distributed designs.
+    g_last = {n: s.g_norm[-1] for n, s in series.items() if n != "CENTRAL"}
+    k_last = fig.scales[-1]
+    assert g_last["LOWEST"] <= 2.2 * k_last
+    assert g_last["LOWEST"] <= min(g_last.values()) * 1.35

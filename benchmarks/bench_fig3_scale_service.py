@@ -1,0 +1,33 @@
+"""Figure 3 / Table 3 — Case 2: G(k) when the RP scales by service rate.
+
+Fixed network; resource service rates and the workload grow with k.
+Paper shapes to hold: CENTRAL is competitive with (or better than) most
+distributed designs at low k — its per-decision cost is fixed because
+the pool size is — but it is the design that degrades by the top of the
+path, when the scaled decision/update rate saturates its single
+scheduler; LOWEST remains the best-behaved model overall.
+"""
+
+from _shared import run_figure
+
+
+def test_figure3_scaling_rp_by_service_rate(benchmark):
+    fig = benchmark.pedantic(run_figure, args=(3,), rounds=1, iterations=1)
+    series = fig.series
+
+    # At base scale CENTRAL's overhead is far below the distributed
+    # designs' (fixed pool, no polling).
+    assert series["CENTRAL"].G[0] < min(
+        s.G[0] for n, s in series.items() if n != "CENTRAL"
+    )
+
+    # By the top of the path CENTRAL has lost feasibility while the
+    # distributed pull design still holds the band.
+    assert not series["CENTRAL"].result.points[-1].feasible
+    lowest_feas = [p.feasible for p in series["LOWEST"].result.points]
+    central_feas = [p.feasible for p in series["CENTRAL"].result.points]
+    assert sum(lowest_feas) >= sum(central_feas)
+
+    # LOWEST scales: its overhead grows no faster than ~linearly in k.
+    k_last = fig.scales[-1]
+    assert series["LOWEST"].g_norm[-1] <= 2.0 * k_last

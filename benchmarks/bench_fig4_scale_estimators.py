@@ -1,0 +1,35 @@
+"""Figure 4 / Table 4 — Case 3: G(k) when the RMS scales by estimators.
+
+Fixed network; the status-estimator plane (and the workload) grow with
+k.  Each extra estimator fragments cluster coverage, so schedulers
+process more forwarded status batches per window — and the push+pull
+hybrids (AUCTION, Sy-I) additionally re-evaluate their advertisement /
+auction triggers on every one of them.  Paper shape to hold: the
+hybrids' overhead outgrows the pure designs' as k rises (they are "no
+longer scalable after k > 3").
+"""
+
+from _shared import run_figure
+
+
+def test_figure4_scaling_rms_by_estimators(benchmark):
+    fig = benchmark.pedantic(run_figure, args=(4,), rounds=1, iterations=1)
+    series = fig.series
+
+    # Overhead grows with the estimator plane for everyone.
+    for name, s in series.items():
+        if name == "CENTRAL":
+            continue
+        assert s.G[-1] > s.G[0], f"{name}: estimator scaling must cost overhead"
+
+    # The hybrids end the path at least as expensive (normalized) as
+    # the cheapest pure design.
+    pure = min(series["LOWEST"].g_norm[-1], series["S-I"].g_norm[-1])
+    assert series["AUCTION"].g_norm[-1] >= 0.95 * pure
+    assert series["Sy-I"].g_norm[-1] >= 0.95 * pure
+
+    # Mean normalized slope ranks the hybrids no better than LOWEST.
+    assert (
+        series["AUCTION"].result.slopes.mean_g_slope
+        >= 0.9 * series["LOWEST"].result.slopes.mean_g_slope
+    )

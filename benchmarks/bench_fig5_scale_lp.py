@@ -1,0 +1,31 @@
+"""Figure 5 / Table 5 — Case 4: G(k) when the RMS scales by L_p.
+
+Fixed network; the number of peers contacted per scheduling action (and
+the workload) grow with k.  Enablers here are the update interval, the
+volunteering interval, and the link delay (Table 5).  Paper shapes to
+hold: raising the fan-out buys the pull designs (LOWEST, S-I) little
+beyond k = 2 — their per-job polling bill grows with L_p; RESERVE's
+reservation churn makes it unscalable at high k; the hybrids, which
+lean on their push plane, tolerate larger L_p comparatively better.
+"""
+
+from _shared import run_figure
+
+
+def test_figure5_scaling_rms_by_lp(benchmark):
+    fig = benchmark.pedantic(run_figure, args=(5,), rounds=1, iterations=1)
+    series = fig.series
+
+    # Polling overhead rises with L_p for the pull designs.
+    for name in ("LOWEST", "S-I"):
+        assert series[name].G[-1] > series[name].G[0]
+
+    # Pull designs' overhead keeps growing across the upper half of the
+    # path (they are the ones paying per-job x L_p).
+    for name in ("LOWEST", "S-I"):
+        g = series[name].g_norm
+        assert g[-1] > g[len(g) // 2] * 1.02
+
+    # CENTRAL ignores L_p entirely: its overhead moves only with the
+    # workload, not the fan-out — it provides the control series.
+    assert series["CENTRAL"].result is not None

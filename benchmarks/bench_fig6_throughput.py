@@ -1,0 +1,29 @@
+"""Figure 6 — throughput under estimator scaling (same run as Fig. 4).
+
+The paper reads Figure 6 off the Case-3 experiment: throughput (jobs
+completed per unit time) as the estimator plane scales.  Shape to hold:
+the pure designs convert the scaled workload into throughput roughly
+proportionally, while the hybrids' throughput growth stalls at high k
+(AUCTION "starts falling after k = 5", Sy-I "shows no improvement at
+k > 4" in the paper's 6-point path; the CI path compresses this to the
+top scale).
+"""
+
+from _shared import run_figure, shared_study
+
+
+def test_figure6_throughput_under_estimator_scaling(benchmark):
+    fig = benchmark.pedantic(
+        run_figure, args=(6, "throughput", 5), rounds=1, iterations=1
+    )
+    series = fig.series
+
+    # Workload scales ~k: the well-behaved pull design's throughput
+    # must grow substantially across the path.
+    tp = series["LOWEST"].throughput
+    assert tp[-1] > 1.5 * tp[0]
+
+    # The hybrids do not out-deliver the best pure design at top scale.
+    best_pure = max(series["LOWEST"].throughput[-1], series["S-I"].throughput[-1])
+    assert series["AUCTION"].throughput[-1] <= best_pure * 1.1
+    assert series["Sy-I"].throughput[-1] <= best_pure * 1.1

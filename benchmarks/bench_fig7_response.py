@@ -1,0 +1,26 @@
+"""Figure 7 — mean response time under estimator scaling (Case 3 run).
+
+The response-time view of the same experiment as Figures 4 and 6.
+Shape to hold: response times for the hybrids deteriorate relative to
+the pure designs as the estimator plane scales (the paper sees "similar
+results ... for job response times" as for throughput).
+"""
+
+from _shared import run_figure
+
+
+def test_figure7_response_under_estimator_scaling(benchmark):
+    fig = benchmark.pedantic(
+        run_figure, args=(7, "response", 1), rounds=1, iterations=1
+    )
+    series = fig.series
+
+    # Sanity: every design produced finite response times at all scales.
+    for name, s in series.items():
+        assert all(r == r and r > 0 for r in s.response), name
+
+    # At top scale the hybrids' mean response is no better than the
+    # cheapest pure design's.
+    best_pure = min(series["LOWEST"].response[-1], series["S-I"].response[-1])
+    assert series["AUCTION"].response[-1] >= 0.9 * best_pure
+    assert series["Sy-I"].response[-1] >= 0.9 * best_pure

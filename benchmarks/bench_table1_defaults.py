@@ -1,0 +1,51 @@
+"""Table 1: the common variables, and the base-configuration run they
+parameterize.
+
+This bench times one base-scale simulation (the unit every other bench
+multiplies) and prints the Table-1 constants alongside the measured
+base operating point of a representative distributed RMS.
+"""
+
+from repro.experiments import CommonParameters, SimulationConfig, run_simulation
+from repro.experiments.reporting import format_table
+
+
+def base_config() -> SimulationConfig:
+    return SimulationConfig(
+        rms="LOWEST",
+        n_schedulers=8,
+        n_resources=24,
+        workload_rate=0.0067,
+        update_interval=8.5,
+        horizon=12000.0,
+        seed=7,
+    )
+
+
+def test_table1_common_variables(benchmark):
+    common = CommonParameters()
+    metrics = benchmark.pedantic(run_simulation, args=(base_config(),), rounds=1, iterations=1)
+    print()
+    print("Table 1 — common variables (paper, verbatim):")
+    print(
+        format_table(
+            ["variable", "value", "meaning"],
+            [
+                ["T_CPU", common.t_cpu, "runtime <= T_CPU -> LOCAL; else REMOTE"],
+                ["T_l", common.t_l, "threshold load at a scheduler"],
+                ["U_b", "u*runtime, u~U[2,5]", "user benefit (success) bound"],
+                ["E(k0) band", str(common.efficiency_band), "Step-1 efficiency band"],
+            ],
+            precision=1,
+        )
+    )
+    print()
+    print(
+        f"Base run (LOWEST): E={metrics.efficiency:.3f}  "
+        f"success={metrics.success_rate:.2f}  G={metrics.record.G:.0f}"
+    )
+    assert common.t_cpu == 700.0
+    assert common.t_l == 0.5
+    # The calibrated base configuration sits at/near the paper's band.
+    assert 0.3 < metrics.efficiency < 0.55
+    assert metrics.success_rate > 0.85

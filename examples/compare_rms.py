@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare all seven RMS designs on an identical Grid and workload.
+
+This is the workload the paper's introduction motivates: a federated
+Grid whose clusters exchange jobs to meet user benefit bounds.  Every
+design sees the same topology, the same resources, and the *same* job
+arrival sequence (seeded streams), so differences in the table below
+are purely the resource-management protocol.
+
+Run:  python examples/compare_rms.py
+"""
+
+from repro.experiments import SimulationConfig, run_simulation
+from repro.experiments.reporting import format_table
+from repro.rms import get_rms, rms_names
+
+
+def main() -> None:
+    rows = []
+    for rms in rms_names():
+        # Each design runs at its Step-1 tuned update interval: the
+        # distributed designs burn tau ~ 8.5 to sit in the efficiency
+        # band; CENTRAL's single scheduler saturates there, so its
+        # healthy operating point is a much lazier tau = 40.
+        tau = 40.0 if rms == "CENTRAL" else 8.5
+        metrics = run_simulation(
+            SimulationConfig(
+                rms=rms,
+                n_schedulers=8,
+                n_resources=24,
+                workload_rate=0.0067,
+                update_interval=tau,
+                l_p=2,
+                horizon=12000.0,
+                seed=7,
+            )
+        )
+        info = get_rms(rms)
+        rows.append(
+            [
+                rms,
+                info.mechanism,
+                metrics.efficiency,
+                metrics.record.G,
+                metrics.success_rate,
+                metrics.mean_response,
+                metrics.messages_sent,
+            ]
+        )
+
+    print("Seven RMS designs, identical Grid + workload (24 resources, 8 clusters):\n")
+    print(
+        format_table(
+            ["RMS", "mechanism", "E", "G [tu]", "success", "mean resp", "messages"],
+            rows,
+            precision=3,
+        )
+    )
+    print(
+        "\nReading guide: CENTRAL pays almost no coordination overhead at this"
+        "\nscale (one scheduler, no polling) but its single message server is"
+        "\nthe piece that saturates when the system grows — which is exactly"
+        "\nwhat the scalability metric in examples/scalability_study.py measures."
+    )
+
+
+if __name__ == "__main__":
+    main()

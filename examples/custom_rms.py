@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Extend the framework with your own RMS and measure its scalability.
+
+The scalability metric is design-agnostic: anything that subclasses
+``SchedulerBase`` (and registers an ``RMSInfo``) can be dropped into
+the measurement procedure.  Here we add **TWO-CHOICE**, the classic
+power-of-two-choices load sharer: on a REMOTE job it polls exactly two
+random peers and sends the job to the less loaded of the two candidate
+clusters — a leaner cousin of LOWEST.
+
+Run:  python examples/custom_rms.py
+"""
+
+from repro.core import Category
+from repro.experiments import SimulationConfig, build_system, summarize
+from repro.experiments.reporting import format_table
+from repro.grid import JobState
+from repro.network import Message, MessageKind
+from repro.rms import RMSInfo, LowestScheduler
+from repro.rms import registry as rms_registry
+
+
+class TwoChoiceScheduler(LowestScheduler):
+    """Power-of-two-choices: LOWEST with a hard fan-out of two.
+
+    Reuses LOWEST's entire poll/decide machinery and only pins the
+    fan-out, ignoring the configured ``L_p``.
+    """
+
+    def on_remote_job(self, job) -> None:
+        saved = self.l_p
+        self.l_p = min(2, saved) if saved else 2
+        try:
+            super().on_remote_job(job)
+        finally:
+            self.l_p = saved
+
+
+TWO_CHOICE_INFO = RMSInfo(
+    name="TWO-CHOICE",
+    scheduler_cls=TwoChoiceScheduler,
+    mechanism="pull",
+)
+
+
+def register() -> None:
+    """Install TWO-CHOICE into the RMS registry (idempotent).
+
+    Registers by name only: ``ALL_RMS`` stays exactly the paper's seven
+    so the reproduction harness is unaffected by extensions.
+    """
+    if "TWO-CHOICE" not in rms_registry.RMS_BY_NAME:
+        rms_registry.RMS_BY_NAME["TWO-CHOICE"] = TWO_CHOICE_INFO
+
+
+def run_one(rms: str, l_p: int):
+    sys_ = build_system(
+        SimulationConfig(
+            rms=rms,
+            n_schedulers=8,
+            n_resources=24,
+            workload_rate=0.0067,
+            update_interval=8.5,
+            l_p=l_p,
+            horizon=12000.0,
+            seed=11,
+        )
+    )
+    sys_.sim.run(until=sys_.config.horizon)
+    deadline = sys_.config.horizon + sys_.config.drain
+    while sys_.sim.now < deadline and any(
+        j.state != JobState.COMPLETED for j in sys_.jobs
+    ):
+        sys_.sim.run(until=min(deadline, sys_.sim.now + 500.0))
+    poll_cost = sys_.ledger.total(Category.POLL)
+    return summarize(sys_), poll_cost
+
+
+def main() -> None:
+    register()
+    rows = []
+    for rms, l_p in (("LOWEST", 6), ("TWO-CHOICE", 6)):
+        m, poll_cost = run_one(rms, l_p)
+        rows.append([rms, l_p, poll_cost, m.success_rate, m.mean_response])
+    print("Custom RMS vs LOWEST at a wasteful fan-out (configured L_p = 6):\n")
+    print(
+        format_table(
+            ["RMS", "L_p cfg", "poll cost [tu]", "success", "mean resp"],
+            rows,
+            precision=3,
+        )
+    )
+    ratio = rows[1][2] / rows[0][2] if rows[0][2] else float("nan")
+    print(
+        f"\nTWO-CHOICE caps its polling at two peers regardless of the"
+        f"\nconfigured L_p: it pays {ratio:.0%} of LOWEST's polling overhead"
+        f"\n(the g.poll ledger category) for essentially the same placement"
+        f"\nquality — the power of two choices."
+    )
+
+
+if __name__ == "__main__":
+    main()

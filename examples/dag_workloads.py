@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Future-work extension: dependency-constrained (DAG) workloads.
+
+The paper defers two things to future work: "(b) evaluating scenarios
+where jobs have data dependencies and precedence constraints among
+them and [(c)] use the framework to measure the scalability based on
+the RP overhead H(k)".  Both are implemented here:
+
+* jobs may depend on earlier jobs (pipeline-style DAGs); a child is
+  held until every parent completes;
+* each cross-cluster parent->child edge charges data staging to the RP
+  overhead H, so H(k) becomes a real scalability axis.
+
+This example sweeps the dependency probability and shows load sharing
+getting *more expensive on the H axis* as pipelines fragment across
+clusters — the effect the paper anticipated measuring.
+
+Run:  python examples/dag_workloads.py
+"""
+
+from repro.experiments import SimulationConfig, build_system, summarize
+from repro.experiments.reporting import format_table
+from repro.grid import JobState
+
+
+def run_one(rms: str, dependency_prob: float):
+    # each design at its tuned operating point (cf. compare_rms.py)
+    tau = 40.0 if rms == "CENTRAL" else 8.5
+    cfg = SimulationConfig(
+        rms=rms,
+        n_schedulers=8,
+        n_resources=24,
+        workload_rate=0.0067,
+        update_interval=tau,
+        horizon=12000.0,
+        drain=60000.0,
+        dependency_prob=dependency_prob,
+        seed=21,
+    )
+    system = build_system(cfg)
+    system.sim.run(until=cfg.horizon)
+    deadline = cfg.horizon + cfg.drain
+    while system.sim.now < deadline and any(
+        j.state != JobState.COMPLETED for j in system.jobs
+    ):
+        system.sim.run(until=min(deadline, system.sim.now + 2000.0))
+    m = summarize(system)
+    staged = system.coordinator.staged_edges if system.coordinator else 0
+    return m, staged
+
+
+def main() -> None:
+    rows = []
+    for rms in ("LOWEST", "CENTRAL"):
+        for prob in (0.0, 0.3, 0.6):
+            m, staged = run_one(rms, prob)
+            rows.append(
+                [rms, prob, m.record.H, staged, m.success_rate, m.mean_response]
+            )
+    print("DAG workloads: RP overhead H and staging vs dependency density:\n")
+    print(
+        format_table(
+            ["RMS", "dep prob", "H [tu]", "staged edges", "success", "mean resp"],
+            rows,
+            precision=3,
+        )
+    )
+    print(
+        "\nLOWEST moves REMOTE jobs between clusters, so denser DAGs stage"
+        "\nmore data (H grows); CENTRAL keeps a single cluster space and"
+        "\npays almost nothing on the H axis — scalability along H(k) ranks"
+        "\ndesigns differently than along G(k), which is exactly why the"
+        "\npaper flags it as the next measurement to run."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Robustness under control-plane message loss.
+
+The paper assumes a lossless network; this example exercises the
+substrate beyond it.  The transport drops control-plane messages
+(status updates, polls, reservations, bids) with increasing
+probability while the job plane stays reliable — the standard grid
+middleware situation — and we watch each protocol degrade.
+
+Pull protocols (LOWEST, S-I) degrade gently: a lost poll reply just
+means deciding on partial information after the timeout.  Push
+protocols lose advertisements outright, so their remote-placement
+opportunities evaporate and jobs fall back to (possibly loaded) local
+clusters.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro.experiments import SimulationConfig, build_system, summarize
+from repro.experiments.reporting import format_table
+from repro.grid import JobState
+
+
+def main() -> None:
+    losses = (0.0, 0.1, 0.25, 0.5)
+    designs = ("LOWEST", "RESERVE", "S-I", "Sy-I")
+    rows = []
+    for rms in designs:
+        cells = [rms]
+        for loss in losses:
+            system = build_system(
+                SimulationConfig(
+                    rms=rms,
+                    n_schedulers=8,
+                    n_resources=24,
+                    workload_rate=0.0067,
+                    update_interval=8.5,
+                    horizon=12000.0,
+                    drain=60000.0,
+                    loss_probability=loss,
+                    seed=13,
+                )
+            )
+            cfg = system.config
+            system.sim.run(until=cfg.horizon)
+            deadline = cfg.horizon + cfg.drain
+            while system.sim.now < deadline and any(
+                j.state != JobState.COMPLETED for j in system.jobs
+            ):
+                system.sim.run(until=min(deadline, system.sim.now + 2000.0))
+            m = summarize(system)
+            assert m.jobs_completed == m.jobs_submitted, "protocol stranded a job!"
+            transfers = sum(s.jobs_sent_remote for s in system.schedulers)
+            cells.append(f"{m.success_rate:.2f}/{transfers}")
+        rows.append(cells)
+
+    headers = ["RMS"] + [f"loss={p:.0%}" for p in losses]
+    print("success rate / remote transfers under control-plane message loss:\n")
+    print(format_table(headers, rows, precision=3))
+    print(
+        "\nEvery cell required all submitted jobs to terminate — the protocols'"
+        "\ntimeouts and keepalive updates keep the system live even when half"
+        "\nthe control messages vanish.  Load sharing itself decays with loss:"
+        "\nthe push designs (RESERVE, and Sy-I's advert plane) lose their"
+        "\nremote-placement opportunities as advertisements evaporate, while"
+        "\nthe pull designs degrade only with lost poll replies."
+    )
+
+
+if __name__ == "__main__":
+    main()

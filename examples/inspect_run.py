@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Post-mortem of a deliberately saturated run.
+
+CENTRAL at an aggressive update interval is the canonical failure mode
+of this study: one scheduler and one estimator drowning in status
+traffic.  The inspection report shows exactly where the time went —
+the G breakdown by activity, the saturated servers, the cluster
+timeline, and timelines of the worst benefit-bound misses.
+
+Run:  python examples/inspect_run.py
+"""
+
+from repro.experiments import SimulationConfig, build_system, inspection_report
+from repro.grid import JobState
+
+
+def main() -> None:
+    cfg = SimulationConfig(
+        rms="CENTRAL",
+        n_schedulers=8,           # ignored by CENTRAL (one scheduler)
+        n_resources=24,
+        workload_rate=0.0067,
+        update_interval=8.5,      # band-level updates: saturates CENTRAL
+        horizon=12000.0,
+        drain=20000.0,
+        seed=7,
+    )
+    system = build_system(cfg)
+    system.sim.run(until=cfg.horizon)
+    deadline = cfg.horizon + cfg.drain
+    while system.sim.now < deadline and any(
+        j.state != JobState.COMPLETED for j in system.jobs
+    ):
+        system.sim.run(until=min(deadline, system.sim.now + 2000.0))
+
+    print(inspection_report(system))
+    print(
+        "\nReading guide: the estimator (a single server for CENTRAL) sits"
+        "\nat the top of the hot-spot table near 100% busy; update batches"
+        "\nqueue behind it, the scheduler's view goes stale, and the worst"
+        "\nmisses below are short jobs that spent their entire benefit"
+        "\nbudget waiting in message queues."
+    )
+
+
+if __name__ == "__main__":
+    main()

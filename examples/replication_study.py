@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Error bars: how stable are the comparisons across random seeds?
+
+Every figure in the reproduction is a point estimate from one seeded
+run.  This example uses the replication machinery to put 95% confidence
+intervals on the headline comparison (LOWEST vs Sy-I base overhead) and
+demonstrates that the ordering survives sampling noise.
+
+Run:  python examples/replication_study.py
+"""
+
+from repro.experiments import SimulationConfig, replicate
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    rows = []
+    results = {}
+    for rms in ("LOWEST", "Sy-I"):
+        res = replicate(
+            SimulationConfig(
+                rms=rms,
+                n_schedulers=8,
+                n_resources=24,
+                workload_rate=0.0067,
+                update_interval=8.5,
+                horizon=12000.0,
+                seed=7,
+            ),
+            n=5,
+        )
+        results[rms] = res
+        g = res["G"]
+        e = res["efficiency"]
+        s = res["success_rate"]
+        rows.append(
+            [
+                rms,
+                f"{g.mean:.0f} ± {1.96 * g.sem:.0f}",
+                f"{e.mean:.3f} ± {1.96 * e.sem:.3f}",
+                f"{s.mean:.3f}",
+            ]
+        )
+
+    print("Base-scale operating points over 5 independent seeds (95% CI):\n")
+    print(format_table(["RMS", "G", "E", "success"], rows))
+
+    g_low = results["LOWEST"]["G"]
+    g_syi = results["Sy-I"]["G"]
+    overlap = not (g_low.hi < g_syi.lo or g_syi.hi < g_low.lo)
+    print(
+        f"\nSy-I's mean overhead exceeds LOWEST's by "
+        f"{g_syi.mean - g_low.mean:.0f} time units"
+        + (
+            " (intervals overlap — at base scale the gap is within noise,"
+            "\nwhich matches the paper: the designs separate as the system"
+            "\nscales, not at k0)."
+            if overlap
+            else " and the intervals do not overlap."
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's headline result: the isoefficiency scalability metric.
+
+Runs the full four-step measurement procedure (paper §3.2) for CENTRAL
+vs. LOWEST along the Case-1 scaling strategy (grow the resource pool
+and the workload together, Table 2):
+
+1. tune the base configuration into the efficiency band and adopt its
+   efficiency as E0;
+2. scale the system along k = 1..3;
+3. at each scale, simulated annealing finds the enabler settings
+   (update interval, neighborhood size, link delay) that minimize the
+   RMS overhead G(k) while holding E(k) ~ E0;
+4. the slope of G(k) is the scalability read-out.
+
+Expect a few minutes of simulation.  For the full seven-design study
+over every case, use the benchmark harness (benchmarks/README in the
+repo root).
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.core.annealing import AnnealingSchedule
+from repro.core.procedure import ScalabilityProcedure
+from repro.core.scaling import ScalingPath
+from repro.experiments.cases import get_case, make_simulate
+from repro.experiments.config import PROFILES
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    case = get_case(1)  # Table 2: scale the RP by network size
+    profile = PROFILES["ci"]
+    rows = []
+    details = {}
+    for rms in ("CENTRAL", "LOWEST"):
+        simulate = make_simulate(case, rms, profile)
+        procedure = ScalabilityProcedure(
+            simulate,
+            case.enabler_space(),
+            path=ScalingPath((1, 2, 3)),
+            schedule=AnnealingSchedule(iterations=8, t0=0.5),
+            seed=7,
+        )
+        result = procedure.run(name=rms)
+        details[rms] = result
+        rows.append(
+            [
+                rms,
+                result.e0,
+                *[f"{g:.2f}" for g in result.curves.g],
+                f"{result.slopes.mean_g_slope:.2f}",
+                result.slopes.scalable_through,
+            ]
+        )
+
+    headers = ["RMS", "E0", "g(1)", "g(2)", "g(3)", "mean slope", "scalable thru"]
+    print("Case 1 — scale the RP by network size (normalized overhead g(k)):\n")
+    print(format_table(headers, rows, precision=2))
+
+    print("\nPer-scale detail:")
+    for rms, result in details.items():
+        print(f"\n  {rms}: E0 = {result.e0:.3f} (base feasible: {result.base_feasible})")
+        for point, eq2 in zip(result.points, result.eq2_ok):
+            print(
+                f"    k={point.scale:g}: G={point.G:10.1f}  E={point.efficiency:.3f}  "
+                f"success={point.success_rate:.2f}  feasible={point.feasible}  "
+                f"Eq.(2) holds={eq2}  tau={point.settings['update_interval']:g}"
+            )
+
+    print(
+        "\nInterpretation (paper §3.4): the distributed design starts with far"
+        "\nhigher absolute overhead, but its normalized overhead tracks the"
+        "\nscaled workload; CENTRAL cannot hold its base efficiency once its"
+        "\nsingle scheduler's per-decision scan grows with the pool."
+    )
+
+
+if __name__ == "__main__":
+    main()

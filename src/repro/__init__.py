@@ -1,0 +1,24 @@
+"""repro: a reproduction of "Measuring Scalability of Resource Management
+Systems" (Mitra, Maheswaran, Ali; IPDPS 2005).
+
+The package implements the paper's isoefficiency scalability metric and
+measurement procedure (:mod:`repro.core`) together with every substrate
+its evaluation depends on — a discrete-event simulation kernel
+(:mod:`repro.sim`), Internet-like topologies (:mod:`repro.topology`),
+OSPF-like routing and transport (:mod:`repro.network`), the managed Grid
+model (:mod:`repro.grid`), synthetic supercomputer workloads
+(:mod:`repro.workload`), the seven RMS designs it evaluates
+(:mod:`repro.rms`), and the experiment harness that regenerates every
+table and figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.experiments import SimulationConfig, run_simulation
+    metrics = run_simulation(SimulationConfig(
+        rms="LOWEST", n_schedulers=8, n_resources=24, workload_rate=0.007))
+    print(metrics.efficiency, metrics.success_rate)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "experiments", "grid", "network", "rms", "sim", "topology", "workload"]

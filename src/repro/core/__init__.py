@@ -1,0 +1,61 @@
+"""The paper's contribution: the isoefficiency scalability metric and
+measurement procedure for resource management systems."""
+
+from .annealing import AnnealingResult, AnnealingSchedule, anneal
+from .efficiency import EfficiencyRecord, NormalizedCurves, normalize
+from .isoefficiency import (
+    IsoefficiencyConstants,
+    check_eq1,
+    check_eq2,
+    isoefficiency_report,
+)
+from .ledger import Category, CostLedger
+from .models import PredictedRates, predict_rates
+from .procedure import ScalabilityProcedure, ScalabilityResult
+from .scaling import (
+    LINK_DELAY_SCALE,
+    NEIGHBORHOOD_SIZE,
+    UPDATE_INTERVAL,
+    VOLUNTEER_INTERVAL,
+    Enabler,
+    EnablerSpace,
+    ScalingPath,
+    ScalingStrategy,
+    ScalingVariable,
+)
+from .slope import SlopeAnalysis, analyze_slopes, slopes
+from .tuner import EnablerTuner, Observation, TunedPoint
+
+__all__ = [
+    "AnnealingResult",
+    "AnnealingSchedule",
+    "Category",
+    "CostLedger",
+    "EfficiencyRecord",
+    "Enabler",
+    "EnablerSpace",
+    "EnablerTuner",
+    "IsoefficiencyConstants",
+    "LINK_DELAY_SCALE",
+    "NEIGHBORHOOD_SIZE",
+    "NormalizedCurves",
+    "Observation",
+    "PredictedRates",
+    "ScalabilityProcedure",
+    "ScalabilityResult",
+    "ScalingPath",
+    "ScalingStrategy",
+    "ScalingVariable",
+    "SlopeAnalysis",
+    "TunedPoint",
+    "UPDATE_INTERVAL",
+    "VOLUNTEER_INTERVAL",
+    "analyze_slopes",
+    "anneal",
+    "check_eq1",
+    "check_eq2",
+    "isoefficiency_report",
+    "normalize",
+    "predict_rates",
+    "slopes",
+]

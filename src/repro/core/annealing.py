@@ -1,0 +1,136 @@
+"""Generic simulated annealing over a discrete neighborhood structure.
+
+Paper §3.2: "Selecting the set of scaling enablers such that efficiency
+remains constant for minimum cost is an optimization problem for which
+we use a simulated annealing procedure."
+
+This module is deliberately objective-agnostic: it minimizes any
+``objective(x) -> float`` given a ``neighbor(x, rng) -> x`` move
+generator, using the classic Metropolis acceptance rule with geometric
+cooling.  The enabler tuner builds the objective (overhead + efficiency
+penalties); the unit tests exercise the annealer on analytic functions
+with known minima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+import math
+
+import numpy as np
+
+__all__ = ["AnnealingSchedule", "AnnealingResult", "anneal"]
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Cooling schedule and iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Total moves attempted.
+    t0:
+        Initial temperature, in objective units.  A move that worsens
+        the objective by ``t0`` is accepted with probability ``1/e`` at
+        the start.
+    cooling:
+        Geometric factor per iteration (``0 < cooling < 1``).
+    restarts:
+        Independent annealing chains; the best point across chains
+        wins.  Each chain starts from the provided initial point (the
+        enabler defaults) but explores with its own random stream.
+    """
+
+    iterations: int = 40
+    t0: float = 1.0
+    cooling: float = 0.92
+    restarts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.t0 <= 0:
+            raise ValueError("t0 must be positive")
+        if not (0.0 < self.cooling < 1.0):
+            raise ValueError("cooling must be in (0, 1)")
+        if self.restarts < 1:
+            raise ValueError("restarts must be >= 1")
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of an annealing search.
+
+    Attributes
+    ----------
+    best:
+        The best point found.
+    best_value:
+        Its objective value.
+    evaluations:
+        Total objective evaluations performed (includes the initial
+        point of each chain).
+    trace:
+        Best-so-far objective value after each evaluation (for
+        convergence diagnostics and tests).
+    """
+
+    best: Any
+    best_value: float
+    evaluations: int
+    trace: List[float] = field(default_factory=list)
+
+
+def anneal(
+    initial: Any,
+    objective: Callable[[Any], float],
+    neighbor: Callable[[Any, np.random.Generator], Any],
+    rng: np.random.Generator,
+    schedule: Optional[AnnealingSchedule] = None,
+) -> AnnealingResult:
+    """Minimize ``objective`` by simulated annealing.
+
+    Parameters
+    ----------
+    initial:
+        Starting point (hashability not required; points are treated as
+        opaque values and never mutated by the annealer).
+    objective:
+        Function to minimize.  Expensive — every call is typically a
+        full simulation run — so the iteration budget is the knob that
+        trades tuning quality for wall-clock.
+    neighbor:
+        Move generator; must return a *new* point.
+    rng:
+        Randomness for moves and acceptance.
+    schedule:
+        Cooling schedule; defaults to :class:`AnnealingSchedule()`.
+    """
+    sched = schedule or AnnealingSchedule()
+    best = initial
+    best_value = objective(initial)
+    evaluations = 1
+    trace = [best_value]
+
+    for _ in range(sched.restarts):
+        current = initial if evaluations == 1 else best
+        current_value = best_value if current is best else objective(current)
+        temp = sched.t0
+        for _ in range(sched.iterations):
+            candidate = neighbor(current, rng)
+            value = objective(candidate)
+            evaluations += 1
+            delta = value - current_value
+            if delta <= 0.0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
+                current, current_value = candidate, value
+            if current_value < best_value:
+                best, best_value = current, current_value
+            trace.append(best_value)
+            temp *= sched.cooling
+
+    return AnnealingResult(
+        best=best, best_value=best_value, evaluations=evaluations, trace=trace
+    )

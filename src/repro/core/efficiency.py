@@ -1,0 +1,107 @@
+"""The efficiency model (paper §2.3).
+
+``E(k) = F(k) / (F(k) + G(k) + H(k))`` — useful work over total work.
+
+:class:`EfficiencyRecord` freezes one simulation run's F/G/H totals;
+:func:`normalize` produces the paper's normalized curves
+``f(k) = F(k)/F(k0)`` (and g, h alike), which are what the
+isoefficiency algebra (Eq. 1/2) and the slope metric operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .ledger import CostLedger
+
+__all__ = ["EfficiencyRecord", "NormalizedCurves", "normalize"]
+
+
+@dataclass(frozen=True)
+class EfficiencyRecord:
+    """F/G/H totals of one configuration at one scale.
+
+    Attributes
+    ----------
+    F, G, H:
+        Useful work, RMS overhead, RP overhead (time units).
+    """
+
+    F: float
+    G: float
+    H: float
+
+    def __post_init__(self) -> None:
+        if self.F < 0 or self.G < 0 or self.H < 0:
+            raise ValueError("F, G, H must be nonnegative")
+
+    @classmethod
+    def from_ledger(cls, ledger: CostLedger) -> "EfficiencyRecord":
+        """Snapshot a run's ledger."""
+        return cls(F=ledger.F, G=ledger.G, H=ledger.H)
+
+    @property
+    def total(self) -> float:
+        """Total work ``F + G + H``."""
+        return self.F + self.G + self.H
+
+    @property
+    def efficiency(self) -> float:
+        """``E = F / (F + G + H)``; 0.0 for an all-zero record."""
+        t = self.total
+        return self.F / t if t > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class NormalizedCurves:
+    """The paper's normalized work curves along a scaling path.
+
+    ``f[i] = F(k_i)/F(k_0)`` etc.; by construction
+    ``f[0] = g[0] = h[0] = 1``.
+    """
+
+    scales: tuple
+    f: tuple
+    g: tuple
+    h: tuple
+
+    def __len__(self) -> int:
+        return len(self.scales)
+
+
+def normalize(
+    scales: Sequence[float], records: Sequence[EfficiencyRecord]
+) -> NormalizedCurves:
+    """Normalize F/G/H records against the base-scale record.
+
+    Parameters
+    ----------
+    scales:
+        Scale factors, base first.
+    records:
+        One record per scale, aligned with ``scales``.
+
+    Raises
+    ------
+    ValueError
+        If lengths differ or any base quantity is zero (the paper's
+        normalization divides by ``W``, ``O_RMS``, ``O_RP`` — all must
+        be non-zero, which the model guarantees: every run has useful
+        work, RMS cost, and non-zero RP cost).
+    """
+    if len(scales) != len(records):
+        raise ValueError("scales and records must align")
+    if not records:
+        raise ValueError("need at least the base record")
+    base = records[0]
+    if base.F <= 0 or base.G <= 0 or base.H <= 0:
+        raise ValueError(
+            f"base record must have positive F, G, H (got {base.F}, {base.G}, {base.H})"
+        )
+    return NormalizedCurves(
+        scales=tuple(scales),
+        f=tuple(r.F / base.F for r in records),
+        g=tuple(r.G / base.G for r in records),
+        h=tuple(r.H / base.H for r in records),
+    )

@@ -1,0 +1,128 @@
+"""The isoefficiency algebra (paper §2.3, Equations 1–2).
+
+Starting from the constant-efficiency requirement
+``E(k) = E(k0) = 1/alpha`` the paper derives
+
+.. math::
+
+    f(k) = c \\cdot g(k) + c' \\cdot h(k)            \\qquad (1)
+
+with *constants* ``c = O_RMS / ((alpha - 1) W)`` and
+``c' = O_RP / ((alpha - 1) W)`` built from the base-scale quantities
+``W = F(k0)``, ``O_RMS = G(k0)``, ``O_RP = H(k0)``.  Because the RP
+always incurs some cost (``h > 0``), Eq. (1) implies
+
+.. math::
+
+    f(k) > c \\cdot g(k)                              \\qquad (2)
+
+i.e. *useful work must grow at least as fast as RMS overhead* for the
+efficiency to hold.  This module computes the constants and checks both
+conditions along a measured scaling path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .efficiency import EfficiencyRecord, NormalizedCurves
+
+__all__ = ["IsoefficiencyConstants", "check_eq1", "check_eq2", "isoefficiency_report"]
+
+
+@dataclass(frozen=True)
+class IsoefficiencyConstants:
+    """The constants of Eq. (1), derived from the base configuration."""
+
+    alpha: float
+    c: float
+    c_prime: float
+
+    @classmethod
+    def from_base(cls, base: EfficiencyRecord) -> "IsoefficiencyConstants":
+        """Derive ``alpha``, ``c``, ``c'`` from the base-scale record.
+
+        ``alpha = 1/E(k0)``; the derivation requires ``0 < E(k0) < 1``
+        (paper: "0 < E(k0) < 1"), i.e. positive useful work *and*
+        positive overhead at base scale.
+        """
+        e0 = base.efficiency
+        if not (0.0 < e0 < 1.0):
+            raise ValueError(f"base efficiency must be in (0, 1); got {e0}")
+        if base.G <= 0 or base.H <= 0:
+            raise ValueError("base record needs positive G and H")
+        alpha = 1.0 / e0
+        denom = (alpha - 1.0) * base.F
+        return cls(alpha=alpha, c=base.G / denom, c_prime=base.H / denom)
+
+    @property
+    def e0(self) -> float:
+        """The target efficiency ``1/alpha``."""
+        return 1.0 / self.alpha
+
+
+def check_eq1(
+    constants: IsoefficiencyConstants,
+    curves: NormalizedCurves,
+    rtol: float = 1e-9,
+) -> List[bool]:
+    """Check Eq. (1) pointwise: ``f(k) == c*g(k) + c'*h(k)``.
+
+    Exact equality holds only when efficiency is *exactly* constant; a
+    measured path holds it within the efficiency band the tuner
+    enforced, so callers pass a correspondingly loose ``rtol``.
+    """
+    out = []
+    for f, g, h in zip(curves.f, curves.g, curves.h):
+        rhs = constants.c * g + constants.c_prime * h
+        out.append(abs(f - rhs) <= rtol * max(1.0, abs(f)))
+    return out
+
+
+def check_eq2(
+    constants: IsoefficiencyConstants, curves: NormalizedCurves
+) -> List[bool]:
+    """Check Eq. (2) pointwise: ``f(k) > c * g(k)``.
+
+    A ``False`` at scale ``k`` means RMS overhead outgrew useful work —
+    the system is *not* scalable at that point under the isoefficiency
+    requirement.
+    """
+    return [f > constants.c * g for f, g in zip(curves.f, curves.g)]
+
+
+def isoefficiency_report(
+    scales: Sequence[float], records: Sequence[EfficiencyRecord], band: float = 0.05
+) -> dict:
+    """Summarize an isoefficiency run: constants, conditions, residuals.
+
+    Parameters
+    ----------
+    scales, records:
+        The measured path (base first).
+    band:
+        Relative tolerance for the Eq. (1) check, matching the
+        efficiency band the tuner enforced.
+
+    Returns
+    -------
+    dict with keys ``constants``, ``eq1_ok``, ``eq2_ok``,
+    ``eq1_residuals`` (signed ``f - (c g + c' h)``), and
+    ``efficiencies``.
+    """
+    from .efficiency import normalize
+
+    constants = IsoefficiencyConstants.from_base(records[0])
+    curves = normalize(scales, records)
+    residuals = [
+        f - (constants.c * g + constants.c_prime * h)
+        for f, g, h in zip(curves.f, curves.g, curves.h)
+    ]
+    return {
+        "constants": constants,
+        "eq1_ok": check_eq1(constants, curves, rtol=band),
+        "eq2_ok": check_eq2(constants, curves),
+        "eq1_residuals": residuals,
+        "efficiencies": [r.efficiency for r in records],
+    }

@@ -1,0 +1,112 @@
+"""Cost accounting: the F / G / H decomposition of system work.
+
+The paper's performance model splits everything the managed system does
+into three buckets (§2.2–2.3):
+
+* ``F(k)`` — **useful work**: service demand of jobs that completed
+  successfully (within their user-benefit bound ``U_b``).
+* ``G(k)`` — **RMS overhead**: "the overall time spent by the schedulers
+  for scheduling, receiving, and processing updates".  We include every
+  RMS node (schedulers, status estimators, the Grid middleware), since
+  the paper's Case 3 varies estimator count and reads the result off
+  ``G(k)``.
+* ``H(k)`` — **RP overhead**: job control and data management overheads
+  at the resources; the paper treats it as small but non-zero.
+
+:class:`CostLedger` is a category → amount accumulator.  Category names
+are namespaced with ``f.``/``g.``/``h.`` prefixes so the three aggregate
+totals are recoverable while subcategory detail (how much of G was
+polling vs. update processing) remains available for the ablation
+benches and for debugging protocol behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["Category", "CostLedger"]
+
+
+class Category:
+    """Canonical ledger category names.
+
+    The prefix determines the aggregate the charge rolls up into:
+    ``f.*`` → F (useful work), ``g.*`` → G (RMS overhead), ``h.*`` → H
+    (RP overhead).
+    """
+
+    # F — useful work
+    USEFUL = "f.useful"
+
+    # G — RMS overhead, by activity
+    SCHEDULE = "g.schedule"          # scheduling decision processing
+    UPDATE_RX = "g.update_rx"        # receiving/processing status updates at schedulers
+    ESTIMATOR = "g.estimator"        # estimator processing (RMS nodes)
+    POLL = "g.poll"                  # poll requests/replies (pull protocols)
+    ADVERT = "g.advert"              # reservations/volunteering (push protocols)
+    AUCTION = "g.auction"            # auction invitations/bids/awards
+    MIDDLEWARE = "g.middleware"      # Grid middleware relay service
+    COMPLETION = "g.completion"      # processing job-completion notifications
+
+    # H — RP overhead
+    JOB_CONTROL = "h.job_control"    # per-job dispatch/teardown at resources
+    DATA_MGMT = "h.data_mgmt"        # data staging (small; no data deps modeled)
+
+
+class CostLedger:
+    """Accumulates time-unit charges by category.
+
+    Implements the ``ChargeSink`` protocol expected by
+    :class:`repro.sim.entity.MessageServer`.
+    """
+
+    __slots__ = ("_totals",)
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    def charge(self, category: str, amount: float) -> None:
+        """Add ``amount`` (>= 0) time units under ``category``.
+
+        Categories must carry one of the ``f.``/``g.``/``h.`` prefixes so
+        every charge rolls up into exactly one of F, G, H.
+        """
+        if amount < 0.0:
+            raise ValueError(f"negative charge {amount} for {category!r}")
+        if not category.startswith(("f.", "g.", "h.")):
+            raise ValueError(f"category {category!r} lacks an f./g./h. prefix")
+        self._totals[category] = self._totals.get(category, 0.0) + amount
+
+    def total(self, category: str) -> float:
+        """Total charged under one exact category."""
+        return self._totals.get(category, 0.0)
+
+    def _prefix_total(self, prefix: str) -> float:
+        return sum(v for c, v in self._totals.items() if c.startswith(prefix))
+
+    @property
+    def F(self) -> float:
+        """Useful work delivered (sum of ``f.*``)."""
+        return self._prefix_total("f.")
+
+    @property
+    def G(self) -> float:
+        """RMS overhead (sum of ``g.*``)."""
+        return self._prefix_total("g.")
+
+    @property
+    def H(self) -> float:
+        """RP overhead (sum of ``h.*``)."""
+        return self._prefix_total("h.")
+
+    @property
+    def grand_total(self) -> float:
+        """All work: ``F + G + H``."""
+        return sum(self._totals.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Copy of the per-category totals (for reports and tests)."""
+        return dict(self._totals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostLedger(F={self.F:.4g}, G={self.G:.4g}, H={self.H:.4g})"

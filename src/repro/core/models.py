@@ -1,0 +1,161 @@
+"""Closed-form overhead-rate models (simulator validation + intuition).
+
+The simulation measures ``G(k)``; these models *predict* it from first
+principles for the analytically tractable designs, giving (a) a
+validation oracle for the simulator — the integration tests require
+simulation and prediction to agree within tolerance — and (b) the
+back-of-envelope scaling laws that explain every figure:
+
+* **update plane**: resources emit ~``1/(m·tau)`` keepalives per time
+  unit each (suppression removes change-free reports; ``m`` is the
+  keepalive budget) plus up to two change-driven reports per job,
+  rate-limited to one per ``tau``;
+* **estimator plane**: every update costs ``estimator_proc``; batched
+  forwarding emits at most one forward per covered cluster per
+  ``tau/2`` window per estimator, each costing the owning scheduler
+  ``update_proc``;
+* **decision plane**: each job costs ``decision_base +
+  scan_per_entry * table_size`` — with ``table_size = N`` for CENTRAL
+  (the quadratic term behind Figure 2) and the cluster size for the
+  distributed designs;
+* **pull plane** (LOWEST-style): each REMOTE job triggers ``L_p``
+  request/reply pairs.
+
+Rates are in busy-time units per simulated time unit; multiply by the
+measured span to compare with a ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.config import SimulationConfig
+
+__all__ = ["PredictedRates", "predict_rates"]
+
+
+@dataclass(frozen=True)
+class PredictedRates:
+    """Predicted steady-state work rates for one configuration.
+
+    All attributes are time-units of work per simulated time unit.
+    """
+
+    update_rate: float          # status updates emitted per time unit
+    estimator_busy: float       # total estimator processing rate (-> G)
+    scheduler_update_busy: float  # schedulers' update processing rate (-> G)
+    decision_busy: float        # scheduling decisions rate (-> G)
+    poll_busy: float            # pull-protocol processing rate (-> G)
+    completion_busy: float      # completion notifications rate (-> G)
+    useful_rate: float          # demand delivered per time unit (-> F)
+    rp_rate: float              # RP control overhead rate (-> H)
+
+    @property
+    def g_rate(self) -> float:
+        """Total predicted RMS overhead rate."""
+        return (
+            self.estimator_busy
+            + self.scheduler_update_busy
+            + self.decision_busy
+            + self.poll_busy
+            + self.completion_busy
+        )
+
+    @property
+    def efficiency(self) -> float:
+        """Predicted ``E = F/(F+G+H)``."""
+        total = self.useful_rate + self.g_rate + self.rp_rate
+        return self.useful_rate / total if total > 0 else 0.0
+
+    @property
+    def central_scheduler_busy(self) -> float:
+        """Busy fraction a single (CENTRAL) scheduler would carry —
+        above ~1.0 the design is saturated at this configuration."""
+        return self.scheduler_update_busy + self.decision_busy + self.poll_busy
+
+
+def predict_rates(
+    config: "SimulationConfig",
+    remote_fraction: float | None = None,
+    success: float = 1.0,
+    keepalive_budget: int = 3,
+) -> PredictedRates:
+    """Predict work rates for a CENTRAL or LOWEST-style configuration.
+
+    Parameters
+    ----------
+    config:
+        The simulation configuration (designs other than CENTRAL are
+        treated as LOWEST-style pull systems: cluster-scoped tables and
+        ``L_p``-wide polls per REMOTE job — exact for LOWEST, a lower
+        bound for the designs that add push traffic on top).
+    remote_fraction:
+        Fraction of REMOTE-class jobs; defaults to the runtime model's
+        analytic value at ``T_CPU``.
+    success:
+        Expected success rate (scales the useful-work prediction).
+    keepalive_budget:
+        The resources' ``max_silence`` (default 3, as in the runner).
+    """
+    from ..rms.registry import get_rms
+    from ..workload.runtimes import RuntimeModel
+
+    runtime_model = RuntimeModel()
+    if remote_fraction is None:
+        remote_fraction = runtime_model.remote_fraction(config.common.t_cpu)
+
+    info = get_rms(config.rms)
+    n = config.n_resources
+    n_sched = 1 if info.centralized else config.n_schedulers
+    lam = config.workload_rate
+    tau = config.update_interval
+    costs = config.costs
+
+    # --- update plane ---------------------------------------------------
+    keepalives = n / (keepalive_budget * tau)
+    # each job causes about two load transitions, each reportable at
+    # most once per tau per resource; at grid utilizations the per-tau
+    # limit never binds, so 2*lambda is the change-driven component.
+    change_driven = min(2.0 * lam, n / tau)
+    update_rate = keepalives + change_driven
+    estimator_busy = update_rate * costs.estimator_proc
+
+    # Batched forwarding: each estimator emits at most one forward per
+    # covered cluster per window (= tau/2); forwards cannot exceed the
+    # update rate itself.
+    n_est = config.n_estimators if config.n_estimators is not None else n_sched
+    window = config.effective_batch_window or (tau / 2.0)
+    coverage_pairs = max(n_est, n_sched)  # estimator->cluster coverage edges
+    forward_rate = min(update_rate, coverage_pairs / window)
+    scheduler_update_busy = forward_rate * costs.update_proc
+
+    # --- decision plane ----------------------------------------------------
+    table_size = n if info.centralized else n / n_sched
+    decision_busy = lam * (costs.decision_base + costs.scan_per_entry * table_size)
+    transfers = 0.0 if info.centralized else remote_fraction * lam
+    decision_busy += transfers * costs.transfer_proc
+
+    # --- pull plane ------------------------------------------------------
+    if info.centralized:
+        poll_busy = 0.0
+    else:
+        pairs = min(config.l_p, max(0, n_sched - 1))
+        poll_busy = remote_fraction * lam * pairs * 2.0 * costs.poll_proc
+
+    completion_busy = lam * costs.completion_proc
+
+    useful_rate = lam * runtime_model.mean * success
+    rp_rate = lam * costs.job_control + transfers * costs.data_mgmt
+
+    return PredictedRates(
+        update_rate=update_rate,
+        estimator_busy=estimator_busy,
+        scheduler_update_busy=scheduler_update_busy,
+        decision_busy=decision_busy,
+        poll_busy=poll_busy,
+        completion_busy=completion_busy,
+        useful_rate=useful_rate,
+        rp_rate=rp_rate,
+    )

@@ -1,0 +1,163 @@
+"""The four-step scalability measurement procedure (paper §3.2, Fig. 1).
+
+* **Step 1** — choose a feasible constant-efficiency target ``E0``
+  (the paper keeps ``E(k0)`` in [0.38, 0.42]): tune the base scale and
+  adopt its achieved efficiency.
+* **Step 2** — scale the RMS or the RP along the scaling path (the
+  experiment's scaling variables; the runner applies them).
+* **Step 3** — at every scale, tune the enablers by simulated annealing
+  for minimum ``G(k)`` at ``E(k) ≈ E0``.
+* **Step 4** — compute the scalability of the RMS from the slope of
+  ``G(k)``.
+
+:class:`ScalabilityProcedure` wires the tuner, normalization,
+isoefficiency checks, and slope analysis into one call.  If the base
+configuration cannot reach the efficiency band at all, the system is
+reported unscalable at base (``base_feasible = False``) — the
+flowchart's "base system is considered unscalable" exit — but the
+measured path is still returned for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from .efficiency import EfficiencyRecord, NormalizedCurves, normalize
+from .isoefficiency import IsoefficiencyConstants, check_eq2
+from .scaling import EnablerSpace, ScalingPath
+from .slope import SlopeAnalysis, analyze_slopes
+from .tuner import EnablerTuner, TunedPoint
+
+__all__ = ["ScalabilityResult", "ScalabilityProcedure"]
+
+
+@dataclass
+class ScalabilityResult:
+    """Everything the measurement produced for one RMS on one case.
+
+    Attributes
+    ----------
+    name:
+        Label (usually the RMS name).
+    e0:
+        The constant-efficiency target adopted at Step 1.
+    points:
+        One :class:`TunedPoint` per scale, base first.
+    curves:
+        Normalized f/g/h curves over the path.
+    slopes:
+        The Step-4 slope analysis.
+    constants:
+        Eq.-(1) constants derived from the base point.
+    eq2_ok:
+        Eq.-(2) check per scale.
+    base_feasible:
+        Whether the base configuration reached the efficiency band.
+    """
+
+    name: str
+    e0: float
+    points: List[TunedPoint]
+    curves: NormalizedCurves
+    slopes: SlopeAnalysis
+    constants: IsoefficiencyConstants
+    eq2_ok: List[bool]
+    base_feasible: bool
+
+    @property
+    def scales(self) -> Tuple[float, ...]:
+        """The measured scale factors."""
+        return tuple(p.scale for p in self.points)
+
+    @property
+    def G(self) -> Tuple[float, ...]:
+        """Minimum overhead ``G(k)`` per scale (the figures' y-axis)."""
+        return tuple(p.G for p in self.points)
+
+    @property
+    def efficiencies(self) -> Tuple[float, ...]:
+        """Achieved efficiency per scale."""
+        return tuple(p.efficiency for p in self.points)
+
+    @property
+    def feasible_through(self) -> float:
+        """Largest scale with an unbroken feasible prefix."""
+        k_ok = self.points[0].scale if self.points[0].feasible else 0.0
+        for p in self.points:
+            if not p.feasible:
+                break
+            k_ok = p.scale
+        return k_ok
+
+
+class ScalabilityProcedure:
+    """Runs Steps 1–4 for one system under one scaling strategy.
+
+    Parameters
+    ----------
+    simulate:
+        ``simulate(k, settings) -> Observation`` (see
+        :class:`~repro.core.tuner.EnablerTuner`); the closure embeds the
+        RMS design and the case's scaling variables.
+    space:
+        The case's enabler space.
+    path:
+        The scaling path (defaults to the paper's ``k = 1..6``).
+    band:
+        The Step-1 efficiency band (paper: [0.38, 0.42]).
+    tuner_kwargs:
+        Passed through to :class:`EnablerTuner` (annealing schedule,
+        success floor, seed, ...).
+    """
+
+    def __init__(
+        self,
+        simulate: Callable[[float, Mapping[str, float]], object],
+        space: EnablerSpace,
+        path: Optional[ScalingPath] = None,
+        band: Tuple[float, float] = (0.38, 0.42),
+        **tuner_kwargs,
+    ) -> None:
+        self.path = path or ScalingPath()
+        self.band = band
+        self.tuner = EnablerTuner(simulate, space, **tuner_kwargs)
+
+    def run(self, name: str = "RMS") -> ScalabilityResult:
+        """Execute the full procedure and return the measurement."""
+        # Step 1: base configuration and E0.
+        base_point = self.tuner.tune_base(self.path.base, band=self.band)
+        lo, hi = self.band
+        base_feasible = (
+            lo - self.tuner.e_tol <= base_point.efficiency <= hi + self.tuner.e_tol
+            and base_point.success_rate >= self.tuner.success_floor - 1e-12
+        )
+        # Isoefficiency holds E(k) at E(k0) — the *achieved* base
+        # efficiency, even when it missed the requested band (the miss
+        # is recorded in base_feasible).  A design whose healthy base
+        # operating point sits above the band (CENTRAL's single
+        # scheduler cannot burn band-level overhead without saturating)
+        # is still measured against its own base.
+        e0 = base_point.efficiency
+        if not (0.0 < e0 < 1.0):  # degenerate run; fall back to the band center
+            e0 = 0.5 * (lo + hi)
+
+        # Steps 2–3: walk the path, tuning at each scale.
+        points: List[TunedPoint] = [base_point]
+        for k in list(self.path)[1:]:
+            points.append(self.tuner.tune(k, e0))
+
+        # Step 4: slope of G(k) + isoefficiency conditions.
+        records = [p.record for p in points]
+        curves = normalize([p.scale for p in points], records)
+        constants = IsoefficiencyConstants.from_base(records[0])
+        return ScalabilityResult(
+            name=name,
+            e0=e0,
+            points=points,
+            curves=curves,
+            slopes=analyze_slopes(curves),
+            constants=constants,
+            eq2_ok=check_eq2(constants, curves),
+            base_feasible=base_feasible,
+        )

@@ -1,0 +1,198 @@
+"""Scaling strategies: variables, enablers, and paths (paper §2.2).
+
+The paper's scaling model has three pieces:
+
+* **Scaling variables** ``x(k)`` — what grows with the scale factor
+  ``k`` (network size, workload rate, service rate, estimator count,
+  ``L_p``).  Each experimental case (Tables 2–5) fixes a set of them.
+* **Scaling enablers** ``y(k)`` — the tuning knobs adjusted *after*
+  scaling so the configuration operates optimally (status update
+  interval, neighborhood set size, network link delay, volunteering
+  interval).  The isoefficiency procedure searches this space.
+* **Scaling path** — the sequence of scale factors along which the
+  system evolves (``k = 1..6`` in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Enabler",
+    "EnablerSpace",
+    "ScalingPath",
+    "ScalingStrategy",
+    "ScalingVariable",
+    "UPDATE_INTERVAL",
+    "NEIGHBORHOOD_SIZE",
+    "LINK_DELAY_SCALE",
+    "VOLUNTEER_INTERVAL",
+]
+
+#: canonical enabler names (Tables 2–5)
+UPDATE_INTERVAL = "update_interval"
+NEIGHBORHOOD_SIZE = "neighborhood_size"
+LINK_DELAY_SCALE = "link_delay_scale"
+VOLUNTEER_INTERVAL = "volunteer_interval"
+
+
+@dataclass(frozen=True)
+class ScalingVariable:
+    """One scaling variable ``x_i(k)``.
+
+    Attributes
+    ----------
+    name:
+        Identifier (consumed by the experiment runner).
+    base:
+        Value at the base scale ``k = 1``.
+    growth:
+        ``"linear"`` (``base * k``, the paper's default: "the workload
+        was scaled in the same proportion as the scaling variable") or
+        ``"constant"`` (unscaled).
+    """
+
+    name: str
+    base: float
+    growth: str = "linear"
+
+    def __post_init__(self) -> None:
+        if self.growth not in ("linear", "constant"):
+            raise ValueError(f"unknown growth mode {self.growth!r}")
+
+    def at(self, k: float) -> float:
+        """Value of this variable at scale factor ``k``."""
+        if k <= 0:
+            raise ValueError("scale factor must be positive")
+        return self.base * k if self.growth == "linear" else self.base
+
+
+@dataclass(frozen=True)
+class Enabler:
+    """One scaling enabler: a named, ordered grid of candidate values.
+
+    The simulated-annealing tuner moves between *adjacent* grid values,
+    so the ordering of ``values`` defines the search topology.
+    """
+
+    name: str
+    values: Tuple[float, ...]
+    default_index: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"enabler {self.name!r} needs at least one value")
+        if not (0 <= self.default_index < len(self.values)):
+            raise ValueError(f"enabler {self.name!r}: default_index out of range")
+
+    @property
+    def default(self) -> float:
+        """The default (pre-tuning) value."""
+        return self.values[self.default_index]
+
+
+class EnablerSpace:
+    """The discrete search space spanned by a set of enablers.
+
+    Settings are plain ``{name: value}`` dictionaries; the space knows
+    how to produce defaults, random points, and single-step neighbors
+    (one enabler nudged to an adjacent grid value) for the annealer.
+    """
+
+    def __init__(self, enablers: Sequence[Enabler]) -> None:
+        if not enablers:
+            raise ValueError("an EnablerSpace needs at least one enabler")
+        names = [e.name for e in enablers]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate enabler names")
+        self.enablers: List[Enabler] = list(enablers)
+        self._by_name = {e.name: e for e in enablers}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Enabler:
+        return self._by_name[name]
+
+    def default_settings(self) -> Dict[str, float]:
+        """The all-defaults point."""
+        return {e.name: e.default for e in self.enablers}
+
+    def random_settings(self, rng: np.random.Generator) -> Dict[str, float]:
+        """A uniformly random point in the grid."""
+        return {
+            e.name: e.values[int(rng.integers(len(e.values)))] for e in self.enablers
+        }
+
+    def neighbor(
+        self, settings: Mapping[str, float], rng: np.random.Generator
+    ) -> Dict[str, float]:
+        """One annealing move: nudge one random enabler to an adjacent
+        grid value (clamped at the ends).  Single-valued enablers are
+        skipped; if every enabler is single-valued the point is returned
+        unchanged."""
+        movable = [e for e in self.enablers if len(e.values) > 1]
+        out = dict(settings)
+        if not movable:
+            return out
+        e = movable[int(rng.integers(len(movable)))]
+        idx = e.values.index(out[e.name])
+        step = 1 if rng.random() < 0.5 else -1
+        idx = min(len(e.values) - 1, max(0, idx + step))
+        out[e.name] = e.values[idx]
+        return out
+
+    @property
+    def size(self) -> int:
+        """Number of points in the grid (product of value counts)."""
+        n = 1
+        for e in self.enablers:
+            n *= len(e.values)
+        return n
+
+
+@dataclass(frozen=True)
+class ScalingPath:
+    """The sequence of scale factors an experiment walks (paper: 1..6)."""
+
+    scales: Tuple[float, ...] = (1, 2, 3, 4, 5, 6)
+
+    def __post_init__(self) -> None:
+        if not self.scales:
+            raise ValueError("a scaling path needs at least one scale")
+        if any(k <= 0 for k in self.scales):
+            raise ValueError("scale factors must be positive")
+        if list(self.scales) != sorted(self.scales):
+            raise ValueError("scale factors must be nondecreasing")
+
+    @property
+    def base(self) -> float:
+        """The base scale ``k0`` (the first point of the path)."""
+        return self.scales[0]
+
+    def __iter__(self):
+        return iter(self.scales)
+
+    def __len__(self) -> int:
+        return len(self.scales)
+
+
+@dataclass
+class ScalingStrategy:
+    """A complete scaling strategy: variables + enablers + path.
+
+    This is the object an experimental *case* (Tables 2–5) constructs
+    and the measurement procedure consumes.
+    """
+
+    name: str
+    variables: List[ScalingVariable]
+    enabler_space: EnablerSpace
+    path: ScalingPath = field(default_factory=ScalingPath)
+
+    def variables_at(self, k: float) -> Dict[str, float]:
+        """All scaling-variable values at scale ``k``."""
+        return {v.name: v.at(k) for v in self.variables}

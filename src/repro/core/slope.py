@@ -1,0 +1,108 @@
+"""The scalability metric: the slope of G(k) (paper §2.2 Definition).
+
+"Assume that the function G(k) gives the minimum cost of maintaining
+[the] RMS to manage the resource pool at scale k.  Then, the
+scalability of the RMS at scale k is measured by the slope of G(k)."
+
+We report slopes over the *normalized* overhead curve
+``g(k) = G(k)/G(k0)``, which is what makes RMSs with different base
+overheads comparable, plus a per-interval classification that matches
+the paper's reading: a design "scales well" over an interval when its
+overhead grows no faster than the useful work does (Eq. 2's marginal
+form), and its slope *decreasing* with ``k`` means it needs relatively
+less work at each new scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .efficiency import NormalizedCurves
+
+__all__ = ["SlopeAnalysis", "slopes", "analyze_slopes"]
+
+
+def slopes(xs: Sequence[float], ys: Sequence[float]) -> List[float]:
+    """Finite-difference slopes ``(y[i+1]-y[i]) / (x[i+1]-x[i])``.
+
+    Raises
+    ------
+    ValueError
+        On length mismatch, fewer than two points, or repeated x.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    if len(xs) < 2:
+        raise ValueError("need at least two points for a slope")
+    out = []
+    for i in range(len(xs) - 1):
+        dx = xs[i + 1] - xs[i]
+        if dx <= 0:
+            raise ValueError("x values must be strictly increasing")
+        out.append((ys[i + 1] - ys[i]) / dx)
+    return out
+
+
+@dataclass(frozen=True)
+class SlopeAnalysis:
+    """Scalability read-out along one measured path.
+
+    Attributes
+    ----------
+    scales:
+        Scale factors ``k_1..k_n``.
+    g_slopes:
+        Slope of the normalized overhead ``g(k)`` per interval
+        (``n - 1`` values) — the paper's metric.
+    f_slopes:
+        Slope of the normalized useful work per interval.
+    scalable:
+        Per interval: ``True`` iff overhead grew no faster than useful
+        work there (``Δg <= Δf``, the marginal Eq.-2 condition).
+    improving:
+        Per *interior* point: ``True`` where the g-slope decreased
+        relative to the previous interval ("the RMS needs to do less
+        work to sustain the system ... at the new scale k, compared to
+        the last scale k-1").
+    """
+
+    scales: Tuple[float, ...]
+    g_slopes: Tuple[float, ...]
+    f_slopes: Tuple[float, ...]
+    scalable: Tuple[bool, ...]
+    improving: Tuple[bool, ...]
+
+    @property
+    def mean_g_slope(self) -> float:
+        """Average normalized-overhead slope — a single-number summary
+        used to rank designs (lower = more scalable)."""
+        return sum(self.g_slopes) / len(self.g_slopes)
+
+    @property
+    def scalable_through(self) -> float:
+        """The largest scale up to which every interval was scalable
+        (the paper's "scalable for 1 < k <= K" statements)."""
+        k_ok = self.scales[0]
+        for i, ok in enumerate(self.scalable):
+            if not ok:
+                break
+            k_ok = self.scales[i + 1]
+        return k_ok
+
+
+def analyze_slopes(curves: NormalizedCurves) -> SlopeAnalysis:
+    """Compute the slope metric over normalized curves."""
+    g_slopes = slopes(curves.scales, curves.g)
+    f_slopes = slopes(curves.scales, curves.f)
+    scalable = tuple(dg <= df + 1e-12 for dg, df in zip(g_slopes, f_slopes))
+    improving = tuple(
+        g_slopes[i + 1] < g_slopes[i] - 1e-12 for i in range(len(g_slopes) - 1)
+    )
+    return SlopeAnalysis(
+        scales=tuple(curves.scales),
+        g_slopes=tuple(g_slopes),
+        f_slopes=tuple(f_slopes),
+        scalable=scalable,
+        improving=improving,
+    )

@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro figure 2                  # Figure 2, ci profile
+    python -m repro figure 4 --profile full   # paper-scale (slow)
+    python -m repro figure 6 --csv out.csv    # also dump the series
+    python -m repro compare                   # quick 7-design comparison
+    python -m repro list                      # what can be regenerated
+
+The ``figure`` subcommand runs the full isoefficiency measurement for
+the corresponding experimental case (all seven RMS designs), prints the
+table + ASCII plot, and optionally writes a CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import PROFILES, SimulationConfig
+from .reporting import figure_report, format_table, write_csv
+from .reproduce import Study
+from .runner import run_simulation
+
+__all__ = ["main"]
+
+#: figure number -> the quantity its y-axis plots
+_FIGURE_QUANTITY = {2: "G", 3: "G", 4: "G", 5: "G", 6: "throughput", 7: "response"}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    rows = [
+        [2, "Case 1", "G(k), RP scaled by network size"],
+        [3, "Case 2", "G(k), RP scaled by service rate"],
+        [4, "Case 3", "G(k), RMS scaled by estimators"],
+        [5, "Case 4", "G(k), RMS scaled by L_p"],
+        [6, "Case 3", "throughput under estimator scaling"],
+        [7, "Case 3", "response times under estimator scaling"],
+    ]
+    print(format_table(["figure", "experiment", "series"], rows))
+    print(f"\nprofiles: {', '.join(sorted(PROFILES))}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number not in _FIGURE_QUANTITY:
+        print(f"error: the paper has figures 2-7, not {args.number}", file=sys.stderr)
+        return 2
+    study = Study(
+        profile=args.profile,
+        rms=args.rms.split(",") if args.rms else None,
+        seed=args.seed,
+        sa_iterations=args.sa_iterations,
+    )
+    fig = study.figure(args.number)
+    quantity = args.quantity or _FIGURE_QUANTITY[args.number]
+    print(figure_report(fig, quantity, precision=args.precision))
+    if args.csv:
+        write_csv(fig, args.csv, quantity)
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from ..rms.registry import get_rms, rms_names
+
+    rows = []
+    for rms in rms_names():
+        tau = 40.0 if rms == "CENTRAL" else 8.5
+        m = run_simulation(
+            SimulationConfig(
+                rms=rms,
+                n_schedulers=8,
+                n_resources=24,
+                workload_rate=0.0067,
+                update_interval=tau,
+                horizon=12000.0,
+                seed=args.seed,
+            )
+        )
+        rows.append(
+            [rms, get_rms(rms).mechanism, m.efficiency, m.record.G, m.success_rate]
+        )
+    print(format_table(["RMS", "mechanism", "E", "G", "success"], rows, precision=3))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Measuring Scalability of "
+        "Resource Management Systems' (IPDPS 2005).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list regenerable figures").set_defaults(fn=_cmd_list)
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("number", type=int, help="figure number (2-7)")
+    fig.add_argument("--profile", default="ci", choices=sorted(PROFILES))
+    fig.add_argument("--rms", default=None, help="comma-separated subset of designs")
+    fig.add_argument("--seed", type=int, default=7)
+    fig.add_argument("--sa-iterations", type=int, default=None)
+    fig.add_argument("--quantity", default=None, help="override plotted quantity")
+    fig.add_argument("--precision", type=int, default=1)
+    fig.add_argument("--csv", default=None, help="also write the series to CSV")
+    fig.set_defaults(fn=_cmd_figure)
+
+    cmp_ = sub.add_parser("compare", help="quick 7-design comparison run")
+    cmp_.add_argument("--seed", type=int, default=7)
+    cmp_.set_defaults(fn=_cmd_compare)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,233 @@
+"""Experiment configuration: Table-1 constants, scale profiles, and the
+full description of one simulation run.
+
+Two **scale profiles** are provided:
+
+* ``ci`` (default) — shrunk grids and horizons so that a full
+  figure regeneration (7 RMSs x scales x annealing probes) completes in
+  minutes on a laptop.  Cluster size, workload intensity per resource,
+  and all cost constants match the ``full`` profile, so the *shape* of
+  every result carries over; only absolute magnitudes differ.
+* ``full`` — the paper's 1000-node networks (Cases 2-4) and its six
+  scale factors.  Hours of compute; used for the archival numbers in
+  EXPERIMENTS.md.
+
+Calibration (see EXPERIMENTS.md): the base workload rate is chosen so
+that, at the default enabler settings, the managed system's efficiency
+``E = F/(F+G+H)`` lands inside the paper's Step-1 band [0.38, 0.42] —
+the regime the paper studies, in which state estimation and scheduling
+consume work comparable to the delivered computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..grid.costs import CostModel
+
+__all__ = ["CommonParameters", "ScaleProfile", "SimulationConfig", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class CommonParameters:
+    """Table 1: common variables used for all experiments.
+
+    Attributes
+    ----------
+    t_cpu:
+        LOCAL/REMOTE classification threshold: "Jobs with execution
+        time <= T_CPU are LOCAL jobs" (700 time units).
+    t_l:
+        Threshold load at a scheduler (0.5).
+    benefit_lo, benefit_hi:
+        The user benefit function's factor range: ``U_b = u * runtime``
+        with ``u ~ U[2, 5]``.
+    efficiency_band:
+        Step-1 band for ``E(k0)``: [0.38, 0.42].
+    """
+
+    t_cpu: float = 700.0
+    t_l: float = 0.5
+    benefit_lo: float = 2.0
+    benefit_hi: float = 5.0
+    efficiency_band: Tuple[float, float] = (0.38, 0.42)
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Base-scale system sizes for one compute budget.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier (``ci`` or ``full``).
+    base_resources:
+        Resource-pool size of the Case-1 base configuration.
+    base_schedulers:
+        Scheduler count of the Case-1 base configuration.
+    fixed_resources / fixed_schedulers:
+        Pool shape for the fixed-network cases (2-4); the paper uses a
+        1000-node network there.
+    base_rate_per_resource:
+        Base workload intensity (jobs per time unit per resource) —
+        the calibrated value that puts base efficiency in the band.
+    horizon:
+        Measured simulation horizon (time units).
+    drain:
+        Extra time allowed for submitted jobs to finish after the
+        arrival window closes.
+    scales:
+        The scaling path (paper: 1..6).
+    sa_iterations:
+        Annealing budget per (RMS, scale) tuning problem.
+    """
+
+    name: str
+    base_resources: int
+    base_schedulers: int
+    fixed_resources: int
+    fixed_schedulers: int
+    base_rate_per_resource: float
+    horizon: float
+    drain: float
+    scales: Tuple[float, ...]
+    sa_iterations: int
+
+
+#: the two standard profiles
+PROFILES: Dict[str, ScaleProfile] = {
+    "ci": ScaleProfile(
+        name="ci",
+        base_resources=24,
+        base_schedulers=8,
+        fixed_resources=48,
+        fixed_schedulers=16,
+        base_rate_per_resource=0.00028,
+        horizon=12000.0,
+        drain=6000.0,
+        scales=(1, 2, 3),
+        sa_iterations=10,
+    ),
+    "full": ScaleProfile(
+        name="full",
+        base_resources=160,
+        base_schedulers=32,
+        fixed_resources=960,
+        fixed_schedulers=40,
+        base_rate_per_resource=0.00028,
+        horizon=20000.0,
+        drain=10000.0,
+        scales=(1, 2, 3, 4, 5, 6),
+        sa_iterations=30,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to build and run one simulation.
+
+    The experiment cases construct these from their scaling variables;
+    the enabler settings are injected by the tuner per probe.
+
+    Attributes
+    ----------
+    rms:
+        RMS design name (one of the seven).
+    n_schedulers / n_resources / n_estimators:
+        System shape.  ``n_estimators=None`` means one per scheduler
+        (co-located base configuration).
+    workload_rate:
+        System-wide job arrival rate (jobs per time unit).
+    service_rate:
+        Per-resource service rate (Case 2's scaling variable).
+    l_p:
+        Peers contacted per scheduling action (Case 4's variable).
+    update_interval:
+        Status-update period tau (enabler).
+    neighborhood_size:
+        Size of each scheduler's candidate peer set (enabler).
+    link_delay_scale:
+        Multiplier on message transit delays (enabler).
+    volunteer_interval:
+        Period of volunteering/advert loops (enabler; push designs).
+    horizon / drain:
+        Arrival window and post-window drain allowance.
+    seed:
+        Root seed; every stream (topology, workload, protocol jitter)
+        derives from it, so runs are exactly reproducible.
+    common:
+        Table-1 constants.
+    costs:
+        Processing-cost model.
+    loss_probability:
+        Message-loss injection (0 for paper experiments).
+    """
+
+    rms: str
+    n_schedulers: int
+    n_resources: int
+    workload_rate: float
+    service_rate: float = 1.0
+    n_estimators: Optional[int] = None
+    l_p: int = 2
+    update_interval: float = 40.0
+    neighborhood_size: int = 4
+    link_delay_scale: float = 1.0
+    volunteer_interval: float = 120.0
+    horizon: float = 3000.0
+    drain: float = 4000.0
+    seed: int = 7
+    common: CommonParameters = field(default_factory=CommonParameters)
+    costs: CostModel = field(default_factory=CostModel)
+    loss_probability: float = 0.0
+    #: estimator aggregation period; ``None`` derives it as half the
+    #: update interval, ``0`` disables batching (ablation).
+    estimator_batch_window: Optional[float] = None
+    #: probability a job depends on earlier jobs (paper future-work
+    #: extension; 0 = the paper's independent-jobs evaluation)
+    dependency_prob: float = 0.0
+    #: maximum parents per dependent job
+    max_parents: int = 2
+    #: parents are drawn among this many most recent jobs
+    dependency_window: int = 10
+
+    @property
+    def effective_batch_window(self) -> float:
+        """The estimator batch window actually applied."""
+        if self.estimator_batch_window is None:
+            return 0.5 * self.update_interval
+        return self.estimator_batch_window
+
+    def __post_init__(self) -> None:
+        if self.n_schedulers < 1 or self.n_resources < self.n_schedulers:
+            raise ValueError("need >= 1 scheduler and >= 1 resource per scheduler")
+        if self.workload_rate <= 0 or self.service_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.l_p < 0:
+            raise ValueError("l_p must be nonnegative")
+        if self.update_interval <= 0 or self.volunteer_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.neighborhood_size < 1:
+            raise ValueError("neighborhood_size must be >= 1")
+        if self.horizon <= 0 or self.drain < 0:
+            raise ValueError("horizon must be positive, drain nonnegative")
+        if not (0.0 <= self.dependency_prob <= 1.0):
+            raise ValueError("dependency_prob must be in [0, 1]")
+
+    def with_enablers(self, settings: Dict[str, float]) -> "SimulationConfig":
+        """A copy with enabler settings applied (unknown keys rejected)."""
+        mapping = {
+            "update_interval": "update_interval",
+            "neighborhood_size": "neighborhood_size",
+            "link_delay_scale": "link_delay_scale",
+            "volunteer_interval": "volunteer_interval",
+        }
+        kwargs = {}
+        for name, value in settings.items():
+            if name not in mapping:
+                raise KeyError(f"unknown enabler {name!r}")
+            attr = mapping[name]
+            kwargs[attr] = int(value) if attr == "neighborhood_size" else value
+        return replace(self, **kwargs)

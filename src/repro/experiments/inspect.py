@@ -1,0 +1,104 @@
+"""Post-run inspection: where did the overhead and the failures go?
+
+Aggregate metrics say *how much* overhead a run produced;
+:func:`inspection_report` says *where*: the ledger's G breakdown by
+activity, the busiest schedulers/estimators (saturation hot-spots), the
+cluster-level busy Gantt, and forensic timelines for the worst failed
+jobs.  This is the report to read when a tuned point misses its
+efficiency band and you want to know which plane to blame.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..grid.jobs import JobState
+from ..sim.trace import busy_gantt, job_timeline
+from .reporting import format_table
+from .runner import System
+
+__all__ = ["overhead_breakdown", "hotspots", "failed_job_forensics", "inspection_report"]
+
+
+def overhead_breakdown(system: System) -> List[List]:
+    """Ledger rows ``[category, total, share-of-G]`` for the g.* categories."""
+    ledger = system.ledger
+    g_total = ledger.G or 1.0
+    rows = []
+    for category, amount in sorted(
+        ledger.breakdown().items(), key=lambda kv: -kv[1]
+    ):
+        if category.startswith("g."):
+            rows.append([category, amount, amount / g_total])
+    return rows
+
+
+def hotspots(system: System, top: int = 5) -> List[List]:
+    """The busiest RMS servers: ``[name, busy fraction, served, queue]``.
+
+    Busy fraction near 1.0 marks the saturated component that is
+    throttling the run.
+    """
+    span = system.sim.now or 1.0
+    servers = list(system.schedulers) + list(system.estimators)
+    if system.middleware is not None:
+        servers.append(system.middleware)
+    ranked = sorted(servers, key=lambda s: -s.busy_time)
+    return [
+        [s.name, s.busy_time / span, s.served, s.queue_length]
+        for s in ranked[:top]
+    ]
+
+
+def failed_job_forensics(system: System, top: int = 3) -> List[str]:
+    """Timelines of the jobs that missed their bound by the most."""
+    failed = [
+        j
+        for j in system.jobs
+        if j.state == JobState.COMPLETED and not j.successful
+    ]
+    failed.sort(key=lambda j: -(j.response_time / j.spec.benefit_bound))
+    lines: List[str] = []
+    for j in failed[:top]:
+        lines.extend(job_timeline(j))
+        lines.append("")
+    incomplete = [j for j in system.jobs if j.state != JobState.COMPLETED]
+    if incomplete:
+        lines.append(
+            f"({len(incomplete)} jobs never completed within the drain — "
+            f"states: {sorted({j.state for j in incomplete})})"
+        )
+    return lines
+
+
+def inspection_report(system: System, gantt_width: int = 64) -> str:
+    """The full human-readable post-mortem of one run."""
+    parts = [f"Inspection of {system.config.rms} run (t = {system.sim.now:.0f})"]
+
+    parts.append("\nRMS overhead breakdown (G by activity):")
+    parts.append(
+        format_table(
+            ["category", "time units", "share"],
+            overhead_breakdown(system),
+            precision=3,
+        )
+    )
+
+    parts.append("\nBusiest RMS servers:")
+    parts.append(
+        format_table(
+            ["server", "busy frac", "served", "queued"],
+            hotspots(system),
+            precision=3,
+        )
+    )
+
+    horizon = system.config.horizon
+    parts.append("\nCluster service timeline:")
+    parts.append(busy_gantt(system.jobs, 0.0, horizon, width=gantt_width))
+
+    forensics = failed_job_forensics(system)
+    parts.append("\nWorst benefit-bound misses:")
+    parts.append("\n".join(forensics) if forensics else "(every job succeeded)")
+
+    return "\n".join(parts)

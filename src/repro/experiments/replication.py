@@ -1,0 +1,112 @@
+"""Replication statistics: confidence intervals over independent seeds.
+
+A single simulation run is one sample of a stochastic system; the
+paper's curves (and ours) are point estimates.  :func:`replicate` runs
+the same configuration under independent seeds and returns mean /
+standard-error / normal-approximation confidence intervals for every
+scalar metric — used by the robustness example and by tests that check
+the CI machinery itself, and available to downstream users who want
+error bars on any figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .config import SimulationConfig
+from .runner import RunMetrics, run_simulation
+
+__all__ = ["MetricSummary", "ReplicationResult", "replicate"]
+
+#: the scalar metrics summarized per replication batch
+_SCALARS = {
+    "efficiency": lambda m: m.efficiency,
+    "G": lambda m: m.record.G,
+    "F": lambda m: m.record.F,
+    "H": lambda m: m.record.H,
+    "success_rate": lambda m: m.success_rate,
+    "throughput": lambda m: m.throughput,
+    "mean_response": lambda m: m.mean_response,
+}
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and dispersion of one scalar metric across replications."""
+
+    name: str
+    mean: float
+    std: float
+    sem: float
+    lo: float
+    hi: float
+    n: int
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the confidence interval."""
+        return self.lo <= value <= self.hi
+
+
+@dataclass
+class ReplicationResult:
+    """All replications of one configuration plus their summaries."""
+
+    config: SimulationConfig
+    seeds: List[int]
+    runs: List[RunMetrics]
+    summaries: Dict[str, MetricSummary]
+
+    def __getitem__(self, metric: str) -> MetricSummary:
+        return self.summaries[metric]
+
+
+def _summary(name: str, xs: Sequence[float], z: float) -> MetricSummary:
+    n = len(xs)
+    mean = sum(xs) / n
+    if n > 1:
+        var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+    else:
+        var = 0.0
+    std = math.sqrt(var)
+    sem = std / math.sqrt(n)
+    return MetricSummary(
+        name=name, mean=mean, std=std, sem=sem, lo=mean - z * sem, hi=mean + z * sem, n=n
+    )
+
+
+def replicate(
+    config: SimulationConfig,
+    n: int = 5,
+    z: float = 1.96,
+    seeds: Optional[Sequence[int]] = None,
+    runner: Callable[[SimulationConfig], RunMetrics] = run_simulation,
+) -> ReplicationResult:
+    """Run ``config`` under ``n`` independent seeds and summarize.
+
+    Parameters
+    ----------
+    config:
+        The configuration; its own ``seed`` anchors the seed sequence.
+    n:
+        Number of replications (ignored if ``seeds`` is given).
+    z:
+        Normal quantile for the confidence interval (1.96 = 95%).
+    seeds:
+        Explicit seed list (overrides ``n``).
+    runner:
+        Injection point for tests.
+    """
+    if seeds is None:
+        if n < 1:
+            raise ValueError("need at least one replication")
+        seeds = [config.seed + 1000 * i for i in range(n)]
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = [runner(replace(config, seed=s)) for s in seeds]
+    summaries = {
+        name: _summary(name, [fn(m) for m in runs], z) for name, fn in _SCALARS.items()
+    }
+    return ReplicationResult(config=config, seeds=seeds, runs=runs, summaries=summaries)

@@ -1,0 +1,123 @@
+"""Rendering measured results: text tables, ASCII plots, CSV files.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that presentation in one place.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Optional, Sequence
+
+from .reproduce import FigureData
+
+__all__ = ["format_table", "ascii_plot", "figure_report", "write_csv"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], precision: int = 1
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted to ``precision`` decimals; everything else via
+    ``str``.
+    """
+
+    def fmt(x) -> str:
+        if isinstance(x, bool):
+            return "yes" if x else "no"
+        if isinstance(x, float):
+            return f"{x:.{precision}f}"
+        return str(x)
+
+    cells = [[fmt(h) for h in headers]] + [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    xs: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """A minimal multi-series ASCII line chart (one letter per series).
+
+    Good enough to eyeball who wins and where curves cross in a
+    terminal; the CSV output feeds real plotting tools.
+    """
+    import math
+
+    if not series:
+        return "(no data)"
+    letters = "ABCDEFGHIJKLMNOP"
+    ys_all = [
+        (math.log10(max(v, 1e-12)) if logy else v)
+        for vs in series.values()
+        for v in vs
+        if v == v  # drop NaNs
+    ]
+    if not ys_all:
+        return "(no finite data)"
+    lo, hi = min(ys_all), max(ys_all)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+    xspan = (x_hi - x_lo) or 1.0
+    for si, (name, vs) in enumerate(series.items()):
+        ch = letters[si % len(letters)]
+        for x, v in zip(xs, vs):
+            if v != v:
+                continue
+            y = math.log10(max(v, 1e-12)) if logy else v
+            col = int((x - x_lo) / xspan * (width - 1))
+            row = height - 1 - int((y - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = ch
+    legend = "  ".join(
+        f"{letters[i % len(letters)]}={name}" for i, name in enumerate(series)
+    )
+    axis = f"y: [{lo:.3g}, {hi:.3g}]" + (" (log10)" if logy else "")
+    body = "\n".join("|" + "".join(r) for r in grid)
+    return f"{body}\n+{'-' * width}\n{legend}\n{axis}"
+
+
+def figure_report(fig: FigureData, quantity: str = "G", precision: int = 1) -> str:
+    """The standard per-figure report: title, table, ASCII plot, and a
+    footnote naming the (RMS, k) points that missed the isoefficiency
+    feasibility test (efficiency band or success floor) — the paper's
+    "no longer scalable" regions."""
+    headers = ["RMS"] + [f"k={k:g}" for k in fig.scales]
+    table = format_table(headers, fig.rows(quantity), precision=precision)
+    series = {name: list(getattr(s, quantity)) for name, s in fig.series.items()}
+    plot = ascii_plot(series, list(fig.scales), logy=(quantity in ("G", "response")))
+    notes = []
+    for name, s in fig.series.items():
+        bad = [f"k={p.scale:g}" for p in s.result.points if not p.feasible]
+        if bad:
+            notes.append(f"{name}: {', '.join(bad)}")
+    footnote = (
+        "infeasible points (efficiency band / success floor missed): "
+        + "; ".join(notes)
+        if notes
+        else "all points isoefficiency-feasible"
+    )
+    return (
+        f"{fig.figure}: {fig.title}\n[{quantity} vs {fig.x_label}]\n\n"
+        f"{table}\n\n{plot}\n{footnote}\n"
+    )
+
+
+def write_csv(fig: FigureData, path: str, quantity: str = "G") -> None:
+    """Dump one figure's series to CSV (one row per RMS)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["rms"] + [f"k={k:g}" for k in fig.scales])
+        for row in fig.rows(quantity):
+            writer.writerow(row)

@@ -1,0 +1,250 @@
+"""Reproduction drivers: one function per paper figure.
+
+``figure2()`` … ``figure7()`` regenerate the corresponding paper
+figure's data series under a scale profile, returning a
+:class:`FigureData` whose rows the reporting module renders.  Figures
+4, 6, and 7 share a single Case-3 measurement (the paper derives all
+three from the same experiment), so the drivers memoize per-case
+results within a :class:`Study`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.annealing import AnnealingSchedule
+from ..core.procedure import ScalabilityProcedure, ScalabilityResult
+from ..rms.registry import rms_names
+from .cases import ExperimentCase, get_case, make_simulate
+from .config import PROFILES, ScaleProfile
+from .runner import RunMetrics
+
+__all__ = ["RMSSeries", "FigureData", "Study", "figure2", "figure3", "figure4", "figure5", "figure6", "figure7"]
+
+
+@dataclass
+class RMSSeries:
+    """One RMS's measured series along a case's scaling path."""
+
+    rms: str
+    result: ScalabilityResult
+    metrics: List[RunMetrics]
+
+    @property
+    def scales(self) -> Tuple[float, ...]:
+        """Scale factors of the path."""
+        return self.result.scales
+
+    @property
+    def G(self) -> Tuple[float, ...]:
+        """Tuned minimum overhead per scale."""
+        return self.result.G
+
+    @property
+    def g_norm(self) -> Tuple[float, ...]:
+        """Normalized overhead ``g(k) = G(k)/G(k0)``."""
+        return self.result.curves.g
+
+    @property
+    def f_norm(self) -> Tuple[float, ...]:
+        """Normalized useful work ``f(k) = F(k)/F(k0)``."""
+        return self.result.curves.f
+
+    @property
+    def h_norm(self) -> Tuple[float, ...]:
+        """Normalized RP overhead ``h(k) = H(k)/H(k0)`` — the axis the
+        paper's future work (c) proposes measuring scalability on."""
+        return self.result.curves.h
+
+    @property
+    def efficiency(self) -> Tuple[float, ...]:
+        """Achieved efficiency per scale."""
+        return self.result.efficiencies
+
+    @property
+    def throughput(self) -> Tuple[float, ...]:
+        """Successful jobs per unit time, per scale (Fig. 6's y-axis)."""
+        return tuple(m.throughput for m in self.metrics)
+
+    @property
+    def response(self) -> Tuple[float, ...]:
+        """Mean job response time per scale (Fig. 7's y-axis)."""
+        return tuple(m.mean_response for m in self.metrics)
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: a named family of per-RMS series."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, RMSSeries]
+
+    def rows(self, quantity: str = "G") -> List[List]:
+        """Tabular view: one row per RMS, one column per scale."""
+        out = []
+        for name, s in self.series.items():
+            values = getattr(s, quantity)
+            out.append([name, *values])
+        return out
+
+    @property
+    def scales(self) -> Tuple[float, ...]:
+        """The common scale axis."""
+        first = next(iter(self.series.values()))
+        return first.scales
+
+
+class Study:
+    """A reproduction session: caches per-case measurements.
+
+    Parameters
+    ----------
+    profile:
+        ``"ci"`` (default) or ``"full"`` — see
+        :mod:`repro.experiments.config`.
+    rms:
+        Which designs to measure (default: all seven).
+    seed:
+        Root seed for every simulation in the study.
+    """
+
+    def __init__(
+        self,
+        profile: "str | ScaleProfile" = "ci",
+        rms: Optional[Sequence[str]] = None,
+        seed: int = 7,
+        sa_iterations: Optional[int] = None,
+    ) -> None:
+        if isinstance(profile, ScaleProfile):
+            self.profile = profile
+        elif profile in PROFILES:
+            self.profile = PROFILES[profile]
+        else:
+            raise KeyError(f"unknown profile {profile!r}; valid: {sorted(PROFILES)}")
+        self.rms_list = list(rms) if rms is not None else rms_names()
+        self.seed = seed
+        self.sa_iterations = (
+            sa_iterations if sa_iterations is not None else self.profile.sa_iterations
+        )
+        self._case_cache: Dict[int, Dict[str, RMSSeries]] = {}
+
+    # ------------------------------------------------------------------
+    def run_case(self, case_id: int) -> Dict[str, RMSSeries]:
+        """Measure every requested RMS on one case (memoized)."""
+        if case_id in self._case_cache:
+            return self._case_cache[case_id]
+        case = get_case(case_id)
+        out: Dict[str, RMSSeries] = {}
+        for rms in self.rms_list:
+            out[rms] = self._measure(case, rms)
+        self._case_cache[case_id] = out
+        return out
+
+    def _measure(self, case: ExperimentCase, rms: str) -> RMSSeries:
+        memo: Dict = {}
+        simulate = make_simulate(case, rms, self.profile, seed=self.seed, memo=memo)
+        procedure = ScalabilityProcedure(
+            simulate,
+            case.enabler_space(),
+            path=case.path(self.profile),
+            schedule=AnnealingSchedule(iterations=self.sa_iterations, t0=0.5),
+            seed=self.seed,
+        )
+        result = procedure.run(name=rms)
+        # Re-read the tuned points' full metrics from the shared memo
+        # (cache hits: no extra simulation).
+        metrics = [simulate(p.scale, p.settings) for p in result.points]
+        return RMSSeries(rms=rms, result=result, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    def figure(self, number: int) -> FigureData:
+        """Regenerate paper Figure ``number`` (2–7)."""
+        if number == 2:
+            return FigureData(
+                "Figure 2",
+                "Variation in G(k) on scaling the RP by number of nodes",
+                "scale factor k (network size)",
+                "G(k) [time units]",
+                self.run_case(1),
+            )
+        if number == 3:
+            return FigureData(
+                "Figure 3",
+                "Variation in G(k) on scaling the RP by service rate (fixed network)",
+                "scale factor k (service rate)",
+                "G(k) [time units]",
+                self.run_case(2),
+            )
+        if number == 4:
+            return FigureData(
+                "Figure 4",
+                "Variation of G(k) on scaling the RMS by number of estimators",
+                "scale factor k (estimators)",
+                "G(k) [time units]",
+                self.run_case(3),
+            )
+        if number == 5:
+            return FigureData(
+                "Figure 5",
+                "Variation in G(k) on scaling the RMS by L_p",
+                "scale factor k (L_p)",
+                "G(k) [time units]",
+                self.run_case(4),
+            )
+        if number == 6:
+            return FigureData(
+                "Figure 6",
+                "Throughput obtained by scaling the RMS by number of estimators",
+                "scale factor k (estimators)",
+                "throughput [successful jobs / time unit]",
+                self.run_case(3),
+            )
+        if number == 7:
+            return FigureData(
+                "Figure 7",
+                "Average response times obtained by scaling the RMS by estimators",
+                "scale factor k (estimators)",
+                "mean response time [time units]",
+                self.run_case(3),
+            )
+        raise ValueError(f"the paper has figures 2-7; got {number}")
+
+
+# Convenience single-figure entry points -------------------------------------
+
+def _one(number: int, profile: str = "ci", **kw) -> FigureData:
+    return Study(profile=profile, **kw).figure(number)
+
+
+def figure2(profile: str = "ci", **kw) -> FigureData:
+    """Regenerate paper Figure 2 (Case 1: scale RP by network size)."""
+    return _one(2, profile, **kw)
+
+
+def figure3(profile: str = "ci", **kw) -> FigureData:
+    """Regenerate paper Figure 3 (Case 2: scale RP by service rate)."""
+    return _one(3, profile, **kw)
+
+
+def figure4(profile: str = "ci", **kw) -> FigureData:
+    """Regenerate paper Figure 4 (Case 3: scale RMS by estimators)."""
+    return _one(4, profile, **kw)
+
+
+def figure5(profile: str = "ci", **kw) -> FigureData:
+    """Regenerate paper Figure 5 (Case 4: scale RMS by L_p)."""
+    return _one(5, profile, **kw)
+
+
+def figure6(profile: str = "ci", **kw) -> FigureData:
+    """Regenerate paper Figure 6 (throughput under estimator scaling)."""
+    return _one(6, profile, **kw)
+
+
+def figure7(profile: str = "ci", **kw) -> FigureData:
+    """Regenerate paper Figure 7 (response times under estimator scaling)."""
+    return _one(7, profile, **kw)

@@ -1,0 +1,373 @@
+"""Build a complete managed system and run one simulation.
+
+:func:`build_system` wires every substrate together for a given
+:class:`~repro.experiments.config.SimulationConfig`:
+
+topology -> grid map -> router/network -> resources -> estimators ->
+schedulers (of the configured RMS design) -> middleware (if the design
+uses one) -> status reporting -> workload injection.
+
+:func:`run_simulation` executes it and aggregates a :class:`RunMetrics`
+— the Observation the core tuner consumes plus everything the figures
+need (throughput, response times, message counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.efficiency import EfficiencyRecord
+from ..core.ledger import Category, CostLedger
+from ..grid.estimator import Estimator
+from ..grid.jobs import Job, JobState
+from ..grid.middleware import Middleware
+from ..grid.resource import Resource
+from ..grid.status import StatusTable
+from ..network.messages import Message, MessageKind
+from ..network.routing import Router
+from ..network.transport import Network
+from ..rms.registry import get_rms
+from ..sim.kernel import Simulator
+from ..sim.monitor import Tally
+from ..sim.rng import RngHub
+from ..topology.generator import TopologyParams, generate_topology
+from ..topology.grid_map import map_grid
+from ..workload.dags import DagWorkloadGenerator
+from ..workload.generator import WorkloadGenerator
+from .config import SimulationConfig
+
+__all__ = [
+    "DependencyCoordinator",
+    "RunMetrics",
+    "System",
+    "build_system",
+    "run_simulation",
+]
+
+
+class DependencyCoordinator:
+    """Releases dependency-constrained jobs (paper future work (b)).
+
+    A job with precedence constraints is held until **all** of its
+    parents complete *and* its own arrival instant has passed; it is
+    then submitted to its cluster's scheduler.  Every cross-cluster
+    parent→child edge charges the RP's data-management overhead (data
+    staged from where the parent ran to where the child is submitted),
+    which is what makes ``H(k)`` a meaningful scalability axis for DAG
+    workloads (paper future work (c)).
+    """
+
+    def __init__(self, sim, dag, jobs_by_id, schedulers, ledger, costs) -> None:
+        self.sim = sim
+        self.dag = dag
+        self._jobs_by_id = jobs_by_id
+        self._schedulers = schedulers
+        self._ledger = ledger
+        self._costs = costs
+        self._pending = {child: len(ps) for child, ps in dag.parents.items()}
+        self._children = dag.children()
+        self._arrived = set()
+        #: cross-cluster staging edges charged (diagnostics)
+        self.staged_edges = 0
+
+    def job_arrived(self, job: Job) -> None:
+        """The job's own arrival instant passed; release if unblocked."""
+        self._arrived.add(job.job_id)
+        if self._pending.get(job.job_id, 0) == 0:
+            self._release(job)
+
+    def on_complete(self, job: Job) -> None:
+        """A job finished: unblock its children."""
+        for child_id in self._children.get(job.job_id, ()):
+            left = self._pending.get(child_id, 0)
+            if left <= 0:
+                continue
+            self._pending[child_id] = left - 1
+            if self._pending[child_id] == 0 and child_id in self._arrived:
+                self._release(self._jobs_by_id[child_id])
+
+    def _release(self, job: Job) -> None:
+        cluster = job.spec.submit_cluster % len(self._schedulers)
+        # Stage data from each parent's execution site.
+        for parent_id in self.dag.parents.get(job.job_id, ()):
+            parent = self._jobs_by_id[parent_id]
+            if parent.executed_cluster is not None and parent.executed_cluster != cluster:
+                self.staged_edges += 1
+                self._ledger.charge(Category.DATA_MGMT, self._costs.data_mgmt)
+        scheduler = self._schedulers[cluster]
+        scheduler.deliver(Message(MessageKind.JOB_SUBMIT, payload={"job": job}))
+
+
+@dataclass
+class System:
+    """A fully wired managed system, ready to run."""
+
+    config: SimulationConfig
+    sim: Simulator
+    ledger: CostLedger
+    network: Network
+    schedulers: List
+    resources: List[Resource]
+    estimators: List[Estimator]
+    middleware: Optional[Middleware]
+    jobs: List[Job]
+    #: present only for dependency-constrained workloads
+    coordinator: Optional[DependencyCoordinator] = None
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregated outcome of one simulation run.
+
+    Satisfies the core tuner's ``Observation`` protocol via ``record``
+    and ``success_rate``.
+    """
+
+    record: EfficiencyRecord
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_successful: int
+    mean_response: float
+    throughput: float
+    messages_sent: int
+    scheduler_busy: float
+    horizon: float
+
+    @property
+    def success_rate(self) -> float:
+        """Successful jobs over submitted jobs (unfinished jobs count
+        against the RMS — they missed their window entirely)."""
+        if self.jobs_submitted == 0:
+            return 1.0
+        return self.jobs_successful / self.jobs_submitted
+
+    @property
+    def efficiency(self) -> float:
+        """``E = F/(F+G+H)`` of the run."""
+        return self.record.efficiency
+
+
+def build_system(config: SimulationConfig) -> System:
+    """Construct the managed system described by ``config``."""
+    info = get_rms(config.rms)
+    hub = RngHub(config.seed)
+    sim = Simulator()
+    ledger = CostLedger()
+
+    n_sched = 1 if info.centralized else config.n_schedulers
+    n_clusters = n_sched
+    n_est = config.n_estimators if config.n_estimators is not None else n_sched
+
+    # --- topology + placement -----------------------------------------
+    n_nodes = config.n_resources + n_sched
+    topo = generate_topology(
+        TopologyParams(n_nodes=max(4, n_nodes)), hub.stream("topology")
+    )
+    gm = map_grid(
+        topo,
+        n_schedulers=n_sched,
+        n_resources=config.n_resources,
+        n_estimators=n_est,
+    )
+    router = Router(topo)
+    network = Network(
+        sim,
+        router,
+        delay_scale=config.link_delay_scale,
+        loss_probability=config.loss_probability,
+        rng=hub.stream("loss") if config.loss_probability > 0 else None,
+    )
+
+    # --- resources -------------------------------------------------------
+    resources: List[Resource] = []
+    for r in range(config.n_resources):
+        res = Resource(
+            sim,
+            f"res{r}",
+            node=gm.resource_nodes[r],
+            resource_id=r,
+            cluster_id=gm.cluster_of_resource[r],
+            service_rate=config.service_rate,
+            ledger=ledger,
+            costs=config.costs,
+        )
+        res.network = network
+        resources.append(res)
+
+    # --- schedulers -------------------------------------------------------
+    schedulers = []
+    for s in range(n_sched):
+        sched = info.scheduler_cls(
+            sim,
+            f"sched{s}",
+            node=gm.scheduler_nodes[s],
+            scheduler_id=s,
+            ledger=ledger,
+            costs=config.costs,
+        )
+        sched.network = network
+        sched.rng = hub.stream(f"sched{s}")
+        sched.l_p = config.l_p
+        sched.t_l = config.common.t_l
+        if hasattr(sched, "volunteer_interval"):
+            sched.volunteer_interval = config.volunteer_interval
+        schedulers.append(sched)
+
+    for s, sched in enumerate(schedulers):
+        mine = gm.resources_of_cluster[s]
+        sched.resources = {r: resources[r] for r in mine}
+        sched.table = StatusTable(mine)
+        for r in mine:
+            resources[r].scheduler = sched
+
+    # Neighborhood sets: the nearest `neighborhood_size` peers by
+    # transit latency between scheduler sites.
+    for sched in schedulers:
+        others = [p for p in schedulers if p is not sched]
+        others.sort(key=lambda p: router.transit_delay(sched.node, p.node, 1.0))
+        sched.peers = others[: config.neighborhood_size]
+
+    # --- estimators -------------------------------------------------------
+    estimators: List[Estimator] = []
+    for e in range(n_est):
+        est = Estimator(
+            sim,
+            f"est{e}",
+            node=gm.estimator_nodes[e],
+            estimator_id=e,
+            ledger=ledger,
+            costs=config.costs,
+            batch_window=config.effective_batch_window,
+        )
+        est.network = network
+        est.schedulers = {s: schedulers[s] for s in gm.schedulers_of_estimator.get(e, [])}
+        estimators.append(est)
+    for r, res in enumerate(resources):
+        res.estimator = estimators[gm.estimator_of_resource[r]]
+
+    # --- middleware -------------------------------------------------------
+    middleware = None
+    if info.uses_middleware:
+        hub_node = max(range(topo.n_nodes), key=topo.degree)
+        middleware = Middleware(sim, "middleware", hub_node, ledger, config.costs)
+        middleware.network = network
+        for sched in schedulers:
+            sched.middleware = middleware
+
+    # --- periodic machinery -------------------------------------------------
+    phase_rng = hub.stream("phases")
+    for res in resources:
+        res.start_reporting(
+            config.update_interval, phase=float(phase_rng.random() * config.update_interval)
+        )
+    for sched in schedulers:
+        if hasattr(sched, "start_volunteering"):
+            sched.start_volunteering(
+                phase=float(phase_rng.random() * config.volunteer_interval)
+            )
+
+    # --- workload -------------------------------------------------------------
+    generator = WorkloadGenerator(
+        rate=config.workload_rate,
+        n_clusters=n_clusters,
+        t_cpu=config.common.t_cpu,
+        benefit_lo=config.common.benefit_lo,
+        benefit_hi=config.common.benefit_hi,
+    )
+    coordinator = None
+    if config.dependency_prob > 0.0:
+        dag_gen = DagWorkloadGenerator(
+            generator,
+            dependency_prob=config.dependency_prob,
+            max_parents=config.max_parents,
+            window=config.dependency_window,
+        )
+        dag = dag_gen.generate(config.horizon, hub.stream("workload"))
+        jobs = [Job(spec) for spec in dag.jobs]
+        coordinator = DependencyCoordinator(
+            sim,
+            dag,
+            {j.job_id: j for j in jobs},
+            schedulers,
+            ledger,
+            config.costs,
+        )
+        for res in resources:
+            res.completion_listener = coordinator.on_complete
+        for job in jobs:
+            sim.schedule_at(job.spec.arrival_time, coordinator.job_arrived, job)
+    else:
+        specs = generator.generate(config.horizon, hub.stream("workload"))
+        jobs = [Job(spec) for spec in specs]
+        for job in jobs:
+            sched = schedulers[job.spec.submit_cluster % n_sched]
+            sim.schedule_at(
+                job.spec.arrival_time,
+                sched.deliver,
+                Message(MessageKind.JOB_SUBMIT, payload={"job": job}),
+            )
+
+    return System(
+        config=config,
+        sim=sim,
+        ledger=ledger,
+        network=network,
+        schedulers=schedulers,
+        resources=resources,
+        estimators=estimators,
+        middleware=middleware,
+        jobs=jobs,
+        coordinator=coordinator,
+    )
+
+
+def run_simulation(config: SimulationConfig) -> RunMetrics:
+    """Build, run, and summarize one simulation.
+
+    The arrival window is ``[0, horizon)``; the run then continues (in
+    bounded steps) until every submitted job completed or the drain
+    allowance is exhausted, so completions near the horizon are
+    credited rather than truncated.
+    """
+    system = build_system(config)
+    sim = system.sim
+    sim.run(until=config.horizon)
+
+    deadline = config.horizon + config.drain
+    step = max(200.0, config.horizon / 10.0)
+    while sim.now < deadline and any(
+        j.state != JobState.COMPLETED for j in system.jobs
+    ):
+        sim.run(until=min(deadline, sim.now + step))
+
+    return summarize(system)
+
+
+def summarize(system: System) -> RunMetrics:
+    """Aggregate a finished (or truncated) run into :class:`RunMetrics`."""
+    jobs = system.jobs
+    response = Tally("response")
+    successful = 0
+    completed = 0
+    for j in jobs:
+        if j.state == JobState.COMPLETED:
+            completed += 1
+            response.record(j.response_time)
+            if j.successful:
+                successful += 1
+    horizon = system.config.horizon
+    busy = sum(s.busy_time for s in system.schedulers)
+    return RunMetrics(
+        record=EfficiencyRecord.from_ledger(system.ledger),
+        jobs_submitted=len(jobs),
+        jobs_completed=completed,
+        jobs_successful=successful,
+        mean_response=response.mean,
+        throughput=successful / horizon,
+        messages_sent=system.network.messages_sent,
+        scheduler_busy=busy,
+        horizon=horizon,
+    )

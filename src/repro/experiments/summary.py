@@ -1,0 +1,86 @@
+"""Cross-case study summary: the paper's concluding analysis as code.
+
+The paper's conclusion reads three things off its framework: "(a)
+[whether] a candidate scaling variable is indeed a feasible scaling
+variable, (b) the relative scalability of the different schemes along a
+given scaling strategy and (c) ... the scaling path ... over which the
+system functions profitably."  :func:`summarize_study` computes exactly
+those from measured :class:`~repro.experiments.reproduce.RMSSeries`:
+
+* per (case, RMS): mean normalized-overhead slope, the largest scale
+  with an unbroken feasible prefix, and the Eq.-(2) verdict;
+* per case: the scalability ranking (lower mean slope wins among
+  designs that stay feasible longest);
+* per scaling variable: whether *any* design scales along it (a
+  feasibility check of the variable itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from .reporting import format_table
+from .reproduce import RMSSeries
+
+__all__ = ["CaseSummary", "summarize_case", "study_report"]
+
+
+@dataclass(frozen=True)
+class CaseSummary:
+    """The conclusion-grade read-out of one case's measurement."""
+
+    case_label: str
+    #: RMS -> (mean g-slope, feasible-through scale, all Eq.2 ok)
+    rows: Dict[str, tuple]
+    #: designs ordered best-first (feasible-through desc, slope asc)
+    ranking: List[str]
+    #: paper conclusion (a): is the scaling variable feasible at all?
+    variable_feasible: bool
+
+
+def summarize_case(case_label: str, series: Mapping[str, RMSSeries]) -> CaseSummary:
+    """Summarize one case's per-RMS measurements."""
+    rows: Dict[str, tuple] = {}
+    for name, s in series.items():
+        rows[name] = (
+            s.result.slopes.mean_g_slope,
+            s.result.feasible_through,
+            all(s.result.eq2_ok),
+        )
+    ranking = sorted(rows, key=lambda n: (-rows[n][1], rows[n][0]))
+    top_scale = max((s.scales[-1] for s in series.values()), default=0.0)
+    variable_feasible = any(ft >= top_scale for _, ft, _ in rows.values())
+    return CaseSummary(
+        case_label=case_label,
+        rows=rows,
+        ranking=ranking,
+        variable_feasible=variable_feasible,
+    )
+
+
+def study_report(summaries: List[CaseSummary]) -> str:
+    """Render the cross-case conclusion tables as text."""
+    blocks = []
+    for cs in summaries:
+        table_rows = [
+            [name, slope, ft, eq2]
+            for name, (slope, ft, eq2) in sorted(
+                cs.rows.items(), key=lambda kv: cs.ranking.index(kv[0])
+            )
+        ]
+        table = format_table(
+            ["RMS", "mean g-slope", "feasible thru k", "Eq.(2) holds"],
+            table_rows,
+            precision=2,
+        )
+        verdict = (
+            "feasible scaling variable"
+            if cs.variable_feasible
+            else "NO design scales along this variable to the top of the path"
+        )
+        blocks.append(
+            f"{cs.case_label} — {verdict}\n{table}\n"
+            f"ranking (best first): {' > '.join(cs.ranking)}\n"
+        )
+    return "\n".join(blocks)

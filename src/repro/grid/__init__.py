@@ -1,0 +1,21 @@
+"""The managed distributed system substrate: resources, clusters,
+schedulers, estimators, status plane, and the Grid middleware."""
+
+from .costs import CostModel
+from .estimator import Estimator
+from .jobs import Job, JobState
+from .middleware import Middleware
+from .resource import Resource
+from .scheduler import SchedulerBase
+from .status import StatusTable
+
+__all__ = [
+    "CostModel",
+    "Estimator",
+    "Job",
+    "JobState",
+    "Middleware",
+    "Resource",
+    "SchedulerBase",
+    "StatusTable",
+]

@@ -1,0 +1,130 @@
+"""Status estimators: the RMS nodes that aggregate resource state.
+
+Per the paper's Figure-4 caption: "Estimators are the RMS nodes which
+receive the status updates from RP resources and distribute to the
+scheduling decision makers."  An :class:`Estimator` is a finite-rate
+message server that accepts ``STATUS_UPDATE`` messages from the
+resources it covers and **distributes** the state to the schedulers
+owning those resources' clusters.
+
+Distribution is *batched*: an estimator accumulates the latest load per
+resource and, every ``batch_window`` time units, emits one aggregated
+``STATUS_FORWARD`` per covered cluster.  Batching is what real
+monitoring planes do, and it is the load-bearing mechanism of the
+paper's Case 3: with one estimator per cluster a scheduler pays for one
+forward per window, but when the estimator plane is scaled up each
+cluster's resources are spread over several estimators, so the
+scheduler receives (and pays for) several forwards per window — and
+trigger-driven RMSs (AUCTION's invitations, RESERVE's advertisements,
+Sy-I's volunteering reactions) re-evaluate their push triggers on every
+one of them.  That is how "scaling the RMS by the number of status
+estimators" inflates ``G(k)`` superlinearly for the hybrid designs
+(paper Figs. 4, 6, 7).
+
+Setting ``batch_window = 0`` disables batching (immediate per-update
+forwarding) — used by unit tests and the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.ledger import Category, CostLedger
+from ..network.messages import Message, MessageKind
+from ..sim.entity import MessageServer
+from ..sim.kernel import Simulator
+from .costs import CostModel
+
+__all__ = ["Estimator"]
+
+
+class Estimator(MessageServer):
+    """A status-estimation node of the RMS.
+
+    Parameters
+    ----------
+    sim, name, node:
+        Standard entity wiring.
+    estimator_id:
+        Dense id within the RMS's estimator set.
+    ledger, costs:
+        Cost accounting (estimator busy time rolls into ``G``).
+    batch_window:
+        Aggregation period; ``0`` forwards every update immediately.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        node: int,
+        estimator_id: int,
+        ledger: CostLedger,
+        costs: CostModel,
+        batch_window: float = 0.0,
+    ) -> None:
+        super().__init__(sim, name, node, ledger=ledger)
+        if batch_window < 0.0:
+            raise ValueError("batch_window must be nonnegative")
+        self.estimator_id = estimator_id
+        self.costs = costs
+        self.batch_window = batch_window
+        #: scheduler id -> scheduler entity, wired by the builder
+        self.schedulers = {}
+        #: forwards emitted (diagnostics)
+        self.forwarded = 0
+        # pending aggregated state: cluster -> {resource_id: load}
+        self._pending: Dict[int, Dict[int, float]] = {}
+        self._flush_event = None
+        # wired by the builder
+        self.network = None
+
+    def service_time(self, message: Message) -> float:
+        """Processing cost of one status update."""
+        return self.costs.estimator_proc
+
+    def cost_category(self, message: Message) -> str:
+        """Estimator busy time is RMS overhead."""
+        return Category.ESTIMATOR
+
+    def handle(self, message: Message) -> None:
+        """Absorb the update; forward now (unbatched) or at the flush."""
+        if message.kind != MessageKind.STATUS_UPDATE:
+            raise ValueError(f"estimator {self.name} got unexpected {message.kind}")
+        cluster_id = message.payload["cluster_id"]
+        if cluster_id not in self.schedulers:
+            return  # estimator covers no resources of that cluster
+        if self.batch_window <= 0.0:
+            self._forward(
+                cluster_id,
+                {message.payload["resource_id"]: message.payload["load"]},
+            )
+            return
+        bucket = self._pending.setdefault(cluster_id, {})
+        bucket[message.payload["resource_id"]] = message.payload["load"]
+        if self._flush_event is None:
+            self._flush_event = self.sim.schedule(self.batch_window, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_event = None
+        pending, self._pending = self._pending, {}
+        for cluster_id, entries in pending.items():
+            self._forward(cluster_id, entries)
+
+    def _forward(self, cluster_id: int, entries: Dict[int, float]) -> None:
+        scheduler = self.schedulers.get(cluster_id)
+        if scheduler is None:  # pragma: no cover - guarded in handle()
+            return
+        fwd = Message(
+            MessageKind.STATUS_FORWARD,
+            payload={"cluster_id": cluster_id, "entries": dict(entries)},
+            size=max(1.0, float(len(entries))),
+        )
+        self.forwarded += 1
+        if scheduler.node == self.node:
+            # Co-located (base configuration): local handoff, no network.
+            fwd.sender = self
+            fwd.created_at = self.sim.now
+            scheduler.deliver(fwd)
+        else:
+            self.network.send_from(fwd, self, scheduler)

@@ -1,0 +1,136 @@
+"""Runtime job objects and their lifecycle.
+
+A :class:`Job` wraps an immutable :class:`~repro.workload.generator.JobSpec`
+with the mutable state the managed system attaches to it: where it is,
+when it started service, how many times it was transferred between
+clusters, and whether it ultimately met its user-benefit bound.
+
+Lifecycle::
+
+    SUBMITTED --> WAITING (held in a scheduler wait queue; R-I/Sy-I)
+              \\-> PLACED  (dispatched toward a resource)
+                   -> RUNNING -> COMPLETED
+
+A completed job is **successful** iff its response time (completion -
+arrival) is within ``U_b = benefit_factor * execution_time`` (Table 1).
+Only successful jobs contribute useful work ``F``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..workload.generator import JobClass, JobSpec
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState:
+    """Lifecycle states of a job inside the managed system."""
+
+    SUBMITTED = "submitted"
+    WAITING = "waiting"
+    PLACED = "placed"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+    ORDER = (SUBMITTED, WAITING, PLACED, RUNNING, COMPLETED)
+
+
+class Job:
+    """Mutable runtime state of one job.
+
+    Attributes
+    ----------
+    spec:
+        The immutable workload description.
+    state:
+        Current :class:`JobState`.
+    executed_cluster:
+        Cluster where the job (last) executed; ``None`` until placed.
+    start_service / completion_time:
+        Service start and completion instants at the resource.
+    transfers:
+        Number of inter-cluster moves the RMS performed on the job.
+    """
+
+    __slots__ = (
+        "spec",
+        "state",
+        "executed_cluster",
+        "start_service",
+        "completion_time",
+        "transfers",
+    )
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+        self.state = JobState.SUBMITTED
+        self.executed_cluster: Optional[int] = None
+        self.start_service: Optional[float] = None
+        self.completion_time: Optional[float] = None
+        self.transfers = 0
+
+    # Convenience passthroughs ------------------------------------------
+    @property
+    def job_id(self) -> int:
+        """Workload job id."""
+        return self.spec.job_id
+
+    @property
+    def is_remote_class(self) -> bool:
+        """Whether the job is REMOTE-eligible (runtime > T_CPU)."""
+        return self.spec.job_class == JobClass.REMOTE
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion minus arrival; ``None`` until completed."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.spec.arrival_time
+
+    @property
+    def successful(self) -> Optional[bool]:
+        """Whether the job met its benefit bound; ``None`` until completed."""
+        rt = self.response_time
+        if rt is None:
+            return None
+        return rt <= self.spec.benefit_bound
+
+    # State transitions ---------------------------------------------------
+    def mark_waiting(self) -> None:
+        """Scheduler parked the job in its wait queue."""
+        self._require(JobState.SUBMITTED, JobState.WAITING)
+        self.state = JobState.WAITING
+
+    def mark_placed(self, cluster: int) -> None:
+        """Job sent toward a resource in ``cluster`` (counts transfers)."""
+        if self.state not in (JobState.SUBMITTED, JobState.WAITING):
+            raise ValueError(f"cannot place job in state {self.state}")
+        if self.executed_cluster is not None and self.executed_cluster != cluster:
+            self.transfers += 1
+        elif self.executed_cluster is None and cluster != self.spec.submit_cluster:
+            self.transfers += 1
+        self.executed_cluster = cluster
+        self.state = JobState.PLACED
+
+    def mark_running(self, now: float) -> None:
+        """Resource began serving the job."""
+        self._require(JobState.PLACED, JobState.RUNNING)
+        self.start_service = now
+        self.state = JobState.RUNNING
+
+    def mark_completed(self, now: float) -> None:
+        """Resource finished the job."""
+        self._require(JobState.RUNNING, JobState.COMPLETED)
+        self.completion_time = now
+        self.state = JobState.COMPLETED
+
+    def _require(self, expected: str, target: str) -> None:
+        if self.state != expected:
+            raise ValueError(
+                f"job {self.job_id}: illegal transition {self.state} -> {target}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job(#{self.job_id} {self.spec.job_class} {self.state})"

@@ -1,0 +1,84 @@
+"""The Grid middleware queue used by the superscheduler RMSs.
+
+For S-I, R-I, and Sy-I the paper models inter-scheduler communication
+through a Grid middleware: "a simple queue with infinite capacity and
+finite but small service time".  :class:`Middleware` implements exactly
+that: a single FIFO message server; every relayed message occupies it
+for ``costs.middleware_service`` time units before being forwarded to
+its true recipient over the network.
+
+Because the middleware is a *single shared* server, it is a potential
+hot spot: superscheduler protocols that multiply control traffic queue
+up behind it, adding latency to their own scheduling decisions — one of
+the mechanisms behind Sy-I's poor large-scale behaviour in the paper's
+Figures 2 and 4.
+"""
+
+from __future__ import annotations
+
+from ..core.ledger import Category, CostLedger
+from ..network.messages import Message, MessageKind
+from ..sim.entity import Entity, MessageServer
+from ..sim.kernel import Simulator
+from .costs import CostModel
+
+__all__ = ["Middleware"]
+
+
+class Middleware(MessageServer):
+    """Shared store-and-forward relay for superscheduler traffic.
+
+    Parameters
+    ----------
+    sim, name, node:
+        Standard entity wiring (placed at a well-connected router).
+    ledger, costs:
+        Cost accounting; relay busy time rolls into ``G`` under
+        ``g.middleware``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        node: int,
+        ledger: CostLedger,
+        costs: CostModel,
+    ) -> None:
+        super().__init__(sim, name, node, ledger=ledger)
+        self.costs = costs
+        #: relayed message count (diagnostics)
+        self.relayed = 0
+        # wired by the builder
+        self.network = None
+
+    def service_time(self, message: Message) -> float:
+        """Fixed, small relay service time."""
+        return self.costs.middleware_service
+
+    def cost_category(self, message: Message) -> str:
+        """Middleware busy time is RMS overhead."""
+        return Category.MIDDLEWARE
+
+    def relay(self, inner: Message, sender: Entity, recipient: Entity) -> None:
+        """Send ``inner`` from ``sender`` to ``recipient`` via this relay.
+
+        The message first travels sender → middleware, waits for relay
+        service, then travels middleware → recipient.
+        """
+        wrapper = Message(
+            MessageKind.MIDDLEWARE_RELAY,
+            payload={"inner": inner, "recipient": recipient},
+            size=inner.size,
+        )
+        inner.sender = sender
+        self.network.send_from(wrapper, sender, self)
+
+    def handle(self, message: Message) -> None:
+        """Forward the wrapped message to its true recipient."""
+        if message.kind != MessageKind.MIDDLEWARE_RELAY:
+            raise ValueError(f"middleware got unexpected {message.kind}")
+        inner: Message = message.payload["inner"]
+        recipient: Entity = message.payload["recipient"]
+        self.relayed += 1
+        self.network.send(inner, self.node, recipient)

@@ -1,0 +1,91 @@
+"""Status tables: the manager's (stale) view of the managee.
+
+Schedulers never inspect resources directly — they act on the last
+status update that reached them, which is the whole reason state
+estimation appears in ``G(k)``.  :class:`StatusTable` stores, per
+resource, the last known load and its timestamp, and supports the
+**optimistic increment** every dispatching scheduler performs: when it
+sends a job to a resource it bumps its own view immediately rather than
+waiting a full update interval (otherwise every scheduler would dump all
+arrivals onto the same momentarily-least-loaded resource).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["StatusTable"]
+
+
+class StatusTable:
+    """Last-known loads of a set of resources.
+
+    Parameters
+    ----------
+    resource_ids:
+        The resources this table tracks (a cluster for distributed
+        schedulers, the whole pool for CENTRAL).
+    """
+
+    __slots__ = ("_load", "_stamp")
+
+    def __init__(self, resource_ids: Iterable[int]) -> None:
+        self._load: Dict[int, float] = {r: 0.0 for r in resource_ids}
+        self._stamp: Dict[int, float] = {r: -math.inf for r in self._load}
+
+    def __contains__(self, resource_id: int) -> bool:
+        return resource_id in self._load
+
+    def __len__(self) -> int:
+        return len(self._load)
+
+    def record(self, resource_id: int, load: float, time: float) -> None:
+        """Store an observed load for ``resource_id`` at ``time``.
+
+        Out-of-order updates (older than the stored stamp) are ignored —
+        the network can reorder messages sent over different paths.
+        """
+        if resource_id not in self._load:
+            raise KeyError(f"resource {resource_id} not tracked by this table")
+        if time >= self._stamp[resource_id]:
+            self._load[resource_id] = load
+            self._stamp[resource_id] = time
+
+    def bump(self, resource_id: int, by: float = 1.0) -> None:
+        """Optimistically adjust a tracked load (local dispatch bookkeeping)."""
+        if resource_id not in self._load:
+            raise KeyError(f"resource {resource_id} not tracked by this table")
+        self._load[resource_id] = max(0.0, self._load[resource_id] + by)
+
+    def load_of(self, resource_id: int) -> float:
+        """Last known load of one resource."""
+        return self._load[resource_id]
+
+    def least_loaded(self) -> Tuple[Optional[int], float]:
+        """Resource with the smallest known load (ties -> lowest id).
+
+        Returns ``(None, inf)`` for an empty table.
+        """
+        best_id: Optional[int] = None
+        best = math.inf
+        for r in sorted(self._load):
+            v = self._load[r]
+            if v < best:
+                best = v
+                best_id = r
+        return best_id, best
+
+    def average_load(self) -> float:
+        """Mean known load over tracked resources (``nan`` if empty)."""
+        if not self._load:
+            return math.nan
+        return sum(self._load.values()) / len(self._load)
+
+    def min_load(self) -> float:
+        """Smallest known load (``inf`` if empty)."""
+        return min(self._load.values(), default=math.inf)
+
+    def loads(self) -> Dict[int, float]:
+        """Copy of the full view (diagnostics/tests)."""
+        return dict(self._load)

@@ -1,0 +1,128 @@
+"""Message taxonomy for the Grid control and data planes.
+
+Every interaction in the managed system is a :class:`Message` routed by
+:class:`~repro.network.transport.Network`.  Message kinds fall into three
+groups:
+
+* **status plane** — resource load reports flowing to estimators and on
+  to schedulers (the "state estimation" the paper charges to ``G(k)``);
+* **scheduling plane** — the per-RMS protocol messages (polls, bids,
+  reservations, advertisements, middleware-relayed queries);
+* **job plane** — job submissions, transfers between clusters, dispatch
+  to a resource, and completion notifications.
+
+Each kind carries a default payload size (in abstract payload units)
+used by the transport to price transmission time on finite-bandwidth
+links; job transfers are an order of magnitude heavier than control
+messages, matching the usual Grid assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["MessageKind", "Message", "DEFAULT_SIZES"]
+
+
+class MessageKind:
+    """String constants naming every message type in the system."""
+
+    # status plane
+    STATUS_UPDATE = "status_update"        # resource -> estimator
+    STATUS_FORWARD = "status_forward"      # estimator -> scheduler
+
+    # scheduling plane (shared)
+    POLL_REQUEST = "poll_request"          # scheduler -> scheduler (LOWEST/S-I)
+    POLL_REPLY = "poll_reply"
+
+    # RESERVE protocol
+    RESERVE_ADVERT = "reserve_advert"      # lightly loaded cluster registers reservations
+    RESERVE_PROBE = "reserve_probe"        # overloaded cluster probes a reservation
+    RESERVE_REPLY = "reserve_reply"
+    RESERVE_CANCEL = "reserve_cancel"
+
+    # AUCTION protocol
+    AUCTION_INVITE = "auction_invite"      # idle cluster invites bids
+    AUCTION_BID = "auction_bid"            # overloaded cluster bids
+    AUCTION_AWARD = "auction_award"        # winner asked to transfer a job
+
+    # R-I / Sy-I protocol
+    VOLUNTEER = "volunteer"                # underutilized cluster advertises itself
+    DEMAND = "demand"                      # job demands sent to a volunteer
+    DEMAND_REPLY = "demand_reply"          # volunteer's ATT/RUS answer
+
+    # job plane
+    JOB_SUBMIT = "job_submit"              # workload source -> scheduler
+    JOB_TRANSFER = "job_transfer"          # scheduler -> scheduler (remote execution)
+    JOB_DISPATCH = "job_dispatch"          # scheduler -> resource
+    JOB_COMPLETE = "job_complete"          # resource -> scheduler
+
+    # middleware relay (S-I / R-I / Sy-I inter-scheduler traffic)
+    MIDDLEWARE_RELAY = "middleware_relay"
+
+
+#: Default payload sizes per message kind (payload units).  Control
+#: messages are light; job transfers move the job image/state.
+DEFAULT_SIZES: Dict[str, float] = {
+    MessageKind.STATUS_UPDATE: 1.0,
+    MessageKind.STATUS_FORWARD: 1.0,
+    MessageKind.POLL_REQUEST: 1.0,
+    MessageKind.POLL_REPLY: 2.0,
+    MessageKind.RESERVE_ADVERT: 1.0,
+    MessageKind.RESERVE_PROBE: 1.0,
+    MessageKind.RESERVE_REPLY: 1.0,
+    MessageKind.RESERVE_CANCEL: 1.0,
+    MessageKind.AUCTION_INVITE: 1.0,
+    MessageKind.AUCTION_BID: 1.0,
+    MessageKind.AUCTION_AWARD: 1.0,
+    MessageKind.VOLUNTEER: 1.0,
+    MessageKind.DEMAND: 2.0,
+    MessageKind.DEMAND_REPLY: 2.0,
+    MessageKind.JOB_SUBMIT: 4.0,
+    MessageKind.JOB_TRANSFER: 20.0,
+    MessageKind.JOB_DISPATCH: 4.0,
+    MessageKind.JOB_COMPLETE: 1.0,
+    MessageKind.MIDDLEWARE_RELAY: 1.0,
+}
+
+
+class Message:
+    """A routed unit of communication between two entities.
+
+    Attributes
+    ----------
+    kind:
+        One of the :class:`MessageKind` constants.
+    sender:
+        Originating entity (its ``node`` locates the source router); may
+        be ``None`` for external workload injection.
+    payload:
+        Kind-specific dictionary (job references, load figures, ...).
+    size:
+        Payload size in payload units (defaults to ``DEFAULT_SIZES``).
+    created_at:
+        Simulated send time, stamped by the transport.
+    """
+
+    __slots__ = ("kind", "sender", "payload", "size", "created_at")
+
+    def __init__(
+        self,
+        kind: str,
+        sender: Optional[Any] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        size: Optional[float] = None,
+    ) -> None:
+        self.kind = kind
+        self.sender = sender
+        self.payload = payload if payload is not None else {}
+        if size is None:
+            size = DEFAULT_SIZES.get(kind, 1.0)
+        if size <= 0.0:
+            raise ValueError("message size must be positive")
+        self.size = size
+        self.created_at: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        src = getattr(self.sender, "name", None)
+        return f"Message({self.kind} from {src}, size={self.size})"

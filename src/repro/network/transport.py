@@ -1,0 +1,137 @@
+"""Message transport: delivery of messages between entities.
+
+:class:`Network` glues the routing substrate to the event kernel: a call
+to :meth:`Network.send` prices the message over the latency-shortest
+path, optionally applies the **link-delay scaling enabler** (one of the
+paper's tuning knobs in Tables 2–5: provisioning faster or slower links
+for the control plane), and schedules ``recipient.deliver(message)``
+after the transit delay.
+
+Failure injection: a configurable ``loss_probability`` silently drops
+**control-plane** messages in flight (status updates, polls, bids,
+adverts).  The job plane — submission, dispatch, transfer, completion —
+is modeled as reliable transport (as in real grid middleware, where job
+control rides TCP with retries), so loss degrades scheduling quality
+without stranding jobs.  All seven RMS protocols must tolerate control
+loss without deadlocking (their timeouts/periodic behaviour re-drive
+progress); the integration tests exercise it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.entity import Entity
+from ..sim.kernel import Simulator
+from .messages import Message, MessageKind
+from .routing import Router
+
+__all__ = ["Network", "RELIABLE_KINDS"]
+
+#: job-plane message kinds carried over reliable transport (never
+#: subject to loss injection)
+RELIABLE_KINDS = frozenset(
+    {
+        MessageKind.JOB_SUBMIT,
+        MessageKind.JOB_DISPATCH,
+        MessageKind.JOB_TRANSFER,
+        MessageKind.JOB_COMPLETE,
+    }
+)
+
+
+def _effective_kind(message: Message) -> str:
+    """The kind that decides reliability — unwrapping middleware relays
+    so a relayed job transfer stays reliable."""
+    if message.kind == MessageKind.MIDDLEWARE_RELAY:
+        inner = message.payload.get("inner")
+        if inner is not None:
+            return inner.kind
+    return message.kind
+
+
+class Network:
+    """Delivers messages between entities over a routed topology.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    router:
+        Path oracle over the topology.
+    delay_scale:
+        Multiplier on every transit delay — the "network link delay"
+        scaling enabler of Tables 2–5.  ``1.0`` is the topology's native
+        speed; values below 1 model faster provisioned links.
+    loss_probability:
+        Probability a message is dropped in flight (failure injection;
+        ``0.0`` in all paper-reproduction experiments).
+    rng:
+        Randomness source for loss decisions (required if
+        ``loss_probability > 0``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        delay_scale: float = 1.0,
+        loss_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if delay_scale <= 0.0:
+            raise ValueError("delay_scale must be positive")
+        if not (0.0 <= loss_probability < 1.0):
+            raise ValueError("loss_probability must be in [0, 1)")
+        if loss_probability > 0.0 and rng is None:
+            raise ValueError("loss injection requires an rng")
+        self.sim = sim
+        self.router = router
+        self.delay_scale = delay_scale
+        self.loss_probability = loss_probability
+        self._rng = rng
+        #: total messages handed to the transport
+        self.messages_sent = 0
+        #: messages actually delivered (sent - dropped - in flight)
+        self.messages_delivered = 0
+        #: messages dropped by loss injection
+        self.messages_dropped = 0
+        #: total payload units accepted for transmission
+        self.payload_sent = 0.0
+
+    def send(self, message: Message, src_node: int, recipient: Entity) -> float:
+        """Send ``message`` from ``src_node`` to ``recipient``.
+
+        Returns
+        -------
+        float
+            The transit delay that was applied (even for dropped
+            messages, for symmetry in tests).
+        """
+        message.created_at = self.sim.now
+        self.messages_sent += 1
+        self.payload_sent += message.size
+        delay = self.delay_scale * self.router.transit_delay(
+            src_node, recipient.node, message.size
+        )
+        if (
+            self.loss_probability > 0.0
+            and _effective_kind(message) not in RELIABLE_KINDS
+            and self._rng.random() < self.loss_probability
+        ):
+            self.messages_dropped += 1
+            return delay
+        self.sim.schedule(delay, self._deliver, recipient, message)
+        return delay
+
+    def send_from(self, message: Message, sender: Entity, recipient: Entity) -> float:
+        """Convenience wrapper: send using ``sender``'s node, stamping the
+        sender on the message."""
+        message.sender = sender
+        return self.send(message, sender.node, recipient)
+
+    def _deliver(self, recipient: Entity, message: Message) -> None:
+        self.messages_delivered += 1
+        recipient.deliver(message)

@@ -1,0 +1,40 @@
+"""The seven RMS designs evaluated in the paper, reconstructed from
+its §3.3 descriptions (and the cited Zhou / Leland–Ott / Shan et al.
+algorithms)."""
+
+from .auction import AUCTION_INFO, AuctionScheduler
+from .base import PendingPoll, PollBook, RMSInfo, unpark_for_transfer
+from .central import CENTRAL_INFO, CentralScheduler
+from .lowest import LOWEST_INFO, LowestScheduler
+from .registry import ALL_RMS, RMS_BY_NAME, get_rms, rms_names
+from .reserve import RESERVE_INFO, ReserveScheduler
+from .ri import RI_INFO, ReceiverInitiatedScheduler
+from .si import SI_INFO, SenderInitiatedScheduler
+from .superscheduler import SuperScheduler
+from .syi import SYI_INFO, SymmetricScheduler
+
+__all__ = [
+    "ALL_RMS",
+    "AUCTION_INFO",
+    "AuctionScheduler",
+    "CENTRAL_INFO",
+    "CentralScheduler",
+    "LOWEST_INFO",
+    "LowestScheduler",
+    "PendingPoll",
+    "PollBook",
+    "RESERVE_INFO",
+    "ReserveScheduler",
+    "RI_INFO",
+    "RMSInfo",
+    "RMS_BY_NAME",
+    "ReceiverInitiatedScheduler",
+    "SI_INFO",
+    "SYI_INFO",
+    "SenderInitiatedScheduler",
+    "SuperScheduler",
+    "SymmetricScheduler",
+    "get_rms",
+    "rms_names",
+    "unpark_for_transfer",
+]

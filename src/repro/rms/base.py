@@ -1,0 +1,172 @@
+"""Shared RMS-policy machinery.
+
+Each of the paper's seven RMS designs is a
+:class:`~repro.grid.scheduler.SchedulerBase` subclass implementing its
+protocol in the ``on_*`` hooks, plus a bit of metadata
+(:class:`RMSInfo`) that tells the system builder how to wire it
+(centralized?, middleware?, periodic updates?).
+
+This module also provides :class:`PendingPoll`, the bookkeeping every
+polling protocol (LOWEST, S-I, Sy-I's fallback) shares: a per-job record
+of outstanding poll replies with a timeout, so a lost or slow reply can
+never strand a job.
+
+Job migration safety: :meth:`SchedulerBase.transfer_job` may be handed a
+*parked* (WAITING) job when a push protocol finds it a remote home; the
+job must leave the WAITING state immediately — before the transfer
+message is even in flight — or the park-timeout could double-place it.
+:func:`unpark_for_transfer` centralizes that transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..grid.jobs import Job, JobState
+from ..grid.scheduler import SchedulerBase
+
+__all__ = ["RMSInfo", "PendingPoll", "PollBook", "unpark_for_transfer"]
+
+
+@dataclass(frozen=True)
+class RMSInfo:
+    """Builder-facing metadata of one RMS design.
+
+    Attributes
+    ----------
+    name:
+        Canonical name as used in the paper (e.g. ``"LOWEST"``).
+    scheduler_cls:
+        The :class:`SchedulerBase` subclass implementing the protocol.
+    centralized:
+        ``True`` for CENTRAL: one scheduler manages the entire pool.
+    uses_middleware:
+        ``True`` for the superscheduler designs (S-I, R-I, Sy-I) whose
+        inter-scheduler traffic is relayed by the Grid middleware.
+    mechanism:
+        ``"pull"``, ``"push"``, ``"hybrid"``, or ``"central"`` — the
+        status-estimation mechanism classification used in the paper's
+        Figure-5 discussion.
+    uses_volunteering:
+        Whether the design runs a periodic volunteering/advertisement
+        loop (RESERVE, AUCTION triggers; R-I and Sy-I timers), and hence
+        responds to the "interval for resource volunteering" enabler.
+    """
+
+    name: str
+    scheduler_cls: type
+    centralized: bool = False
+    uses_middleware: bool = False
+    mechanism: str = "pull"
+    uses_volunteering: bool = False
+
+
+def unpark_for_transfer(job: Job) -> None:
+    """Take ``job`` out of the WAITING state prior to a remote transfer.
+
+    A parked job has a pending park-timeout that fires
+    ``schedule_local`` if the job is still WAITING; flipping the state
+    back to SUBMITTED *before* sending the transfer closes the race in
+    which the timeout and the transfer both place the job.
+    """
+    if job.state == JobState.WAITING:
+        job.state = JobState.SUBMITTED
+
+
+class PendingPoll:
+    """State of one in-flight poll fan-out for one job.
+
+    Attributes
+    ----------
+    job:
+        The job awaiting a placement decision.
+    expected:
+        Number of replies requested.
+    replies:
+        Collected ``(peer, payload)`` pairs.
+    closed:
+        Set once the decision was made (late replies are ignored).
+    """
+
+    __slots__ = ("job", "expected", "replies", "closed")
+
+    def __init__(self, job: Job, expected: int) -> None:
+        self.job = job
+        self.expected = expected
+        self.replies: List[Tuple[SchedulerBase, dict]] = []
+        self.closed = False
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested reply has arrived."""
+        return len(self.replies) >= self.expected
+
+
+class PollBook:
+    """Registry of pending polls keyed by job id, with timeouts.
+
+    Parameters
+    ----------
+    scheduler:
+        Owning scheduler (provides the simulator for timeouts).
+    timeout:
+        Time after which an incomplete poll is force-decided.
+    decide:
+        Callback ``decide(pending)`` invoked exactly once per poll —
+        either when all replies arrived or at timeout.
+    """
+
+    def __init__(
+        self,
+        scheduler: SchedulerBase,
+        timeout: float,
+        decide: Callable[[PendingPoll], None],
+    ) -> None:
+        if timeout <= 0.0:
+            raise ValueError("poll timeout must be positive")
+        self._scheduler = scheduler
+        self._timeout = timeout
+        self._decide = decide
+        self._pending: Dict[int, PendingPoll] = {}
+
+    def open(self, job: Job, expected: int) -> PendingPoll:
+        """Register a poll for ``job`` expecting ``expected`` replies.
+
+        With ``expected == 0`` the decision fires immediately (no peers
+        to ask)."""
+        pending = PendingPoll(job, expected)
+        self._pending[job.job_id] = pending
+        if expected == 0:
+            self._close(pending)
+        else:
+            self._scheduler.sim.schedule(self._timeout, self._on_timeout, job.job_id)
+        return pending
+
+    def record_reply(self, job_id: int, peer: SchedulerBase, payload: dict) -> None:
+        """Record one reply; closes the poll when the fan-in completes.
+
+        Replies for unknown/closed polls (timeouts already fired, or
+        duplicated messages) are dropped silently.
+        """
+        pending = self._pending.get(job_id)
+        if pending is None or pending.closed:
+            return
+        pending.replies.append((peer, payload))
+        if pending.complete:
+            self._close(pending)
+
+    def _on_timeout(self, job_id: int) -> None:
+        pending = self._pending.get(job_id)
+        if pending is not None and not pending.closed:
+            self._close(pending)
+
+    def _close(self, pending: PendingPoll) -> None:
+        pending.closed = True
+        self._pending.pop(pending.job.job_id, None)
+        self._decide(pending)
+
+    @property
+    def open_count(self) -> int:
+        """Number of polls still awaiting replies (diagnostics)."""
+        return len(self._pending)

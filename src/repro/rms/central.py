@@ -1,0 +1,43 @@
+"""CENTRAL: one scheduler decides for every resource in the system.
+
+Paper §3.3: "Here a centralized scheduler makes decisions for all the
+resources in the system.  The resources update the scheduler every tau
+seconds with their loading conditions.  If loading conditions at the
+resource did not change significantly from the previous update, an
+update might be suppressed."
+
+Mechanically everything CENTRAL needs already lives in
+:class:`~repro.grid.scheduler.SchedulerBase`: the builder hands the
+single scheduler the *entire* resource pool (so its status table — and
+therefore its per-decision scan cost — covers every resource), all jobs
+are "local", and the suppression-enabled periodic update plane is the
+resources' default reporting behaviour.  What makes CENTRAL interesting
+for the scalability study is emergent: a single finite-rate message
+server absorbing the whole system's updates and decisions saturates as
+either the pool (Case 1) or the workload (Case 2) grows.
+"""
+
+from __future__ import annotations
+
+from ..grid.jobs import Job
+from ..grid.scheduler import SchedulerBase
+from .base import RMSInfo
+
+__all__ = ["CentralScheduler", "CENTRAL_INFO"]
+
+
+class CentralScheduler(SchedulerBase):
+    """The centralized scheduler: every job placed by the global table."""
+
+    def on_remote_job(self, job: Job) -> None:
+        """REMOTE-class jobs are placed exactly like LOCAL ones — there
+        is no "remote" for a scheduler that owns the whole pool."""
+        self.schedule_local(job)
+
+
+CENTRAL_INFO = RMSInfo(
+    name="CENTRAL",
+    scheduler_cls=CentralScheduler,
+    centralized=True,
+    mechanism="central",
+)

@@ -1,0 +1,124 @@
+"""Additional baselines beyond the paper's seven: RANDOM and THRESHOLD.
+
+Zhou's trace-driven load-balancing study — the source of LOWEST and
+RESERVE — also evaluates two simpler designs that make useful
+calibration anchors for the scalability metric:
+
+* **RANDOM**: a REMOTE job is transferred to a uniformly random remote
+  scheduler, no state consulted.  Zero estimation overhead beyond the
+  shared periodic-update plane; placement quality relies purely on
+  statistical spreading.
+* **THRESHOLD**: a REMOTE job is offered to randomly probed peers one
+  at a time; the first whose cluster load is below ``T_l`` accepts.  At
+  most ``L_p`` sequential probes, then the job runs locally.  This is
+  the classic sender-initiated threshold policy (Eager/Lazowska/Zahorjan
+  style) with per-probe rather than fan-out cost.
+
+Neither is part of the paper's evaluation; they ship as extension
+baselines (used by the extension bench and available to
+:func:`repro.rms.get_rms` via :func:`register_extras`).
+"""
+
+from __future__ import annotations
+
+from ..grid.jobs import Job
+from ..grid.scheduler import SchedulerBase
+from ..network.messages import Message, MessageKind
+from .base import PendingPoll, PollBook, RMSInfo
+
+__all__ = ["RandomScheduler", "ThresholdScheduler", "RANDOM_INFO", "THRESHOLD_INFO", "register_extras"]
+
+
+class RandomScheduler(SchedulerBase):
+    """Blind random transfer of REMOTE jobs."""
+
+    def on_remote_job(self, job: Job) -> None:
+        """Send the job to one random peer (or run locally when the
+        neighborhood is empty)."""
+        peers = self.pick_peers(1)
+        if peers:
+            self.transfer_job(job, peers[0])
+        else:
+            self.schedule_local(job)
+
+
+class ThresholdScheduler(SchedulerBase):
+    """Sequential threshold probing (first under-threshold peer wins)."""
+
+    #: how long to wait for each probe's answer
+    probe_timeout: float = 30.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._probes = PollBook(self, self.probe_timeout, self._decide)
+        #: remaining candidates per in-flight job
+        self._remaining = {}
+        #: probes issued (diagnostics)
+        self.probes_sent = 0
+
+    def on_remote_job(self, job: Job) -> None:
+        """Start the sequential probe chain."""
+        self._remaining[job.job_id] = self.pick_peers(self.l_p)
+        self._next_probe(job)
+
+    def _next_probe(self, job: Job) -> None:
+        candidates = self._remaining.get(job.job_id, [])
+        if not candidates:
+            self._remaining.pop(job.job_id, None)
+            self.schedule_local(job)
+            return
+        peer = candidates.pop(0)
+        self.probes_sent += 1
+        self._probes.open(job, expected=1)
+        self.send_to_peer(
+            Message(
+                MessageKind.POLL_REQUEST,
+                payload={"job_id": job.job_id, "reply_to": self},
+            ),
+            peer,
+        )
+
+    def _decide(self, pending: PendingPoll) -> None:
+        job = pending.job
+        if pending.replies and pending.replies[0][1]["below_threshold"]:
+            self._remaining.pop(job.job_id, None)
+            self.transfer_job(job, pending.replies[0][0])
+        else:
+            self._next_probe(job)  # refused or timed out: try the next one
+
+    def on_poll_request(self, message: Message) -> None:
+        """Accept iff the local average load is below ``T_l``."""
+        self.send_to_peer(
+            Message(
+                MessageKind.POLL_REPLY,
+                payload={
+                    "job_id": message.payload["job_id"],
+                    "below_threshold": self.local_average_load() < self.t_l,
+                },
+            ),
+            message.payload["reply_to"],
+        )
+
+    def on_poll_reply(self, message: Message) -> None:
+        self._probes.record_reply(
+            message.payload["job_id"], message.sender, message.payload
+        )
+
+
+RANDOM_INFO = RMSInfo(name="RANDOM", scheduler_cls=RandomScheduler, mechanism="none")
+THRESHOLD_INFO = RMSInfo(
+    name="THRESHOLD", scheduler_cls=ThresholdScheduler, mechanism="pull"
+)
+
+
+def register_extras() -> None:
+    """Install RANDOM and THRESHOLD into the RMS registry (idempotent).
+
+    They are deliberately not registered at import time: ``ALL_RMS``
+    must stay exactly the paper's seven for the reproduction harness.
+    """
+    from . import registry
+
+    for info in (RANDOM_INFO, THRESHOLD_INFO):
+        if info.name not in registry.RMS_BY_NAME:
+            registry.RMS_BY_NAME[info.name] = info

@@ -1,0 +1,107 @@
+"""LOWEST: poll random peers, send the job to the least-loaded cluster.
+
+Paper §3.3 (after Zhou's trace-driven load-balancing study): "The RMS
+consists of multiple schedulers with each receiving periodic updates
+from non-overlapping clusters of resources.  On a LOCAL job arrival, a
+scheduler will schedule it on the least loaded resource in its cluster.
+On a REMOTE job arrival, a scheduler will poll a set of randomly
+selected L_p remote schedulers.  The job is transferred for execution
+to a remote scheduler with the least loaded resources."
+
+This is the canonical **pull** design: state is solicited at decision
+time, so its overhead is proportional to the REMOTE job rate (and to
+``L_p``) rather than to any background advertisement activity.
+
+Implementation notes
+--------------------
+* Poll replies report the polled scheduler's *least known load*
+  (min over its status table — the same stale view it would use
+  itself).
+* The local cluster participates as a candidate: the job moves only if
+  some polled cluster looks strictly less loaded than the local
+  minimum.  (Zhou's LOWEST keeps the job when the local host is least
+  loaded; transferring onto an equal-looking cluster would pay transfer
+  cost for nothing.)
+* A timeout force-decides with whatever replies arrived, so message
+  loss degrades placement quality instead of stranding jobs.
+"""
+
+from __future__ import annotations
+
+from ..grid.jobs import Job
+from ..grid.scheduler import SchedulerBase
+from ..network.messages import Message, MessageKind
+from .base import PendingPoll, PollBook, RMSInfo
+
+__all__ = ["LowestScheduler", "LOWEST_INFO"]
+
+
+class LowestScheduler(SchedulerBase):
+    """The LOWEST pull scheduler."""
+
+    #: how long to wait for poll replies before deciding anyway
+    poll_timeout: float = 30.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._polls = PollBook(self, self.poll_timeout, self._decide)
+        #: polls initiated (diagnostics)
+        self.polls_started = 0
+
+    # -- sender side -----------------------------------------------------
+    def on_remote_job(self, job: Job) -> None:
+        """Poll ``L_p`` random peers for their least-loaded resource."""
+        peers = self.pick_peers(self.l_p)
+        pending = self._polls.open(job, expected=len(peers))
+        if peers:
+            self.polls_started += 1
+        for peer in peers:
+            self.send_to_peer(
+                Message(
+                    MessageKind.POLL_REQUEST,
+                    payload={"job_id": job.job_id, "reply_to": self},
+                ),
+                peer,
+            )
+
+    def _decide(self, pending: PendingPoll) -> None:
+        """Place the job at the least-loaded candidate cluster."""
+        job = pending.job
+        best_peer = None
+        best_load = self.table.min_load()  # local candidate
+        for peer, payload in pending.replies:
+            if payload["min_load"] < best_load:
+                best_load = payload["min_load"]
+                best_peer = peer
+        if best_peer is None:
+            self.schedule_local(job)
+        else:
+            self.transfer_job(job, best_peer)
+
+    # -- receiver side -----------------------------------------------------
+    def on_poll_request(self, message: Message) -> None:
+        """Answer with the least known load in the local cluster."""
+        requester = message.payload["reply_to"]
+        self.send_to_peer(
+            Message(
+                MessageKind.POLL_REPLY,
+                payload={
+                    "job_id": message.payload["job_id"],
+                    "min_load": self.table.min_load(),
+                },
+            ),
+            requester,
+        )
+
+    def on_poll_reply(self, message: Message) -> None:
+        """Record a reply; the PollBook closes the fan-in."""
+        self._polls.record_reply(
+            message.payload["job_id"], message.sender, message.payload
+        )
+
+
+LOWEST_INFO = RMSInfo(
+    name="LOWEST",
+    scheduler_cls=LowestScheduler,
+    mechanism="pull",
+)

@@ -1,0 +1,50 @@
+"""Registry of the seven reconstructed RMS designs."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .auction import AUCTION_INFO
+from .base import RMSInfo
+from .central import CENTRAL_INFO
+from .lowest import LOWEST_INFO
+from .reserve import RESERVE_INFO
+from .ri import RI_INFO
+from .si import SI_INFO
+from .syi import SYI_INFO
+
+__all__ = ["ALL_RMS", "RMS_BY_NAME", "get_rms", "rms_names"]
+
+#: the seven designs in the paper's presentation order
+ALL_RMS: List[RMSInfo] = [
+    CENTRAL_INFO,
+    LOWEST_INFO,
+    RESERVE_INFO,
+    AUCTION_INFO,
+    SI_INFO,
+    RI_INFO,
+    SYI_INFO,
+]
+
+RMS_BY_NAME: Dict[str, RMSInfo] = {info.name: info for info in ALL_RMS}
+
+
+def get_rms(name: str) -> RMSInfo:
+    """Look up an RMS design by its paper name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, if ``name`` is unknown.
+    """
+    # Canonical names use the paper's exact casing ("Sy-I", "R-I", ...);
+    # accept any casing from callers.
+    for canonical, info in RMS_BY_NAME.items():
+        if canonical.lower() == name.lower():
+            return info
+    raise KeyError(f"unknown RMS {name!r}; valid: {sorted(RMS_BY_NAME)}")
+
+
+def rms_names() -> List[str]:
+    """The seven canonical RMS names, in paper order."""
+    return [info.name for info in ALL_RMS]

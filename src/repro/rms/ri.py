@@ -1,0 +1,142 @@
+"""R-I: the receiver-initiated superscheduler.
+
+Paper §3.3: "Periodically, a scheduler S_x checks RUS for the resources
+in its cluster.  If the RUS for a resource in its cluster is below
+threshold delta, S_x decides to execute remote jobs and informs at most
+L_p remote schedulers.  A remote scheduler S_y, receiving S_x's
+intention will send S_x the resource demands for the first job in its
+wait queue.  When S_x replies back with its ATT and RUS, S_y uses this
+information to compute TC at local and remote sites and schedule the
+job accordingly."
+
+R-I is the **push** superscheduler: the underutilized side initiates.
+Its overhead is dominated by the periodic volunteering loop (paid even
+when nobody needs help) plus a three-message negotiation per matched
+job.  The volunteering period is Table 5's "interval for resource
+volunteering" enabler.
+
+Implementation notes
+--------------------
+* ``delta`` is identified with Table 1's threshold ``T_l``: a resource
+  with known load below it is "underutilized".
+* Busy schedulers hold REMOTE-class jobs in the scheduler wait queue
+  (that *is* the "wait queue" the paper's S_y consults); a park timeout
+  forces local dispatch so an advert drought cannot strand jobs.
+"""
+
+from __future__ import annotations
+
+from ..grid.jobs import Job, JobState
+from ..network.messages import Message, MessageKind
+from .base import RMSInfo, unpark_for_transfer
+from .superscheduler import SuperScheduler
+
+__all__ = ["ReceiverInitiatedScheduler", "RI_INFO"]
+
+
+class ReceiverInitiatedScheduler(SuperScheduler):
+    """The R-I push superscheduler."""
+
+    #: period of the RUS self-check / volunteering loop (enabler)
+    volunteer_interval: float = 120.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: diagnostics
+        self.volunteers_sent = 0
+        self.demands_sent = 0
+        self._volunteer_event = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start_volunteering(self, phase: float = 0.0) -> None:
+        """Arm the periodic RUS self-check (called by the builder)."""
+        self._volunteer_event = self.sim.schedule(
+            phase % self.volunteer_interval, self._volunteer_tick
+        )
+
+    def _volunteer_tick(self) -> None:
+        if self.table.min_load() < self.t_l:  # an underutilized resource
+            for peer in self.pick_peers(self.l_p):
+                self.volunteers_sent += 1
+                self.send_to_peer(
+                    Message(MessageKind.VOLUNTEER, payload={"reply_to": self}),
+                    peer,
+                )
+        self._volunteer_event = self.sim.schedule(
+            self.volunteer_interval, self._volunteer_tick
+        )
+
+    # -- overloaded sender side (S_y) ---------------------------------------
+    def on_remote_job(self, job: Job) -> None:
+        """Hold REMOTE jobs while the cluster is above threshold; they
+        wait for a volunteer (or the park timeout)."""
+        if self.local_average_load() > self.t_l:
+            self.park_job(job)
+        else:
+            self.schedule_local(job)
+
+    def on_volunteer(self, message: Message) -> None:
+        """A volunteer appeared: negotiate for our oldest waiting job."""
+        volunteer = message.payload["reply_to"]
+        job = self.peek_parked()
+        if job is None:
+            return
+        self.demands_sent += 1
+        self.send_to_peer(
+            Message(
+                MessageKind.DEMAND,
+                payload={
+                    "job_id": job.job_id,
+                    "demand": job.spec.execution_time,
+                    "reply_to": self,
+                },
+            ),
+            volunteer,
+        )
+
+    def on_demand_reply(self, message: Message) -> None:
+        """Compare the volunteer's ATT/RUS against local; place the job."""
+        job = self._find_parked(message.payload["job_id"])
+        if job is None:
+            return  # the park timeout already placed it
+        demand = job.spec.execution_time
+        candidates = [
+            (None, self.att(demand), self.rus()),
+            (message.sender, message.payload["att"], message.payload["rus"]),
+        ]
+        chosen = self.choose_by_att(demand, candidates)
+        if chosen is None:
+            self.schedule_local(job)  # placement from WAITING is legal
+        else:
+            unpark_for_transfer(job)
+            self.transfer_job(job, chosen)
+
+    def _find_parked(self, job_id: int) -> Job | None:
+        for j in self._wait_queue:
+            if j.job_id == job_id and j.state == JobState.WAITING:
+                return j
+        return None
+
+    # -- volunteer side (S_x) -----------------------------------------------
+    def on_demand(self, message: Message) -> None:
+        """Answer a demand with our ATT for that job and our RUS."""
+        self.send_to_peer(
+            Message(
+                MessageKind.DEMAND_REPLY,
+                payload={
+                    "job_id": message.payload["job_id"],
+                    "att": self.att(message.payload["demand"]),
+                    "rus": self.rus(),
+                },
+            ),
+            message.payload["reply_to"],
+        )
+
+
+RI_INFO = RMSInfo(
+    name="R-I",
+    scheduler_cls=ReceiverInitiatedScheduler,
+    uses_middleware=True,
+    mechanism="push",
+    uses_volunteering=True,
+)

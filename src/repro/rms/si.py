@@ -1,0 +1,103 @@
+"""S-I: the sender-initiated superscheduler.
+
+Paper §3.3: "On a REMOTE job arrival, a scheduler polls L_p remote
+schedulers.  The remote schedulers respond with approximate waiting
+time (AWT), expected run time (ERT) for the particular job and resource
+utilization status (RUS) for the resources in their cluster.  Based on
+the collected information, the polling scheduler calculates the
+potential turnaround cost (TC) at [the] local cluster and each remote
+cluster.  To compute the optimal TC, first the minimum approximate
+turnaround time (ATT) is calculated as [the] sum of the AWT and ERT.
+If the minimum ATT is within a small tolerance psi for multiple
+schedulers, the scheduler with [the] smallest RUS is chosen to accept
+the job."
+
+S-I is the **pull** superscheduler: all estimation traffic is solicited
+at job-arrival time and relayed through the Grid middleware, so its
+overhead rides the REMOTE job rate times ``L_p`` — cheap at low fan-out,
+expensive as Table 5 scales ``L_p`` up.
+"""
+
+from __future__ import annotations
+
+from ..grid.jobs import Job
+from ..network.messages import Message, MessageKind
+from .base import PendingPoll, PollBook, RMSInfo
+from .superscheduler import SuperScheduler
+
+__all__ = ["SenderInitiatedScheduler", "SI_INFO"]
+
+
+class SenderInitiatedScheduler(SuperScheduler):
+    """The S-I pull superscheduler."""
+
+    #: how long to wait for poll replies before deciding anyway
+    poll_timeout: float = 40.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._polls = PollBook(self, self.poll_timeout, self._decide)
+        #: diagnostics
+        self.polls_started = 0
+
+    # -- sender side -----------------------------------------------------
+    def on_remote_job(self, job: Job) -> None:
+        """Poll ``L_p`` peers for AWT/ERT/RUS through the middleware."""
+        peers = self.pick_peers(self.l_p)
+        pending = self._polls.open(job, expected=len(peers))
+        if peers:
+            self.polls_started += 1
+        for peer in peers:
+            self.send_to_peer(
+                Message(
+                    MessageKind.POLL_REQUEST,
+                    payload={
+                        "job_id": job.job_id,
+                        "demand": job.spec.execution_time,
+                        "reply_to": self,
+                    },
+                ),
+                peer,
+            )
+
+    def _decide(self, pending: PendingPoll) -> None:
+        """Minimum-ATT placement with RUS tie-breaking (local included)."""
+        job = pending.job
+        demand = job.spec.execution_time
+        candidates = [(None, self.att(demand), self.rus())]
+        for peer, payload in pending.replies:
+            candidates.append((peer, payload["awt"] + payload["ert"], payload["rus"]))
+        chosen = self.choose_by_att(demand, candidates)
+        if chosen is None:
+            self.schedule_local(job)
+        else:
+            self.transfer_job(job, chosen)
+
+    # -- receiver side -----------------------------------------------------
+    def on_poll_request(self, message: Message) -> None:
+        """Answer with this cluster's AWT, job-specific ERT, and RUS."""
+        self.send_to_peer(
+            Message(
+                MessageKind.POLL_REPLY,
+                payload={
+                    "job_id": message.payload["job_id"],
+                    "awt": self.awt(),
+                    "ert": self.ert(message.payload["demand"]),
+                    "rus": self.rus(),
+                },
+            ),
+            message.payload["reply_to"],
+        )
+
+    def on_poll_reply(self, message: Message) -> None:
+        self._polls.record_reply(
+            message.payload["job_id"], message.sender, message.payload
+        )
+
+
+SI_INFO = RMSInfo(
+    name="S-I",
+    scheduler_cls=SenderInitiatedScheduler,
+    uses_middleware=True,
+    mechanism="pull",
+)

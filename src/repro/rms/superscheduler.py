@@ -1,0 +1,114 @@
+"""Shared machinery of the superscheduler RMSs (S-I, R-I, Sy-I).
+
+Paper §3.3 (after Shan, Oliker & Biswas's job-superscheduler study):
+"a set of autonomous local schedulers communicate with each other
+through a Grid middleware.  We restrict each cluster to have [a] single
+scheduler and model the Grid middleware using a simple queue with
+infinite capacity and finite but small service time."
+
+All three designs make decisions by comparing **turnaround costs**
+built from three quantities a scheduler can estimate about a cluster:
+
+* **AWT** (approximate waiting time): how long a new job would wait —
+  estimated as the least known resource load times the cluster's
+  observed mean service duration;
+* **ERT** (expected run time): the job's demand over the cluster's
+  observed service speed (homogeneous resources, so the demand is the
+  portable part);
+* **RUS** (resource utilization status): the cluster's average load.
+
+The minimum **ATT = AWT + ERT** wins; ties within tolerance ``psi`` go
+to the smallest RUS (paper's S-I rule).
+
+:class:`SuperScheduler` maintains the observation side: exponentially
+weighted estimates of service duration and speed, refreshed by the
+completion notifications the scheduler already pays to process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..grid.jobs import Job
+from ..grid.scheduler import SchedulerBase
+from .base import RMSInfo  # noqa: F401  (re-exported convenience)
+
+__all__ = ["SuperScheduler"]
+
+
+class SuperScheduler(SchedulerBase):
+    """Base for S-I / R-I / Sy-I: middleware transport + ATT estimation."""
+
+    use_middleware = True
+
+    #: ATT tie tolerance ``psi`` (paper: "a small tolerance")
+    psi: float = 5.0
+    #: EWMA smoothing for service observations
+    ewma_alpha: float = 0.2
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Priors: a typical job (~500 demand units) at unit speed.
+        self._service_duration_est = 500.0
+        self._service_speed_est = 1.0
+
+    # -- observation ------------------------------------------------------
+    def after_completion(self, job: Job) -> None:
+        """Refresh service-duration and speed estimates from the
+        completed job's measured service interval."""
+        if job.start_service is None or job.completion_time is None:
+            return
+        duration = job.completion_time - job.start_service
+        if duration <= 0.0:
+            return
+        a = self.ewma_alpha
+        self._service_duration_est += a * (duration - self._service_duration_est)
+        speed = job.spec.execution_time / duration
+        self._service_speed_est += a * (speed - self._service_speed_est)
+
+    # -- the three estimates ------------------------------------------------
+    def awt(self) -> float:
+        """Approximate waiting time of a new job in this cluster."""
+        backlog = max(0.0, self.table.min_load())
+        return backlog * self._service_duration_est
+
+    def ert(self, demand: float) -> float:
+        """Expected run time of a job with ``demand`` units of work."""
+        return demand / max(1e-9, self._service_speed_est)
+
+    def rus(self) -> float:
+        """Resource utilization status: the cluster's average load."""
+        return self.local_average_load()
+
+    def att(self, demand: float) -> float:
+        """Approximate turnaround time: ``AWT + ERT``."""
+        return self.awt() + self.ert(demand)
+
+    # -- decision rule ------------------------------------------------------
+    def choose_by_att(
+        self,
+        demand: float,
+        candidates: List[Tuple[Optional["SuperScheduler"], float, float]],
+    ) -> Optional["SuperScheduler"]:
+        """Pick the candidate with minimum ATT; ties within ``psi`` break
+        toward the smallest RUS.
+
+        Parameters
+        ----------
+        demand:
+            The job's demand (used only by callers to build candidates;
+            kept for signature clarity).
+        candidates:
+            ``(scheduler_or_None, att, rus)`` triples; ``None`` denotes
+            the local cluster.
+
+        Returns
+        -------
+        The chosen scheduler, or ``None`` for local execution.
+        """
+        if not candidates:
+            return None
+        best_att = min(att for _, att, _ in candidates)
+        near = [c for c in candidates if c[1] <= best_att + self.psi]
+        winner = min(near, key=lambda c: (c[2], c[1]))
+        return winner[0]

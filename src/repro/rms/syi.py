@@ -1,0 +1,153 @@
+"""Sy-I: the symmetric superscheduler (R-I push + S-I pull fallback).
+
+Paper §3.3: "This combines S-I and R-I.  As in R-I, each scheduler will
+advertise its own underutilized resources periodically.  Based on this
+information a scheduler with a new job will schedule the job locally or
+send [it] to the advertising scheduler.  However, if a new job arrives
+at a scheduler which has received no advertisements, it will use the
+S-I approach to schedule the job."
+
+Sy-I therefore pays for **both** estimation mechanisms: the periodic
+volunteer plane is always on, and every REMOTE arrival without a fresh
+advertisement falls back to an ``L_p``-wide poll — all of it relayed
+through the shared middleware.  That doubled appetite for status
+traffic is exactly why the paper finds Sy-I the least scalable
+distributed design when the network (Fig. 2) or the estimator plane
+(Fig. 4) grows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..grid.jobs import Job
+from ..network.messages import Message, MessageKind
+from .base import PendingPoll, PollBook, RMSInfo
+from .superscheduler import SuperScheduler
+
+__all__ = ["SymmetricScheduler", "SYI_INFO"]
+
+
+class SymmetricScheduler(SuperScheduler):
+    """The Sy-I hybrid superscheduler."""
+
+    #: period of the volunteering loop (enabler)
+    volunteer_interval: float = 120.0
+    #: how long a received advertisement stays usable
+    advert_ttl: float = 240.0
+    #: poll fan-in timeout for the S-I fallback path
+    poll_timeout: float = 40.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: received adverts: (advertiser, time), most recent last
+        self._adverts: List[Tuple[SuperScheduler, float]] = []
+        self._polls = PollBook(self, self.poll_timeout, self._decide_poll)
+        self._volunteer_event = None
+        #: diagnostics
+        self.volunteers_sent = 0
+        self.advert_placements = 0
+        self.fallback_polls = 0
+
+    # -- push plane (as R-I) ------------------------------------------------
+    def start_volunteering(self, phase: float = 0.0) -> None:
+        """Arm the periodic advertisement loop (called by the builder)."""
+        self._volunteer_event = self.sim.schedule(
+            phase % self.volunteer_interval, self._volunteer_tick
+        )
+
+    def _volunteer_tick(self) -> None:
+        if self.table.min_load() < self.t_l:
+            for peer in self.pick_peers(self.l_p):
+                self.volunteers_sent += 1
+                self.send_to_peer(
+                    Message(MessageKind.VOLUNTEER, payload={"reply_to": self}),
+                    peer,
+                )
+        self._volunteer_event = self.sim.schedule(
+            self.volunteer_interval, self._volunteer_tick
+        )
+
+    def on_volunteer(self, message: Message) -> None:
+        """Remember the advertisement for upcoming arrivals."""
+        advertiser = message.payload["reply_to"]
+        self._adverts = [(s, t) for s, t in self._adverts if s is not advertiser]
+        self._adverts.append((advertiser, self.sim.now))
+
+    def _fresh_advertiser(self) -> SuperScheduler | None:
+        cutoff = self.sim.now - self.advert_ttl
+        while self._adverts and self._adverts[0][1] < cutoff:
+            self._adverts.pop(0)
+        return self._adverts[-1][0] if self._adverts else None
+
+    # -- job arrivals ---------------------------------------------------------
+    def on_remote_job(self, job: Job) -> None:
+        """Use a fresh advertisement if one exists; otherwise fall back
+        to the S-I polling path."""
+        advertiser = self._fresh_advertiser()
+        if advertiser is not None:
+            self.advert_placements += 1
+            if self.local_average_load() > self.t_l:
+                self.transfer_job(job, advertiser)
+            else:
+                self.schedule_local(job)
+            return
+        # S-I fallback
+        peers = self.pick_peers(self.l_p)
+        pending = self._polls.open(job, expected=len(peers))
+        if peers:
+            self.fallback_polls += 1
+        for peer in peers:
+            self.send_to_peer(
+                Message(
+                    MessageKind.POLL_REQUEST,
+                    payload={
+                        "job_id": job.job_id,
+                        "demand": job.spec.execution_time,
+                        "reply_to": self,
+                    },
+                ),
+                peer,
+            )
+
+    def _decide_poll(self, pending: PendingPoll) -> None:
+        job = pending.job
+        demand = job.spec.execution_time
+        candidates = [(None, self.att(demand), self.rus())]
+        for peer, payload in pending.replies:
+            candidates.append((peer, payload["awt"] + payload["ert"], payload["rus"]))
+        chosen = self.choose_by_att(demand, candidates)
+        if chosen is None:
+            self.schedule_local(job)
+        else:
+            self.transfer_job(job, chosen)
+
+    # -- answering the pull plane (as S-I) -------------------------------------
+    def on_poll_request(self, message: Message) -> None:
+        """Answer fallback polls exactly as S-I does."""
+        self.send_to_peer(
+            Message(
+                MessageKind.POLL_REPLY,
+                payload={
+                    "job_id": message.payload["job_id"],
+                    "awt": self.awt(),
+                    "ert": self.ert(message.payload["demand"]),
+                    "rus": self.rus(),
+                },
+            ),
+            message.payload["reply_to"],
+        )
+
+    def on_poll_reply(self, message: Message) -> None:
+        self._polls.record_reply(
+            message.payload["job_id"], message.sender, message.payload
+        )
+
+
+SYI_INFO = RMSInfo(
+    name="Sy-I",
+    scheduler_cls=SymmetricScheduler,
+    uses_middleware=True,
+    mechanism="hybrid",
+    uses_volunteering=True,
+)

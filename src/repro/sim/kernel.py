@@ -1,0 +1,191 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` is the heart of the substrate that replaces Parsec in
+the original study: a sequential, deterministic, seedable discrete-event
+engine.  All other subsystems (network transport, resources, schedulers,
+estimators, middleware, workload injection) are built as callbacks and
+entities driven by a single ``Simulator`` instance.
+
+Design notes
+------------
+* Time is a ``float`` in abstract "time units", matching the paper (e.g.
+  ``T_CPU = 700 time units``).
+* Events fire in ``(time, seq)`` order; ``seq`` is the scheduling order,
+  which makes ties deterministic and runs reproducible.
+* The kernel is intentionally tiny and allocation-light — the scalability
+  experiments execute millions of events, and per the HPC guidance we keep
+  the hot path (schedule/pop/dispatch) free of indirection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .events import Event, EventQueue
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, bad horizons)."""
+
+
+class Simulator:
+    """A sequential discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (defaults to ``0.0``).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "a")
+    >>> _ = sim.schedule(1.0, fired.append, "b")
+    >>> sim.run(until=10.0)
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    10.0
+    """
+
+    __slots__ = ("_queue", "_now", "_seq", "_events_executed", "trace")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._queue = EventQueue()
+        self._now = float(start_time)
+        self._seq = 0
+        self._events_executed = 0
+        #: Optional callable ``(time, fn, args)`` invoked before each event
+        #: executes.  Used by tests and debugging tools; ``None`` disables
+        #: tracing entirely (the hot path checks a single attribute).
+        self.trace: Optional[Callable[[float, Callable, tuple], None]] = None
+
+    # ------------------------------------------------------------------
+    # Clock and counters
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events dispatched so far (cancelled events excluded)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now.
+
+        Parameters
+        ----------
+        delay:
+            Nonnegative offset from the current clock.  ``0.0`` is allowed
+            and fires after all events already scheduled for the current
+            instant (stable FIFO semantics).
+        fn:
+            Callback to invoke.
+        *args:
+            Positional arguments for ``fn``.
+
+        Returns
+        -------
+        Event
+            A handle that can be passed to :meth:`cancel`.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative or not finite.
+        """
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        ev = Event(self._now + delay, self._seq, fn, args)
+        self._seq += 1
+        self._queue.push(ev)
+        return ev
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``.
+
+        Equivalent to ``schedule(time - now, ...)`` and subject to the same
+        no-past rule.
+        """
+        return self.schedule(time - self._now, fn, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event.
+
+        Cancelling an event that already fired or was already cancelled is
+        a no-op, which lets protocol code cancel timeout handles without
+        tracking whether they raced with delivery.
+        """
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event was executed, ``False`` if the queue was
+            empty (the clock does not move in that case).
+        """
+        try:
+            ev = self._queue.pop()
+        except IndexError:
+            return False
+        self._now = ev.time
+        if self.trace is not None:
+            self.trace(ev.time, ev.fn, ev.args)  # type: ignore[arg-type]
+        fn, args = ev.fn, ev.args
+        ev.fn = None  # release references promptly
+        ev.args = ()
+        self._events_executed += 1
+        fn(*args)  # type: ignore[misc]
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until exhaustion, a time horizon, or an event budget.
+
+        Parameters
+        ----------
+        until:
+            If given, execute only events with ``time <= until`` and then
+            advance the clock *to* ``until`` (even if the queue still holds
+            later events).  Must not be earlier than the current clock.
+        max_events:
+            If given, stop after dispatching this many additional events.
+            Mainly a safety valve for runaway protocol loops in tests.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"horizon {until} is before current time {self._now}")
+        budget = max_events if max_events is not None else -1
+        queue = self._queue
+        while queue:
+            if until is not None:
+                t = queue.peek_time()
+                if t is None or t > until:
+                    break
+            if budget == 0:
+                return
+            self.step()
+            if budget > 0:
+                budget -= 1
+        if until is not None and until > self._now:
+            self._now = until

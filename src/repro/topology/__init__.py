@@ -1,0 +1,17 @@
+"""Router-level topologies and Grid element placement (Mercator substitute)."""
+
+from .generator import TopologyParams, generate_topology
+from .graph import Link, Topology
+from .grid_map import GridMap, map_grid
+from .paths import multi_source_nearest, single_source
+
+__all__ = [
+    "GridMap",
+    "Link",
+    "Topology",
+    "TopologyParams",
+    "generate_topology",
+    "map_grid",
+    "multi_source_nearest",
+    "single_source",
+]

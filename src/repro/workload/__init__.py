@@ -1,0 +1,17 @@
+"""Synthetic supercomputer workloads (Cirne–Berman substitute)."""
+
+from .arrivals import BurstyArrivals, PoissonArrivals
+from .dags import DagWorkload, DagWorkloadGenerator
+from .generator import JobClass, JobSpec, WorkloadGenerator
+from .runtimes import RuntimeModel
+
+__all__ = [
+    "BurstyArrivals",
+    "DagWorkload",
+    "DagWorkloadGenerator",
+    "JobClass",
+    "JobSpec",
+    "PoissonArrivals",
+    "RuntimeModel",
+    "WorkloadGenerator",
+]

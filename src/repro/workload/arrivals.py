@@ -1,0 +1,109 @@
+"""Job arrival processes.
+
+The paper scales "workload (number of jobs arriving per unit time)" as a
+scaling variable in every experimental case, so arrival generation is a
+first-class, seedable substrate.  Two processes are provided:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a given rate; the
+  standard model for independently submitted supercomputer jobs and the
+  one used in all paper-reproduction experiments.
+* :class:`BurstyArrivals` — a two-state modulated Poisson process
+  (quiet/burst), used by the failure-injection and robustness tests to
+  stress scheduler queues beyond what a smooth process produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+__all__ = ["PoissonArrivals", "BurstyArrivals"]
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson arrival process.
+
+    Parameters
+    ----------
+    rate:
+        Mean arrivals per time unit (> 0).
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0.0:
+            raise ValueError("arrival rate must be positive")
+        self.rate = rate
+
+    def times(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        """Arrival instants in ``[0, horizon)``, sorted ascending.
+
+        Draws the expected count plus slack in one vectorized pass, then
+        trims — ~10x faster than a Python generator loop at the event
+        counts the Case-2 experiments reach.
+        """
+        if horizon <= 0.0:
+            return []
+        expected = self.rate * horizon
+        n_draw = int(expected + 6.0 * np.sqrt(expected) + 16)
+        while True:
+            gaps = rng.exponential(1.0 / self.rate, size=n_draw)
+            t = np.cumsum(gaps)
+            if t[-1] >= horizon:
+                return t[t < horizon].tolist()
+            n_draw *= 2  # astronomically rare; retry with more slack
+
+
+class BurstyArrivals:
+    """Markov-modulated Poisson process with two phases.
+
+    Alternates exponentially distributed *quiet* and *burst* dwell times;
+    the burst phase multiplies the base rate by ``burst_factor``.
+
+    Parameters
+    ----------
+    base_rate:
+        Arrival rate in the quiet phase (> 0).
+    burst_factor:
+        Rate multiplier while bursting (>= 1).
+    mean_quiet, mean_burst:
+        Mean dwell times of the two phases (> 0).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_factor: float = 5.0,
+        mean_quiet: float = 500.0,
+        mean_burst: float = 100.0,
+    ) -> None:
+        if base_rate <= 0.0:
+            raise ValueError("base_rate must be positive")
+        if burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if mean_quiet <= 0.0 or mean_burst <= 0.0:
+            raise ValueError("phase dwell times must be positive")
+        self.base_rate = base_rate
+        self.burst_factor = burst_factor
+        self.mean_quiet = mean_quiet
+        self.mean_burst = mean_burst
+
+    def _phases(self, horizon: float, rng: np.random.Generator) -> Iterator[tuple]:
+        """Yield (start, end, rate) phase segments covering [0, horizon)."""
+        t = 0.0
+        bursting = False
+        while t < horizon:
+            dwell = rng.exponential(self.mean_burst if bursting else self.mean_quiet)
+            rate = self.base_rate * (self.burst_factor if bursting else 1.0)
+            end = min(t + dwell, horizon)
+            yield t, end, rate
+            t = end
+            bursting = not bursting
+
+    def times(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        """Arrival instants in ``[0, horizon)``, sorted ascending."""
+        out: List[float] = []
+        for start, end, rate in self._phases(horizon, rng):
+            seg = PoissonArrivals(rate).times(end - start, rng)
+            out.extend(start + s for s in seg)
+        return out

@@ -1,0 +1,121 @@
+"""Workloads with inter-job dependencies (paper future work item (b)).
+
+The paper's evaluation assumes independent jobs and explicitly defers
+"scenarios where jobs have data dependencies and precedence constraints
+among them" to future work, together with using the framework "to
+measure the scalability based on the RP overhead H(k)".  This module
+implements that extension:
+
+* a :class:`DagWorkloadGenerator` decorates the base synthetic workload
+  with precedence edges — each job may depend on a few earlier jobs
+  (within a recency window, mimicking pipeline-style campaigns);
+* the experiment runner (``SimulationConfig.dependency_prob``) holds a
+  dependent job back until all of its parents complete, and charges the
+  RP's data-management overhead ``H`` for every cross-cluster
+  parent→child edge (the staging cost the paper's H(k) analysis needs).
+
+With dependencies, a placement decision has consequences beyond the
+job itself: scattering a pipeline across clusters inflates ``H`` and
+delays children — measurable with the same isoefficiency machinery by
+reading the ``h`` curve instead of ``g``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .generator import JobSpec, WorkloadGenerator
+
+__all__ = ["DagWorkload", "DagWorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class DagWorkload:
+    """A dependency-annotated workload.
+
+    Attributes
+    ----------
+    jobs:
+        The job specs, sorted by arrival time (arrival of a dependent
+        job is its *release* time — it may start only after parents
+        finish, whichever is later).
+    parents:
+        ``job_id -> tuple of parent job_ids`` (absent = no parents).
+    """
+
+    jobs: List[JobSpec]
+    parents: Dict[int, Tuple[int, ...]]
+
+    def children(self) -> Dict[int, Tuple[int, ...]]:
+        """The inverse relation: ``job_id -> tuple of child job_ids``."""
+        out: Dict[int, List[int]] = {}
+        for child, ps in self.parents.items():
+            for p in ps:
+                out.setdefault(p, []).append(child)
+        return {k: tuple(sorted(v)) for k, v in out.items()}
+
+    def validate(self) -> None:
+        """Check the DAG contract: parents precede children (by id) and
+        every referenced id exists — raises AssertionError otherwise."""
+        ids = {j.job_id for j in self.jobs}
+        for child, ps in self.parents.items():
+            assert child in ids
+            assert ps, "empty parent tuples must be omitted"
+            for p in ps:
+                assert p in ids
+                assert p < child, "parents must precede children (acyclicity)"
+
+
+class DagWorkloadGenerator:
+    """Adds precedence edges to a base synthetic workload.
+
+    Parameters
+    ----------
+    base:
+        The independent-jobs generator being decorated.
+    dependency_prob:
+        Probability that a job depends on at least one predecessor.
+    max_parents:
+        Upper bound on parents per job (1-2 is pipeline-like; more
+        makes join-heavy DAGs).
+    window:
+        Parents are drawn among the ``window`` most recent jobs, so
+        dependency chains reflect temporal locality.
+    """
+
+    def __init__(
+        self,
+        base: WorkloadGenerator,
+        dependency_prob: float = 0.3,
+        max_parents: int = 2,
+        window: int = 10,
+    ) -> None:
+        if not (0.0 <= dependency_prob <= 1.0):
+            raise ValueError("dependency_prob must be in [0, 1]")
+        if max_parents < 1:
+            raise ValueError("max_parents must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.base = base
+        self.dependency_prob = dependency_prob
+        self.max_parents = max_parents
+        self.window = window
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> DagWorkload:
+        """Produce the annotated workload for ``[0, horizon)``."""
+        jobs = self.base.generate(horizon, rng)
+        parents: Dict[int, Tuple[int, ...]] = {}
+        for i, job in enumerate(jobs):
+            if i == 0 or rng.random() >= self.dependency_prob:
+                continue
+            lo = max(0, i - self.window)
+            pool = [jobs[j].job_id for j in range(lo, i)]
+            n = int(rng.integers(1, min(self.max_parents, len(pool)) + 1))
+            chosen = rng.choice(len(pool), size=n, replace=False)
+            parents[job.job_id] = tuple(sorted(pool[c] for c in chosen))
+        dag = DagWorkload(jobs=jobs, parents=parents)
+        dag.validate()
+        return dag

@@ -1,0 +1,198 @@
+"""Shared builders for grid-layer tests: a hand-wired miniature grid.
+
+Experiments use :mod:`repro.experiments.runner` to build full systems;
+these helpers build *tiny*, fully inspectable ones (a couple of
+schedulers, a handful of resources on a trivial topology) so protocol
+tests can assert on individual messages and state transitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core import CostLedger
+from repro.grid import CostModel, Estimator, Middleware, Resource, SchedulerBase, StatusTable
+from repro.network import Network, Router
+from repro.sim import RngHub, Simulator
+from repro.topology import Topology
+from repro.workload import JobClass, JobSpec
+from repro.grid.jobs import Job
+
+_ids = itertools.count()
+
+
+def make_spec(
+    arrival=0.0,
+    execution=50.0,
+    benefit=5.0,
+    cluster=0,
+    job_class=JobClass.LOCAL,
+    job_id=None,
+):
+    """A JobSpec with friendly defaults for protocol tests."""
+    return JobSpec(
+        job_id=next(_ids) if job_id is None else job_id,
+        arrival_time=arrival,
+        execution_time=execution,
+        requested_time=execution * 2,
+        benefit_factor=benefit,
+        submit_cluster=cluster,
+        job_class=job_class,
+    )
+
+
+def make_job(**kw):
+    """A runtime Job over :func:`make_spec`."""
+    return Job(make_spec(**kw))
+
+
+class MiniGrid:
+    """A hand-wired grid: ``n_clusters`` schedulers, each with
+    ``resources_per_cluster`` resources, all on a uniform star topology
+    (every site one hop from a hub; latency 0.1, bandwidth 1000 — transit
+    delays are small and identical, keeping assertions simple).
+
+    Parameters
+    ----------
+    scheduler_cls:
+        Scheduler class (SchedulerBase or an RMS subclass).
+    n_clusters, resources_per_cluster:
+        Grid shape.
+    costs:
+        Cost model (defaults to small, simple values for fast tests).
+    service_rate:
+        Resource service rate.
+    seed:
+        RNG seed for peer selection streams.
+    central:
+        If True, build ONE scheduler managing all resources (CENTRAL
+        layout); n_clusters is then the number of resource groups only.
+    use_middleware:
+        Wire a shared Middleware entity (superscheduler protocols).
+    """
+
+    def __init__(
+        self,
+        scheduler_cls=SchedulerBase,
+        n_clusters=2,
+        resources_per_cluster=3,
+        costs=None,
+        service_rate=1.0,
+        seed=0,
+        central=False,
+        use_middleware=False,
+        scheduler_kwargs=None,
+    ):
+        self.sim = Simulator()
+        self.ledger = CostLedger()
+        self.costs = costs or CostModel(
+            decision_base=0.1,
+            scan_per_entry=0.01,
+            update_proc=0.1,
+            estimator_proc=0.05,
+            poll_proc=0.1,
+            advert_proc=0.1,
+            auction_proc=0.1,
+            completion_proc=0.05,
+            transfer_proc=0.1,
+            middleware_service=0.05,
+            job_control=0.05,
+            data_mgmt=0.02,
+        )
+        self.hub = RngHub(seed)
+
+        n_sched = 1 if central else n_clusters
+        n_res = n_clusters * resources_per_cluster
+        # Star topology: node 0 is the hub; sites 1..(n_sched+n_res).
+        n_nodes = 1 + n_sched + n_res + (1 if use_middleware else 0)
+        topo = Topology(n_nodes)
+        for v in range(1, n_nodes):
+            topo.add_link(0, v, 0.1, 1000.0)
+        self.topology = topo
+        self.network = Network(self.sim, Router(topo))
+
+        # Schedulers
+        self.schedulers = []
+        for s in range(n_sched):
+            sched = scheduler_cls(
+                self.sim,
+                f"sched{s}",
+                node=1 + s,
+                scheduler_id=s,
+                ledger=self.ledger,
+                costs=self.costs,
+                **(scheduler_kwargs or {}),
+            )
+            sched.network = self.network
+            sched.rng = self.hub.stream(f"sched{s}")
+            self.schedulers.append(sched)
+
+        # Resources
+        self.resources = []
+        for r in range(n_res):
+            cluster = r // resources_per_cluster
+            owner = self.schedulers[0] if central else self.schedulers[cluster]
+            res = Resource(
+                self.sim,
+                f"res{r}",
+                node=1 + n_sched + r,
+                resource_id=r,
+                cluster_id=owner.scheduler_id,
+                service_rate=service_rate,
+                ledger=self.ledger,
+                costs=self.costs,
+            )
+            res.network = self.network
+            res.scheduler = owner
+            self.resources.append(res)
+
+        # Tables + resource maps
+        for sched in self.schedulers:
+            mine = [r for r in self.resources if r.cluster_id == sched.scheduler_id]
+            sched.resources = {r.resource_id: r for r in mine}
+            sched.table = StatusTable([r.resource_id for r in mine])
+
+        # Peers: everyone else
+        for sched in self.schedulers:
+            sched.peers = [p for p in self.schedulers if p is not sched]
+
+        # One estimator co-located with each scheduler; resources report
+        # to their cluster's estimator.
+        self.estimators = []
+        for s, sched in enumerate(self.schedulers):
+            est = Estimator(
+                self.sim,
+                f"est{s}",
+                node=sched.node,
+                estimator_id=s,
+                ledger=self.ledger,
+                costs=self.costs,
+            )
+            est.network = self.network
+            est.schedulers = {sched.scheduler_id: sched}
+            self.estimators.append(est)
+        for res in self.resources:
+            owner_idx = 0 if central else res.cluster_id
+            res.estimator = self.estimators[owner_idx]
+
+        # Optional middleware at the hub
+        self.middleware = None
+        if use_middleware:
+            self.middleware = Middleware(
+                self.sim, "mw", node=0, ledger=self.ledger, costs=self.costs
+            )
+            self.middleware.network = self.network
+            for sched in self.schedulers:
+                sched.middleware = self.middleware
+
+    def submit(self, job, cluster=0, at=None):
+        """Inject a job submission at its arrival time (or ``at``)."""
+        from repro.network import Message, MessageKind
+
+        when = job.spec.arrival_time if at is None else at
+        sched = self.schedulers[min(cluster, len(self.schedulers) - 1)]
+        delay = max(0.0, when - self.sim.now)
+        self.sim.schedule(
+            delay, sched.deliver, Message(MessageKind.JOB_SUBMIT, payload={"job": job})
+        )
+        return job

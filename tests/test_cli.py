@@ -1,0 +1,79 @@
+"""Tests for the CLI (list/compare run fast; figure is smoke-tested
+against a stubbed Study to keep the suite quick)."""
+
+import pytest
+
+from repro.experiments import cli
+
+from test_experiments_reporting import fake_figure
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure" in out and "Case 1" in out
+
+    def test_figure_requires_number(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["figure"])
+
+    def test_bad_figure_number_errors(self, capsys):
+        assert cli.main(["figure", "9"]) == 2
+        assert "2-7" in capsys.readouterr().err
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["figure", "2", "--profile", "galactic"])
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+
+class TestFigureCommand:
+    def test_figure_prints_report_and_csv(self, tmp_path, capsys, monkeypatch):
+        fig = fake_figure()
+
+        class StubStudy:
+            def __init__(self, **kw):
+                self.kw = kw
+
+            def figure(self, number):
+                assert number == 2
+                return fig
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        csv_path = tmp_path / "out.csv"
+        rc = cli.main(["figure", "2", "--csv", str(csv_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure X" in out
+        assert csv_path.exists()
+
+    def test_rms_subset_forwarded(self, monkeypatch):
+        captured = {}
+
+        class StubStudy:
+            def __init__(self, **kw):
+                captured.update(kw)
+
+            def figure(self, number):
+                return fake_figure()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        cli.main(["figure", "3", "--rms", "LOWEST,CENTRAL", "--seed", "9"])
+        assert captured["rms"] == ["LOWEST", "CENTRAL"]
+        assert captured["seed"] == 9
+
+    def test_quantity_override(self, monkeypatch, capsys):
+        class StubStudy:
+            def __init__(self, **kw):
+                pass
+
+            def figure(self, number):
+                return fake_figure()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        cli.main(["figure", "6", "--quantity", "g_norm"])
+        assert "g_norm" in capsys.readouterr().out

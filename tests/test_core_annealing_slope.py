@@ -1,0 +1,161 @@
+"""Tests for the simulated-annealing optimizer and the slope metric."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnnealingSchedule,
+    NormalizedCurves,
+    analyze_slopes,
+    anneal,
+    slopes,
+)
+
+
+class TestAnnealingSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(iterations=0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(t0=0.0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(cooling=1.0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(restarts=0)
+
+
+class TestAnneal:
+    def test_finds_minimum_of_discrete_parabola(self):
+        """Minimize (x-17)^2 over integers with +-1 moves."""
+        rng = np.random.default_rng(0)
+        result = anneal(
+            initial=0,
+            objective=lambda x: (x - 17) ** 2,
+            neighbor=lambda x, r: x + (1 if r.random() < 0.5 else -1),
+            rng=rng,
+            schedule=AnnealingSchedule(iterations=400, t0=50.0, cooling=0.99),
+        )
+        assert abs(result.best - 17) <= 1
+        assert result.best_value <= 1
+
+    def test_escapes_local_minimum(self):
+        """A two-well function: local min at 0 (value 1), global at 10
+        (value 0), with a barrier between.  High initial temperature
+        must let the chain cross."""
+        def f(x):
+            if x == 6:
+                return 0.0
+            if abs(x) <= 1:
+                return 1.0 + abs(x)
+            return 3.0  # barrier region
+
+        rng = np.random.default_rng(3)
+        result = anneal(
+            initial=0,
+            objective=f,
+            neighbor=lambda x, r: x + (1 if r.random() < 0.5 else -1),
+            rng=rng,
+            schedule=AnnealingSchedule(
+                iterations=400, t0=10.0, cooling=0.995, restarts=3
+            ),
+        )
+        assert result.best == 6
+
+    def test_trace_is_monotone_nonincreasing(self):
+        rng = np.random.default_rng(1)
+        result = anneal(
+            initial=5,
+            objective=lambda x: abs(x),
+            neighbor=lambda x, r: x + (1 if r.random() < 0.5 else -1),
+            rng=rng,
+            schedule=AnnealingSchedule(iterations=60, t0=2.0),
+        )
+        assert all(
+            result.trace[i + 1] <= result.trace[i] for i in range(len(result.trace) - 1)
+        )
+
+    def test_evaluations_counted(self):
+        rng = np.random.default_rng(2)
+        calls = []
+
+        def obj(x):
+            calls.append(x)
+            return float(x * x)
+
+        result = anneal(
+            initial=1,
+            objective=obj,
+            neighbor=lambda x, r: x + 1,
+            rng=rng,
+            schedule=AnnealingSchedule(iterations=10),
+        )
+        assert result.evaluations == len(calls) == 11  # initial + 10 moves
+
+    def test_restarts_search_more(self):
+        rng = np.random.default_rng(4)
+        result = anneal(
+            initial=0,
+            objective=lambda x: (x - 3) ** 2,
+            neighbor=lambda x, r: x + (1 if r.random() < 0.5 else -1),
+            rng=rng,
+            schedule=AnnealingSchedule(iterations=20, restarts=3),
+        )
+        assert result.evaluations == 1 + 3 * 20
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            return anneal(
+                initial=0,
+                objective=lambda x: (x - 9) ** 2,
+                neighbor=lambda x, r: x + (1 if r.random() < 0.5 else -1),
+                rng=np.random.default_rng(seed),
+                schedule=AnnealingSchedule(iterations=100, t0=10.0),
+            ).best
+
+        assert run(7) == run(7)
+
+
+class TestSlopes:
+    def test_finite_differences(self):
+        assert slopes([1, 2, 3], [1.0, 3.0, 7.0]) == [2.0, 4.0]
+
+    def test_nonuniform_spacing(self):
+        assert slopes([1, 3], [0.0, 4.0]) == [2.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slopes([1], [1.0])
+        with pytest.raises(ValueError):
+            slopes([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            slopes([2, 1], [1.0, 2.0])
+
+
+class TestAnalyzeSlopes:
+    def curves(self, f, g):
+        scales = tuple(range(1, len(f) + 1))
+        return NormalizedCurves(scales=scales, f=tuple(f), g=tuple(g), h=tuple(1.0 for _ in f))
+
+    def test_scalable_when_overhead_tracks_work(self):
+        a = analyze_slopes(self.curves(f=[1, 2, 3], g=[1, 1.5, 2.0]))
+        assert a.scalable == (True, True)
+        assert a.scalable_through == 3
+
+    def test_unscalable_when_overhead_outgrows(self):
+        a = analyze_slopes(self.curves(f=[1, 2, 3], g=[1, 4, 9]))
+        assert a.scalable == (False, False)
+        assert a.scalable_through == 1
+
+    def test_partial_scalability(self):
+        a = analyze_slopes(self.curves(f=[1, 2, 3, 4], g=[1, 1.5, 2.0, 8.0]))
+        assert a.scalable == (True, True, False)
+        assert a.scalable_through == 3
+
+    def test_improving_detects_decreasing_slope(self):
+        # g slopes: 2, 1, 0.5 -> improving at both interior checks
+        a = analyze_slopes(self.curves(f=[1, 3, 5, 7], g=[1, 3, 4, 4.5]))
+        assert a.improving == (True, True)
+
+    def test_mean_g_slope(self):
+        a = analyze_slopes(self.curves(f=[1, 2, 3], g=[1, 2, 5]))
+        assert a.mean_g_slope == pytest.approx((1.0 + 3.0) / 2)

@@ -1,0 +1,142 @@
+"""Tests for the efficiency model and the isoefficiency algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Category,
+    CostLedger,
+    EfficiencyRecord,
+    IsoefficiencyConstants,
+    check_eq1,
+    check_eq2,
+    isoefficiency_report,
+    normalize,
+)
+
+
+def rec(F, G, H=1.0):
+    return EfficiencyRecord(F=F, G=G, H=H)
+
+
+class TestEfficiencyRecord:
+    def test_efficiency_formula(self):
+        assert rec(40.0, 50.0, 10.0).efficiency == pytest.approx(0.4)
+
+    def test_zero_total(self):
+        assert rec(0.0, 0.0, 0.0).efficiency == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EfficiencyRecord(F=-1.0, G=0.0, H=0.0)
+
+    def test_from_ledger(self):
+        l = CostLedger()
+        l.charge(Category.USEFUL, 8.0)
+        l.charge(Category.POLL, 2.0)
+        l.charge(Category.JOB_CONTROL, 1.0)
+        r = EfficiencyRecord.from_ledger(l)
+        assert (r.F, r.G, r.H) == (8.0, 2.0, 1.0)
+
+    def test_total(self):
+        assert rec(1.0, 2.0, 3.0).total == 6.0
+
+
+class TestNormalize:
+    def test_base_is_one(self):
+        curves = normalize([1, 2], [rec(10, 5, 2), rec(20, 10, 4)])
+        assert curves.f[0] == curves.g[0] == curves.h[0] == 1.0
+        assert curves.f[1] == 2.0 and curves.g[1] == 2.0 and curves.h[1] == 2.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1], [rec(1, 1), rec(2, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([], [])
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1], [rec(0.0, 1.0, 1.0)])
+        with pytest.raises(ValueError):
+            normalize([1], [rec(1.0, 0.0, 1.0)])
+
+
+class TestIsoefficiencyConstants:
+    def test_from_base(self):
+        # E0 = 40/(40+50+10) = 0.4, alpha = 2.5
+        c = IsoefficiencyConstants.from_base(rec(40.0, 50.0, 10.0))
+        assert c.alpha == pytest.approx(2.5)
+        assert c.e0 == pytest.approx(0.4)
+        # c = G0/((alpha-1)F0) = 50/(1.5*40)
+        assert c.c == pytest.approx(50.0 / 60.0)
+        assert c.c_prime == pytest.approx(10.0 / 60.0)
+
+    def test_equation1_identity_at_base(self):
+        """f = c*g + c'*h must hold EXACTLY at the base point (all 1)."""
+        c = IsoefficiencyConstants.from_base(rec(40.0, 50.0, 10.0))
+        assert c.c + c.c_prime == pytest.approx(1.0)
+
+    def test_degenerate_base_rejected(self):
+        with pytest.raises(ValueError):
+            IsoefficiencyConstants.from_base(rec(0.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            IsoefficiencyConstants.from_base(rec(1.0, 0.0, 0.0))
+
+
+class TestConditions:
+    def test_eq1_holds_for_exactly_isoefficient_path(self):
+        """Scale F, G, H by the same factor: E constant, Eq.1 exact."""
+        records = [rec(40.0 * k, 50.0 * k, 10.0 * k) for k in (1, 2, 3)]
+        constants = IsoefficiencyConstants.from_base(records[0])
+        curves = normalize([1, 2, 3], records)
+        assert check_eq1(constants, curves) == [True, True, True]
+
+    def test_eq1_fails_when_overhead_outgrows(self):
+        records = [rec(40.0, 50.0, 10.0), rec(80.0, 300.0, 20.0)]
+        constants = IsoefficiencyConstants.from_base(records[0])
+        curves = normalize([1, 2], records)
+        assert check_eq1(constants, curves, rtol=0.05) == [True, False]
+
+    def test_eq2_detects_unscalable_point(self):
+        # g grows 4x while f grows 2x -> at k=2, f=2, c*g: c=50/60, g=4 -> 3.33 > 2
+        records = [rec(40.0, 50.0, 10.0), rec(80.0, 200.0, 20.0)]
+        constants = IsoefficiencyConstants.from_base(records[0])
+        curves = normalize([1, 2], records)
+        assert check_eq2(constants, curves) == [True, False]
+
+    def test_eq2_base_always_true(self):
+        """At base: f=g=1 and c < 1 (since H > 0), so Eq.2 holds."""
+        constants = IsoefficiencyConstants.from_base(rec(40.0, 50.0, 10.0))
+        curves = normalize([1], [rec(40.0, 50.0, 10.0)])
+        assert check_eq2(constants, curves) == [True]
+
+    def test_report_structure(self):
+        records = [rec(40.0 * k, 50.0 * k, 10.0 * k) for k in (1, 2)]
+        rep = isoefficiency_report([1, 2], records)
+        assert rep["eq1_ok"] == [True, True]
+        assert rep["eq2_ok"] == [True, True]
+        assert rep["efficiencies"][0] == pytest.approx(0.4)
+        assert rep["eq1_residuals"][0] == pytest.approx(0.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    F=st.floats(min_value=1.0, max_value=1e6),
+    G=st.floats(min_value=1.0, max_value=1e6),
+    H=st.floats(min_value=0.1, max_value=1e5),
+    k=st.floats(min_value=1.0, max_value=10.0),
+)
+def test_proportional_scaling_preserves_isoefficiency(F, G, H, k):
+    """For ANY base record with positive components, scaling all three
+    by k keeps E constant and satisfies both conditions — the algebraic
+    heart of the paper's derivation."""
+    base = rec(F, G, H)
+    scaled = rec(F * k, G * k, H * k)
+    assert scaled.efficiency == pytest.approx(base.efficiency)
+    constants = IsoefficiencyConstants.from_base(base)
+    curves = normalize([1, 1 + k], [base, scaled])
+    assert all(check_eq1(constants, curves, rtol=1e-6))
+    assert all(check_eq2(constants, curves))

@@ -1,0 +1,97 @@
+"""Tests for the F/G/H cost ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Category, CostLedger
+
+
+class TestCostLedger:
+    def test_starts_empty(self):
+        l = CostLedger()
+        assert l.F == 0.0 and l.G == 0.0 and l.H == 0.0
+        assert l.grand_total == 0.0
+
+    def test_prefix_rollup(self):
+        l = CostLedger()
+        l.charge(Category.USEFUL, 10.0)
+        l.charge(Category.SCHEDULE, 2.0)
+        l.charge(Category.POLL, 3.0)
+        l.charge(Category.JOB_CONTROL, 1.0)
+        assert l.F == 10.0
+        assert l.G == 5.0
+        assert l.H == 1.0
+        assert l.grand_total == 16.0
+
+    def test_accumulates_same_category(self):
+        l = CostLedger()
+        l.charge(Category.UPDATE_RX, 1.0)
+        l.charge(Category.UPDATE_RX, 2.5)
+        assert l.total(Category.UPDATE_RX) == 3.5
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge(Category.USEFUL, -1.0)
+
+    def test_unprefixed_category_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge("misc", 1.0)
+
+    def test_zero_charge_allowed(self):
+        l = CostLedger()
+        l.charge(Category.USEFUL, 0.0)
+        assert l.F == 0.0
+
+    def test_breakdown_is_copy(self):
+        l = CostLedger()
+        l.charge(Category.AUCTION, 2.0)
+        b = l.breakdown()
+        b[Category.AUCTION] = 99.0
+        assert l.total(Category.AUCTION) == 2.0
+
+    def test_all_g_categories_roll_into_G(self):
+        l = CostLedger()
+        cats = [
+            Category.SCHEDULE,
+            Category.UPDATE_RX,
+            Category.ESTIMATOR,
+            Category.POLL,
+            Category.ADVERT,
+            Category.AUCTION,
+            Category.MIDDLEWARE,
+            Category.COMPLETION,
+        ]
+        for c in cats:
+            l.charge(c, 1.0)
+        assert l.G == float(len(cats))
+        assert l.F == 0.0 and l.H == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(
+                [
+                    Category.USEFUL,
+                    Category.SCHEDULE,
+                    Category.POLL,
+                    Category.ESTIMATOR,
+                    Category.JOB_CONTROL,
+                    Category.DATA_MGMT,
+                ]
+            ),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        ),
+        max_size=100,
+    )
+)
+def test_fgh_partition_grand_total(charges):
+    """F + G + H must always equal the grand total: every charge rolls
+    into exactly one aggregate."""
+    l = CostLedger()
+    for cat, amt in charges:
+        l.charge(cat, amt)
+    assert l.F + l.G + l.H == pytest.approx(l.grand_total)
+    assert l.grand_total == pytest.approx(sum(a for _, a in charges))

@@ -1,0 +1,167 @@
+"""Tests for scaling variables, enablers, and paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Enabler, EnablerSpace, ScalingPath, ScalingStrategy, ScalingVariable
+
+
+class TestScalingVariable:
+    def test_linear_growth(self):
+        v = ScalingVariable("nodes", base=100.0)
+        assert v.at(1) == 100.0
+        assert v.at(6) == 600.0
+
+    def test_constant_growth(self):
+        v = ScalingVariable("net", base=1000.0, growth="constant")
+        assert v.at(6) == 1000.0
+
+    def test_bad_growth_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingVariable("x", 1.0, growth="exponential")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingVariable("x", 1.0).at(0)
+
+
+class TestEnabler:
+    def test_default_value(self):
+        e = Enabler("tau", (10.0, 20.0, 40.0), default_index=1)
+        assert e.default == 20.0
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            Enabler("tau", ())
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(ValueError):
+            Enabler("tau", (1.0,), default_index=5)
+
+
+class TestEnablerSpace:
+    def space(self):
+        return EnablerSpace(
+            [
+                Enabler("tau", (10.0, 20.0, 40.0, 80.0), default_index=1),
+                Enabler("nbr", (2.0, 4.0), default_index=0),
+                Enabler("fixed", (1.0,)),
+            ]
+        )
+
+    def test_requires_enablers(self):
+        with pytest.raises(ValueError):
+            EnablerSpace([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            EnablerSpace([Enabler("a", (1.0,)), Enabler("a", (2.0,))])
+
+    def test_defaults(self):
+        assert self.space().default_settings() == {"tau": 20.0, "nbr": 2.0, "fixed": 1.0}
+
+    def test_size(self):
+        assert self.space().size == 4 * 2 * 1
+
+    def test_contains_and_getitem(self):
+        s = self.space()
+        assert "tau" in s
+        assert s["nbr"].values == (2.0, 4.0)
+
+    def test_random_settings_in_grid(self):
+        s = self.space()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            st_ = s.random_settings(rng)
+            for e in s.enablers:
+                assert st_[e.name] in e.values
+
+    def test_neighbor_moves_one_enabler_one_step(self):
+        s = self.space()
+        rng = np.random.default_rng(1)
+        base = s.default_settings()
+        for _ in range(50):
+            nb = s.neighbor(base, rng)
+            diffs = [k for k in base if nb[k] != base[k]]
+            assert len(diffs) <= 1
+            if diffs:
+                k = diffs[0]
+                vals = list(s[k].values)
+                assert abs(vals.index(nb[k]) - vals.index(base[k])) == 1
+
+    def test_neighbor_never_moves_fixed(self):
+        s = self.space()
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            assert s.neighbor(s.default_settings(), rng)["fixed"] == 1.0
+
+    def test_neighbor_all_fixed_returns_same(self):
+        s = EnablerSpace([Enabler("a", (1.0,))])
+        rng = np.random.default_rng(0)
+        assert s.neighbor({"a": 1.0}, rng) == {"a": 1.0}
+
+    def test_neighbor_does_not_mutate_input(self):
+        s = self.space()
+        rng = np.random.default_rng(3)
+        base = s.default_settings()
+        snapshot = dict(base)
+        s.neighbor(base, rng)
+        assert base == snapshot
+
+
+class TestScalingPath:
+    def test_default_is_paper_path(self):
+        assert tuple(ScalingPath()) == (1, 2, 3, 4, 5, 6)
+        assert ScalingPath().base == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ScalingPath(())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ScalingPath((0, 1))
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            ScalingPath((1, 3, 2))
+
+    def test_len(self):
+        assert len(ScalingPath((1, 2))) == 2
+
+
+class TestScalingStrategy:
+    def test_variables_at(self):
+        strat = ScalingStrategy(
+            name="case1",
+            variables=[
+                ScalingVariable("nodes", 100.0),
+                ScalingVariable("rate", 0.05),
+                ScalingVariable("srv", 1.0, growth="constant"),
+            ],
+            enabler_space=EnablerSpace([Enabler("tau", (10.0,))]),
+        )
+        assert strat.variables_at(3) == {"nodes": 300.0, "rate": pytest.approx(0.15), "srv": 1.0}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    steps=st.integers(min_value=1, max_value=60),
+)
+def test_neighbor_walk_stays_in_grid(seed, steps):
+    """Any random walk through neighbor() stays inside the grid."""
+    space = EnablerSpace(
+        [
+            Enabler("a", (1.0, 2.0, 3.0)),
+            Enabler("b", (10.0, 20.0)),
+        ]
+    )
+    rng = np.random.default_rng(seed)
+    x = space.default_settings()
+    for _ in range(steps):
+        x = space.neighbor(x, rng)
+        assert x["a"] in (1.0, 2.0, 3.0)
+        assert x["b"] in (10.0, 20.0)

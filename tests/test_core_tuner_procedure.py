@@ -1,0 +1,177 @@
+"""Tests for the enabler tuner and the end-to-end measurement procedure,
+using an analytic toy system instead of the full grid simulation."""
+
+import pytest
+
+from repro.core import (
+    AnnealingSchedule,
+    EfficiencyRecord,
+    Enabler,
+    EnablerSpace,
+    EnablerTuner,
+    ScalabilityProcedure,
+    ScalingPath,
+)
+
+
+class ToyObservation:
+    """Observation built from closed-form F/G/H."""
+
+    def __init__(self, F, G, H, success=1.0):
+        self.record = EfficiencyRecord(F=F, G=G, H=H)
+        self.success_rate = success
+
+
+def toy_system(k, settings):
+    """An analytic managed system.
+
+    tau (update interval) trades overhead for success: overhead rate is
+    ``k * 100 / tau``; success falls once tau exceeds 40.  Useful work
+    is proportional to k times success.  Efficiency therefore moves
+    with tau, and a unique tau region satisfies any given band.
+    """
+    tau = settings["tau"]
+    success = 1.0 if tau <= 40 else max(0.0, 1.0 - (tau - 40) / 80.0)
+    F = 100.0 * k * success
+    G = 100.0 * k * (10.0 / tau) * 14.0  # = 14000k/tau... calibrated below
+    G = 140.0 * k * (10.0 / tau)
+    H = 5.0 * k
+    return ToyObservation(F, G, H, success)
+
+
+def space():
+    return EnablerSpace(
+        [Enabler("tau", (5.0, 10.0, 20.0, 40.0, 80.0), default_index=1)]
+    )
+
+
+# With tau=10: G=140k, F=100k, H=5k -> E = 100/245 = 0.408 (in band).
+# With tau=20: G=70k -> E = 100/175 = 0.571 (too efficient: outside band).
+# With tau=5: G=280k -> E = 0.26 (below band).
+
+
+class TestEnablerTuner:
+    def make_tuner(self, **kw):
+        kw.setdefault("schedule", AnnealingSchedule(iterations=30, t0=0.5))
+        kw.setdefault("seed", 1)
+        return EnablerTuner(toy_system, space(), **kw)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnablerTuner(toy_system, space(), e_tol=0.0)
+        with pytest.raises(ValueError):
+            EnablerTuner(toy_system, space(), success_floor=0.0)
+
+    def test_base_tuning_lands_in_band(self):
+        point = self.make_tuner().tune_base(1.0)
+        assert point.feasible
+        assert 0.36 <= point.efficiency <= 0.44
+        assert point.settings["tau"] == 10.0  # the only in-band grid point
+
+    def test_tune_holds_e0_at_higher_scale(self):
+        tuner = self.make_tuner()
+        base = tuner.tune_base(1.0)
+        point = tuner.tune(3.0, base.efficiency)
+        assert point.feasible
+        assert point.efficiency == pytest.approx(base.efficiency, abs=0.02)
+        # toy system is exactly proportional: G(3) = 3 * G(1)
+        assert point.G == pytest.approx(3 * base.G, rel=0.01)
+
+    def test_infeasible_marked(self):
+        """With an absurd efficiency target nothing in the grid works."""
+        tuner = self.make_tuner()
+        point = tuner.tune(1.0, 0.05)
+        assert not point.feasible
+
+    def test_cache_avoids_recomputation(self):
+        calls = []
+
+        def counting(k, settings):
+            calls.append((k, settings["tau"]))
+            return toy_system(k, settings)
+
+        tuner = EnablerTuner(
+            counting,
+            space(),
+            schedule=AnnealingSchedule(iterations=50, t0=0.5),
+            seed=0,
+        )
+        tuner.tune_base(1.0)
+        # The grid only has 5 points; 51 evaluations must hit the cache.
+        assert len(calls) <= 5
+        assert tuner.evaluations == len(calls)
+
+    def test_success_floor_excludes_lazy_settings(self):
+        """tau=80 halves success; even though its G is the global
+        minimum the floor must keep it infeasible."""
+        tuner = self.make_tuner(success_floor=0.9)
+        obs = toy_system(1.0, {"tau": 80.0})
+        assert obs.success_rate == 0.5
+        point = tuner.tune_base(1.0)
+        assert point.settings["tau"] != 80.0
+
+    def test_tune_rejects_bad_e0(self):
+        with pytest.raises(ValueError):
+            self.make_tuner().tune(1.0, 1.5)
+
+    def test_tune_base_rejects_bad_band(self):
+        with pytest.raises(ValueError):
+            self.make_tuner().tune_base(1.0, band=(0.5, 0.4))
+
+
+class TestScalabilityProcedure:
+    def run_procedure(self, system=toy_system, scales=(1, 2, 3)):
+        proc = ScalabilityProcedure(
+            system,
+            space(),
+            path=ScalingPath(scales),
+            schedule=AnnealingSchedule(iterations=25, t0=0.5),
+            seed=2,
+        )
+        return proc.run(name="TOY")
+
+    def test_full_run_shape(self):
+        res = self.run_procedure()
+        assert res.name == "TOY"
+        assert res.scales == (1, 2, 3)
+        assert len(res.points) == 3
+        assert res.base_feasible
+        assert len(res.slopes.g_slopes) == 2
+        assert len(res.eq2_ok) == 3
+
+    def test_proportional_system_is_scalable_everywhere(self):
+        res = self.run_procedure()
+        assert all(res.eq2_ok)
+        assert all(res.slopes.scalable)
+        assert res.feasible_through == 3
+
+    def test_g_curve_roughly_linear(self):
+        res = self.run_procedure()
+        g = res.G
+        assert g[1] == pytest.approx(2 * g[0], rel=0.05)
+        assert g[2] == pytest.approx(3 * g[0], rel=0.05)
+
+    def test_unscalable_system_detected(self):
+        """A system whose overhead grows quadratically while work grows
+        linearly must fail Eq. 2 and the slope test at high scale."""
+
+        def central_like(k, settings):
+            tau = settings["tau"]
+            # Staleness compounds with scale: stretching tau to dodge the
+            # quadratic overhead destroys delivered work instead.
+            stale = tau * k
+            success = 1.0 if stale <= 60 else max(0.0, 1.0 - (stale - 60) / 200.0)
+            F = 100.0 * k * success
+            G = 140.0 * (10.0 / tau) * k * k  # superlinear overhead
+            H = 5.0 * k
+            return ToyObservation(F, G, H, success)
+
+        res = self.run_procedure(system=central_like, scales=(1, 2, 4))
+        assert not all(res.eq2_ok)
+        assert not all(res.slopes.scalable)
+        assert res.slopes.scalable_through < 4
+
+    def test_efficiencies_tracked_per_scale(self):
+        res = self.run_procedure()
+        assert len(res.efficiencies) == 3
+        assert all(0.0 < e < 1.0 for e in res.efficiencies)

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the quickstart surface of the library; a broken example is
+a broken deliverable.  Each is executed in-process (imported as a
+module and its ``main()`` called) with output captured.  The slowest
+are marked ``slow``.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, capsys):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    mod.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "efficiency" in out
+    assert "RMS overhead" in out
+
+
+def test_compare_rms(capsys):
+    out = run_example("compare_rms.py", capsys)
+    for rms in ("CENTRAL", "LOWEST", "Sy-I"):
+        assert rms in out
+
+
+@pytest.mark.slow
+def test_custom_rms(capsys):
+    out = run_example("custom_rms.py", capsys)
+    assert "TWO-CHOICE" in out
+    assert "polling overhead" in out
+
+
+@pytest.mark.slow
+def test_failure_injection(capsys):
+    out = run_example("failure_injection.py", capsys)
+    assert "loss=50%" in out
+
+
+@pytest.mark.slow
+def test_dag_workloads(capsys):
+    out = run_example("dag_workloads.py", capsys)
+    assert "staged edges" in out
+
+
+@pytest.mark.slow
+def test_replication_study(capsys):
+    out = run_example("replication_study.py", capsys)
+    assert "95% CI" in out
+
+
+@pytest.mark.slow
+def test_inspect_run(capsys):
+    out = run_example("inspect_run.py", capsys)
+    assert "overhead breakdown" in out
+    assert "Busiest RMS servers" in out

@@ -1,0 +1,158 @@
+"""Tests for experiment configuration and Table-1 constants."""
+
+import pytest
+
+from repro.experiments import PROFILES, CommonParameters, SimulationConfig
+from repro.experiments.cases import CASES, get_case
+from repro.core.scaling import (
+    LINK_DELAY_SCALE,
+    NEIGHBORHOOD_SIZE,
+    UPDATE_INTERVAL,
+    VOLUNTEER_INTERVAL,
+)
+
+
+class TestCommonParameters:
+    """Table 1 of the paper, verbatim."""
+
+    def test_t_cpu_is_700(self):
+        assert CommonParameters().t_cpu == 700.0
+
+    def test_t_l_is_half(self):
+        assert CommonParameters().t_l == 0.5
+
+    def test_benefit_range_2_to_5(self):
+        c = CommonParameters()
+        assert (c.benefit_lo, c.benefit_hi) == (2.0, 5.0)
+
+    def test_efficiency_band(self):
+        assert CommonParameters().efficiency_band == (0.38, 0.42)
+
+
+class TestProfiles:
+    def test_both_profiles_exist(self):
+        assert set(PROFILES) == {"ci", "full"}
+
+    def test_full_profile_matches_paper_scale(self):
+        full = PROFILES["full"]
+        # 1000-node fixed network (Cases 2-4): resources + schedulers
+        assert full.fixed_resources + full.fixed_schedulers == 1000
+        assert full.scales == (1, 2, 3, 4, 5, 6)
+
+    def test_ci_profile_is_smaller(self):
+        ci, full = PROFILES["ci"], PROFILES["full"]
+        assert ci.base_resources < full.base_resources
+        assert ci.horizon < full.horizon
+
+    def test_same_workload_intensity(self):
+        """CI and full share per-resource intensity so shapes carry over."""
+        assert PROFILES["ci"].base_rate_per_resource == PROFILES["full"].base_rate_per_resource
+
+
+class TestSimulationConfig:
+    def base(self, **kw):
+        kw.setdefault("rms", "LOWEST")
+        kw.setdefault("n_schedulers", 2)
+        kw.setdefault("n_resources", 6)
+        kw.setdefault("workload_rate", 0.01)
+        return SimulationConfig(**kw)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.base(n_schedulers=0)
+        with pytest.raises(ValueError):
+            self.base(n_resources=1)
+        with pytest.raises(ValueError):
+            self.base(workload_rate=0.0)
+        with pytest.raises(ValueError):
+            self.base(update_interval=0.0)
+        with pytest.raises(ValueError):
+            self.base(l_p=-1)
+        with pytest.raises(ValueError):
+            self.base(horizon=0.0)
+
+    def test_with_enablers_applies_values(self):
+        cfg = self.base().with_enablers(
+            {
+                UPDATE_INTERVAL: 12.0,
+                NEIGHBORHOOD_SIZE: 5.0,
+                LINK_DELAY_SCALE: 0.6,
+                VOLUNTEER_INTERVAL: 80.0,
+            }
+        )
+        assert cfg.update_interval == 12.0
+        assert cfg.neighborhood_size == 5  # coerced to int
+        assert cfg.link_delay_scale == 0.6
+        assert cfg.volunteer_interval == 80.0
+
+    def test_with_enablers_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            self.base().with_enablers({"warp_factor": 9.0})
+
+    def test_with_enablers_preserves_rest(self):
+        cfg = self.base(l_p=5).with_enablers({UPDATE_INTERVAL: 10.0})
+        assert cfg.l_p == 5 and cfg.rms == "LOWEST"
+
+    def test_batch_window_defaults_to_half_tau(self):
+        assert self.base(update_interval=10.0).effective_batch_window == 5.0
+
+    def test_batch_window_explicit(self):
+        cfg = self.base(update_interval=10.0, estimator_batch_window=0.0)
+        assert cfg.effective_batch_window == 0.0
+
+
+class TestCases:
+    def test_four_cases(self):
+        assert sorted(CASES) == [1, 2, 3, 4]
+
+    def test_get_case_unknown(self):
+        with pytest.raises(KeyError):
+            get_case(9)
+
+    def test_case1_scales_network_and_workload(self):
+        case = get_case(1)
+        prof = PROFILES["ci"]
+        c1 = case.config_for("LOWEST", 1, prof)
+        c3 = case.config_for("LOWEST", 3, prof)
+        assert c3.n_resources == 3 * c1.n_resources
+        assert c3.n_schedulers == 3 * c1.n_schedulers
+        assert c3.workload_rate == pytest.approx(3 * c1.workload_rate)
+        assert c3.service_rate == c1.service_rate == 1.0
+
+    def test_case2_scales_service_rate_fixed_network(self):
+        case = get_case(2)
+        prof = PROFILES["ci"]
+        c1, c4 = case.config_for("S-I", 1, prof), case.config_for("S-I", 4, prof)
+        assert c4.n_resources == c1.n_resources == prof.fixed_resources
+        assert c4.service_rate == 4.0
+        assert c4.workload_rate == pytest.approx(4 * c1.workload_rate)
+
+    def test_case3_scales_estimators(self):
+        case = get_case(3)
+        prof = PROFILES["ci"]
+        c1, c2 = case.config_for("AUCTION", 1, prof), case.config_for("AUCTION", 2, prof)
+        assert c1.n_estimators == prof.fixed_schedulers
+        assert c2.n_estimators == 2 * prof.fixed_schedulers
+        assert c2.n_resources == c1.n_resources
+
+    def test_case4_scales_lp(self):
+        case = get_case(4)
+        prof = PROFILES["ci"]
+        c1, c3 = case.config_for("R-I", 1, prof), case.config_for("R-I", 3, prof)
+        assert c1.l_p == 2
+        assert c3.l_p == 6
+
+    def test_case4_enabler_space_has_volunteering(self):
+        space = get_case(4).enabler_space()
+        assert VOLUNTEER_INTERVAL in space
+        assert NEIGHBORHOOD_SIZE not in space
+
+    def test_cases_123_enabler_space_standard(self):
+        for cid in (1, 2, 3):
+            space = get_case(cid).enabler_space()
+            assert UPDATE_INTERVAL in space
+            assert NEIGHBORHOOD_SIZE in space
+            assert LINK_DELAY_SCALE in space
+
+    def test_path_follows_profile(self):
+        assert tuple(get_case(1).path(PROFILES["ci"])) == PROFILES["ci"].scales

@@ -1,0 +1,83 @@
+"""Tests for the post-run inspection report."""
+
+import pytest
+
+from repro.experiments import SimulationConfig, build_system
+from repro.experiments.inspect import (
+    failed_job_forensics,
+    hotspots,
+    inspection_report,
+    overhead_breakdown,
+)
+from repro.grid import JobState
+
+
+@pytest.fixture(scope="module")
+def finished_system():
+    cfg = SimulationConfig(
+        rms="LOWEST",
+        n_schedulers=3,
+        n_resources=9,
+        workload_rate=0.005,
+        update_interval=10.0,
+        horizon=3000.0,
+        drain=30000.0,
+        seed=2,
+    )
+    system = build_system(cfg)
+    system.sim.run(until=cfg.horizon)
+    deadline = cfg.horizon + cfg.drain
+    while system.sim.now < deadline and any(
+        j.state != JobState.COMPLETED for j in system.jobs
+    ):
+        system.sim.run(until=min(deadline, system.sim.now + 2000.0))
+    return system
+
+
+class TestOverheadBreakdown:
+    def test_sums_to_G_and_shares_to_one(self, finished_system):
+        rows = overhead_breakdown(finished_system)
+        total = sum(r[1] for r in rows)
+        assert total == pytest.approx(finished_system.ledger.G)
+        assert sum(r[2] for r in rows) == pytest.approx(1.0)
+
+    def test_sorted_descending(self, finished_system):
+        rows = overhead_breakdown(finished_system)
+        amounts = [r[1] for r in rows]
+        assert amounts == sorted(amounts, reverse=True)
+
+    def test_only_g_categories(self, finished_system):
+        assert all(r[0].startswith("g.") for r in overhead_breakdown(finished_system))
+
+
+class TestHotspots:
+    def test_ranked_by_busy_time(self, finished_system):
+        rows = hotspots(finished_system, top=4)
+        fracs = [r[1] for r in rows]
+        assert fracs == sorted(fracs, reverse=True)
+        assert all(0.0 <= f <= 1.0 for f in fracs)
+
+    def test_top_limits_rows(self, finished_system):
+        assert len(hotspots(finished_system, top=2)) == 2
+
+
+class TestForensics:
+    def test_failed_jobs_have_timelines(self, finished_system):
+        lines = failed_job_forensics(finished_system)
+        failures = [
+            j for j in finished_system.jobs
+            if j.state == JobState.COMPLETED and not j.successful
+        ]
+        if failures:
+            assert any("MISSED BOUND" in l for l in lines)
+        else:
+            assert lines == []
+
+
+class TestFullReport:
+    def test_report_renders_all_sections(self, finished_system):
+        out = inspection_report(finished_system)
+        assert "overhead breakdown" in out
+        assert "Busiest RMS servers" in out
+        assert "Cluster service timeline" in out
+        assert "g.update_rx" in out or "g.estimator" in out

@@ -1,0 +1,152 @@
+"""Tests for result rendering: tables, ASCII plots, CSV output."""
+
+import csv
+
+import pytest
+
+from repro.core.efficiency import EfficiencyRecord, normalize
+from repro.core.isoefficiency import IsoefficiencyConstants, check_eq2
+from repro.core.slope import analyze_slopes
+from repro.core.tuner import TunedPoint
+from repro.core.procedure import ScalabilityResult
+from repro.experiments.reporting import ascii_plot, figure_report, format_table, write_csv
+from repro.experiments.reproduce import FigureData, RMSSeries
+from repro.experiments.runner import RunMetrics
+
+
+def fake_metrics(F, G, H, succ=10, total=10):
+    return RunMetrics(
+        record=EfficiencyRecord(F=F, G=G, H=H),
+        jobs_submitted=total,
+        jobs_completed=total,
+        jobs_successful=succ,
+        mean_response=500.0,
+        throughput=succ / 1000.0,
+        messages_sent=100,
+        scheduler_busy=G,
+        horizon=1000.0,
+    )
+
+
+def fake_series(name, Gs=(100.0, 210.0, 330.0)):
+    scales = tuple(range(1, len(Gs) + 1))
+    records = [EfficiencyRecord(F=50.0 * k, G=g, H=5.0 * k) for k, g in zip(scales, Gs)]
+    points = [
+        TunedPoint(
+            scale=k,
+            settings={"update_interval": 10.0},
+            record=r,
+            success_rate=0.95,
+            objective=1.0,
+            feasible=True,
+        )
+        for k, r in zip(scales, records)
+    ]
+    curves = normalize(scales, records)
+    constants = IsoefficiencyConstants.from_base(records[0])
+    result = ScalabilityResult(
+        name=name,
+        e0=records[0].efficiency,
+        points=points,
+        curves=curves,
+        slopes=analyze_slopes(curves),
+        constants=constants,
+        eq2_ok=check_eq2(constants, curves),
+        base_feasible=True,
+    )
+    metrics = [fake_metrics(r.F, r.G, r.H) for r in records]
+    return RMSSeries(rms=name, result=result, metrics=metrics)
+
+
+def fake_figure():
+    return FigureData(
+        figure="Figure X",
+        title="test figure",
+        x_label="k",
+        y_label="G",
+        series={"ALPHA": fake_series("ALPHA"), "BETA": fake_series("BETA", (80, 400, 900))},
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_header_rule(self):
+        out = format_table(["a", "bb"], [[1, 2.34567], [10, 5.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = [len(x) for x in lines]
+        assert len(set(widths)) == 1  # all rows align
+
+    def test_float_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=3)
+        assert "1.235" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+
+class TestAsciiPlot:
+    def test_contains_all_series_letters(self):
+        out = ascii_plot({"one": [1, 2, 3], "two": [3, 2, 1]}, [1, 2, 3])
+        assert "A=one" in out and "B=two" in out
+        assert "A" in out.splitlines()[0] or any("A" in l for l in out.splitlines())
+
+    def test_empty(self):
+        assert ascii_plot({}, []) == "(no data)"
+
+    def test_log_scale_annotated(self):
+        out = ascii_plot({"s": [1, 10, 100]}, [1, 2, 3], logy=True)
+        assert "log10" in out
+
+    def test_nan_values_skipped(self):
+        out = ascii_plot({"s": [1.0, float("nan"), 3.0]}, [1, 2, 3])
+        assert "y:" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_plot({"s": [5.0, 5.0]}, [1, 2])
+        assert "y:" in out
+
+
+class TestFigureReport:
+    def test_report_structure(self):
+        out = figure_report(fake_figure(), "G")
+        assert "Figure X" in out
+        assert "ALPHA" in out and "BETA" in out
+        assert "k=1" in out and "k=3" in out
+
+    def test_quantities(self):
+        fig = fake_figure()
+        for q in ("G", "g_norm", "throughput", "response"):
+            assert "ALPHA" in figure_report(fig, q)
+
+    def test_rows(self):
+        fig = fake_figure()
+        rows = fig.rows("g_norm")
+        assert rows[0][0] == "ALPHA"
+        assert rows[0][1] == pytest.approx(1.0)
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        fig = fake_figure()
+        path = tmp_path / "fig.csv"
+        write_csv(fig, str(path), "G")
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["rms", "k=1", "k=2", "k=3"]
+        assert rows[1][0] == "ALPHA"
+        assert float(rows[1][1]) == 100.0
+
+
+class TestSeriesAccessors:
+    def test_series_properties(self):
+        s = fake_series("X")
+        assert s.scales == (1, 2, 3)
+        assert s.G == (100.0, 210.0, 330.0)
+        assert s.g_norm[0] == 1.0
+        assert len(s.throughput) == 3
+        assert len(s.response) == 3
+
+    def test_figure_scales(self):
+        assert fake_figure().scales == (1, 2, 3)

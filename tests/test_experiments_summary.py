@@ -1,0 +1,68 @@
+"""Tests for the cross-case conclusion summary."""
+
+import pytest
+
+from repro.experiments.summary import summarize_case, study_report
+
+from test_experiments_reporting import fake_series
+
+
+def series_pair():
+    # scalable: G tracks F (both linear-ish)
+    good = fake_series("GOOD", Gs=(100.0, 200.0, 300.0))
+    # unscalable: overhead explodes
+    bad = fake_series("BAD", Gs=(100.0, 400.0, 1200.0))
+    # mark BAD's top points infeasible
+    for p in bad.result.points[1:]:
+        object.__setattr__(p, "feasible", False)
+    return {"GOOD": good, "BAD": bad}
+
+
+class TestSummarizeCase:
+    def test_ranking_prefers_feasible_then_flat(self):
+        cs = summarize_case("Case X", series_pair())
+        assert cs.ranking[0] == "GOOD"
+        assert cs.ranking[-1] == "BAD"
+
+    def test_rows_content(self):
+        cs = summarize_case("Case X", series_pair())
+        slope_good, thru_good, eq2_good = cs.rows["GOOD"]
+        assert thru_good == 3
+        assert slope_good == pytest.approx(1.0)  # g: 1,2,3
+        slope_bad, thru_bad, _ = cs.rows["BAD"]
+        assert thru_bad == 1
+        assert slope_bad > slope_good
+
+    def test_variable_feasible_when_any_design_survives(self):
+        cs = summarize_case("Case X", series_pair())
+        assert cs.variable_feasible
+
+    def test_variable_infeasible_when_none_survive(self):
+        series = series_pair()
+        for s in series.values():
+            for p in s.result.points[1:]:
+                object.__setattr__(p, "feasible", False)
+        cs = summarize_case("Case X", series)
+        assert not cs.variable_feasible
+
+    def test_empty_case(self):
+        cs = summarize_case("empty", {})
+        assert cs.ranking == []
+        assert not cs.variable_feasible
+
+
+class TestStudyReport:
+    def test_report_renders_all_blocks(self):
+        cs = summarize_case("Case X", series_pair())
+        out = study_report([cs, cs])
+        assert out.count("Case X") == 2
+        assert "ranking (best first): GOOD > BAD" in out
+        assert "feasible scaling variable" in out
+
+    def test_infeasible_variable_flagged(self):
+        series = series_pair()
+        for s in series.values():
+            for p in s.result.points:
+                object.__setattr__(p, "feasible", False)
+        out = study_report([summarize_case("Case Y", series)])
+        assert "NO design scales" in out

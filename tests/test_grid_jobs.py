@@ -1,0 +1,96 @@
+"""Tests for the Job lifecycle state machine."""
+
+import pytest
+
+from repro.grid import Job, JobState
+from repro.workload import JobClass, JobSpec
+
+
+def spec(
+    job_id=0,
+    arrival=100.0,
+    execution=50.0,
+    benefit=2.0,
+    cluster=1,
+    job_class=JobClass.LOCAL,
+):
+    return JobSpec(
+        job_id=job_id,
+        arrival_time=arrival,
+        execution_time=execution,
+        requested_time=execution * 1.5,
+        benefit_factor=benefit,
+        submit_cluster=cluster,
+        job_class=job_class,
+    )
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        j = Job(spec())
+        assert j.state == JobState.SUBMITTED
+        assert j.response_time is None
+        assert j.successful is None
+        assert j.transfers == 0
+
+    def test_local_flow(self):
+        j = Job(spec())
+        j.mark_placed(1)  # submit cluster
+        j.mark_running(110.0)
+        j.mark_completed(160.0)
+        assert j.state == JobState.COMPLETED
+        assert j.response_time == 60.0
+        assert j.transfers == 0
+
+    def test_success_within_benefit_bound(self):
+        # U_b = 2.0 * 50 = 100
+        j = Job(spec())
+        j.mark_placed(1)
+        j.mark_running(120.0)
+        j.mark_completed(170.0)  # response 70 <= 100
+        assert j.successful is True
+
+    def test_failure_beyond_benefit_bound(self):
+        j = Job(spec())
+        j.mark_placed(1)
+        j.mark_running(190.0)
+        j.mark_completed(240.0)  # response 140 > 100
+        assert j.successful is False
+
+    def test_remote_placement_counts_transfer(self):
+        j = Job(spec(cluster=1))
+        j.mark_placed(3)
+        assert j.transfers == 1
+
+    def test_waiting_then_placed(self):
+        j = Job(spec())
+        j.mark_waiting()
+        assert j.state == JobState.WAITING
+        j.mark_placed(1)
+        assert j.state == JobState.PLACED
+
+    def test_illegal_transitions_raise(self):
+        j = Job(spec())
+        with pytest.raises(ValueError):
+            j.mark_running(1.0)  # not placed yet
+        j.mark_placed(1)
+        with pytest.raises(ValueError):
+            j.mark_completed(1.0)  # not running yet
+        with pytest.raises(ValueError):
+            j.mark_waiting()  # already placed
+        j.mark_running(1.0)
+        with pytest.raises(ValueError):
+            j.mark_placed(2)  # already running
+
+    def test_is_remote_class(self):
+        assert not Job(spec()).is_remote_class
+        assert Job(spec(job_class=JobClass.REMOTE)).is_remote_class
+
+    def test_benefit_bound_passthrough(self):
+        j = Job(spec(execution=50.0, benefit=3.0))
+        assert j.spec.benefit_bound == 150.0
+
+    def test_repeated_same_cluster_placement_no_transfer(self):
+        j = Job(spec(cluster=2))
+        j.mark_placed(2)
+        assert j.transfers == 0

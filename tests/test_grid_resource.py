@@ -1,0 +1,223 @@
+"""Tests for the Resource entity: service, accounting, reporting."""
+
+import pytest
+
+from repro.core import Category
+from repro.grid import JobState
+from repro.network import MessageKind
+
+from helpers import MiniGrid, make_job
+
+
+def single_resource_grid(**kw):
+    g = MiniGrid(n_clusters=1, resources_per_cluster=1, **kw)
+    return g, g.resources[0]
+
+
+class TestService:
+    def test_job_runs_for_demand_over_rate(self):
+        g, res = single_resource_grid(service_rate=2.0)
+        job = make_job(execution=50.0)
+        job.mark_placed(0)
+        res.accept_job(job)
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+        assert job.completion_time == pytest.approx(25.0)
+
+    def test_fifo_order(self):
+        g, res = single_resource_grid()
+        jobs = [make_job(execution=10.0) for _ in range(3)]
+        for j in jobs:
+            j.mark_placed(0)
+            res.accept_job(j)
+        g.sim.run()
+        times = [j.completion_time for j in jobs]
+        assert times == sorted(times)
+        assert times == pytest.approx([10.0, 20.0, 30.0])
+
+    def test_load_counts_queue_plus_running(self):
+        g, res = single_resource_grid()
+        assert res.load == 0 and res.idle
+        for _ in range(3):
+            j = make_job(execution=100.0)
+            j.mark_placed(0)
+            res.accept_job(j)
+        assert res.load == 3
+        assert not res.idle
+
+    def test_successful_job_credits_F(self):
+        g, res = single_resource_grid()
+        job = make_job(execution=50.0, benefit=5.0)  # bound 250, easily met
+        job.mark_placed(0)
+        res.accept_job(job)
+        g.sim.run()
+        assert job.successful
+        assert g.ledger.total(Category.USEFUL) == pytest.approx(50.0)
+
+    def test_failed_job_does_not_credit_F(self):
+        g, res = single_resource_grid()
+        # arrival long ago -> response time huge -> miss benefit bound
+        job = make_job(arrival=0.0, execution=50.0, benefit=2.0)
+        job.mark_placed(0)
+        g.sim.run(until=500.0)
+        res.accept_job(job)
+        g.sim.run()
+        assert job.successful is False
+        assert g.ledger.total(Category.USEFUL) == 0.0
+
+    def test_job_control_charged_to_H(self):
+        g, res = single_resource_grid()
+        job = make_job()
+        job.mark_placed(0)
+        res.accept_job(job)
+        assert g.ledger.total(Category.JOB_CONTROL) == pytest.approx(g.costs.job_control)
+
+    def test_transferred_job_charges_data_mgmt(self):
+        g, res = single_resource_grid()
+        job = make_job(cluster=1)  # submitted at cluster 1, placed at 0
+        job.mark_placed(0)
+        assert job.transfers == 1
+        res.accept_job(job)
+        assert g.ledger.total(Category.DATA_MGMT) == pytest.approx(g.costs.data_mgmt)
+
+    def test_completion_notifies_scheduler(self):
+        g, res = single_resource_grid()
+        seen = []
+        res.scheduler.after_completion = lambda job: seen.append(job)
+        job = make_job(execution=5.0)
+        job.mark_placed(0)
+        res.accept_job(job)
+        g.sim.run()
+        assert seen == [job]
+
+    def test_dispatch_message_accepted(self):
+        g, res = single_resource_grid()
+        from repro.network import Message
+
+        job = make_job()
+        job.mark_placed(0)
+        res.deliver(Message(MessageKind.JOB_DISPATCH, payload={"job": job}))
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+
+    def test_non_dispatch_message_rejected(self):
+        g, res = single_resource_grid()
+        from repro.network import Message
+
+        with pytest.raises(ValueError):
+            res.deliver(Message(MessageKind.POLL_REQUEST))
+
+    def test_bad_service_rate_rejected(self):
+        g, res = single_resource_grid()
+        from repro.grid import Resource
+
+        with pytest.raises(ValueError):
+            Resource(
+                g.sim, "bad", 0, 99, 0, service_rate=0.0, ledger=g.ledger, costs=g.costs
+            )
+
+    def test_utilization_statistic(self):
+        g, res = single_resource_grid()
+        job = make_job(execution=50.0)
+        job.mark_placed(0)
+        res.accept_job(job)
+        g.sim.run(until=100.0)
+        assert res.util_stat.mean(100.0) == pytest.approx(0.5)
+
+
+class TestFailureInjection:
+    def test_offline_defers_queued_jobs(self):
+        g, res = single_resource_grid()
+        res.set_offline()
+        job = make_job(execution=10.0)
+        job.mark_placed(0)
+        res.accept_job(job)
+        g.sim.run(until=100.0)
+        assert job.state == JobState.PLACED  # never started
+        res.set_online()
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+        assert job.completion_time == pytest.approx(110.0)
+
+    def test_running_job_finishes_despite_offline(self):
+        g, res = single_resource_grid()
+        job = make_job(execution=10.0)
+        job.mark_placed(0)
+        res.accept_job(job)
+        g.sim.run(until=1.0)
+        res.set_offline()
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+
+
+class TestStatusReporting:
+    def test_reports_sent_when_load_changes(self):
+        g, res = single_resource_grid()
+        res.start_reporting(interval=10.0)
+        job = make_job(execution=35.0)
+        job.mark_placed(0)
+        g.sim.schedule(5.0, res.accept_job, job)
+        g.sim.run(until=60.0)
+        # First tick (t=0, load 0) reports the baseline; load becomes 1
+        # at t=5, reported at t=10; back to 0 at t=40, reported at t=50.
+        assert res._last_reported_load == 0
+        assert res.estimator.served >= 3
+
+    def test_suppression_skips_unchanged_load(self):
+        g, res = single_resource_grid()
+        res.start_reporting(interval=10.0, max_silence=None)
+        g.sim.run(until=200.0)
+        # Load never changes after the initial report and keepalives are
+        # off: exactly one update.
+        assert res.estimator.served == 1
+
+    def test_keepalive_bounds_suppression(self):
+        g, res = single_resource_grid()
+        res.start_reporting(interval=10.0, max_silence=3)
+        g.sim.run(until=200.0)
+        # Initial report at t=0, then a keepalive every 3 suppressed
+        # ticks (every 40 time units): t=40, 80, 120, 160, 200 -> ~6.
+        assert 5 <= res.estimator.served <= 7
+
+    def test_keepalive_counter_resets_on_change(self):
+        g, res = single_resource_grid()
+        res.start_reporting(interval=10.0, max_silence=3)
+        job = make_job(execution=500.0)  # stays running for the test
+        job.mark_placed(0)
+        g.sim.schedule(25.0, res.accept_job, job)
+        g.sim.run(until=55.0)
+        # t=0 initial (load 0), t=30 change-driven (load 1); the silence
+        # counter restarts, so no keepalive before t=60.
+        assert res.estimator.served == 2
+
+    def test_bad_max_silence_rejected(self):
+        g, res = single_resource_grid()
+        with pytest.raises(ValueError):
+            res.start_reporting(interval=10.0, max_silence=0)
+
+    def test_stop_reporting(self):
+        g, res = single_resource_grid()
+        res.start_reporting(interval=10.0)
+        g.sim.run(until=15.0)
+        res.stop_reporting()
+        served_before = res.estimator.served
+        job = make_job(execution=5.0)
+        job.mark_placed(0)
+        res.accept_job(job)
+        g.sim.run(until=100.0)
+        assert res.estimator.served == served_before
+
+    def test_bad_interval_rejected(self):
+        g, res = single_resource_grid()
+        with pytest.raises(ValueError):
+            res.start_reporting(interval=0.0)
+
+    def test_phase_staggers_first_report(self):
+        g, res = single_resource_grid()
+        res.start_reporting(interval=10.0, phase=3.0)
+        g.sim.run(until=2.9)
+        assert res.estimator.served == 0
+        g.sim.run(until=4.0)
+        # in flight or served shortly after t=3
+        g.sim.run(until=10.0)
+        assert res.estimator.served == 1

@@ -1,0 +1,135 @@
+"""Tests for the moldable-jobs extension (partition sizes > 1)."""
+
+import pytest
+
+from repro.core import CostLedger
+from repro.grid import CostModel, JobState, Resource
+from repro.grid.jobs import Job
+from repro.sim import RngHub, Simulator
+from repro.workload import JobSpec, WorkloadGenerator
+
+
+def make_job(job_id, execution, partition=1, arrival=0.0):
+    return Job(
+        JobSpec(
+            job_id=job_id,
+            arrival_time=arrival,
+            execution_time=execution,
+            requested_time=execution * 2,
+            benefit_factor=5.0,
+            submit_cluster=0,
+            job_class="LOCAL",
+            partition_size=partition,
+        )
+    )
+
+
+def make_resource(n_processors=4, speedup=0.8):
+    sim = Simulator()
+    res = Resource(
+        sim, "r", 0, 0, 0, service_rate=1.0, ledger=CostLedger(),
+        costs=CostModel(), n_processors=n_processors, speedup_exponent=speedup,
+    )
+    return sim, res
+
+
+class TestMoldableResource:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, "r", 0, 0, 0, 1.0, CostLedger(), CostModel(), n_processors=0)
+        with pytest.raises(ValueError):
+            Resource(sim, "r", 0, 0, 0, 1.0, CostLedger(), CostModel(), speedup_exponent=0.0)
+
+    def test_single_processor_unchanged(self):
+        """partition 1 on a 1-processor resource: classic behaviour."""
+        sim, res = make_resource(n_processors=1)
+        a, b = make_job(0, 10.0), make_job(1, 10.0)
+        for j in (a, b):
+            j.mark_placed(0)
+            res.accept_job(j)
+        sim.run()
+        assert a.completion_time == pytest.approx(10.0)
+        assert b.completion_time == pytest.approx(20.0)  # serial
+
+    def test_parallel_partitions_share_processors(self):
+        """Two 2-wide jobs run concurrently on a 4-processor resource."""
+        sim, res = make_resource(n_processors=4, speedup=1.0)
+        a, b = make_job(0, 10.0, partition=2), make_job(1, 10.0, partition=2)
+        for j in (a, b):
+            j.mark_placed(0)
+            res.accept_job(j)
+        sim.run()
+        # speedup exponent 1.0: p=2 runs 2x faster -> 5 units each,
+        # both concurrently.
+        assert a.completion_time == pytest.approx(5.0)
+        assert b.completion_time == pytest.approx(5.0)
+
+    def test_sublinear_speedup(self):
+        sim, res = make_resource(n_processors=4, speedup=0.5)
+        j = make_job(0, 16.0, partition=4)
+        j.mark_placed(0)
+        res.accept_job(j)
+        sim.run()
+        # speedup = 4**0.5 = 2 -> 8 time units
+        assert j.completion_time == pytest.approx(8.0)
+
+    def test_head_of_line_blocking(self):
+        """A wide head job blocks narrower followers (FIFO semantics)."""
+        sim, res = make_resource(n_processors=4, speedup=1.0)
+        wide = make_job(0, 12.0, partition=4)
+        narrow = make_job(1, 4.0, partition=1)
+        for j in (wide, narrow):
+            j.mark_placed(0)
+            res.accept_job(j)
+        sim.run()
+        # wide: 12/4 = 3 units; narrow starts only after.
+        assert wide.completion_time == pytest.approx(3.0)
+        assert narrow.completion_time == pytest.approx(7.0)
+
+    def test_oversized_partition_clamped(self):
+        """A request wider than the machine is clamped to fit."""
+        sim, res = make_resource(n_processors=2, speedup=1.0)
+        j = make_job(0, 10.0, partition=8)
+        j.mark_placed(0)
+        res.accept_job(j)
+        sim.run()
+        assert j.state == JobState.COMPLETED
+        assert j.completion_time == pytest.approx(5.0)  # p clamped to 2
+
+    def test_load_counts_all_jobs_in_system(self):
+        sim, res = make_resource(n_processors=4, speedup=1.0)
+        for i in range(3):
+            j = make_job(i, 100.0, partition=2)
+            j.mark_placed(0)
+            res.accept_job(j)
+        # two running (2+2 procs), one queued
+        assert res.load == 3
+        assert res.free_processors == 0
+
+    def test_util_stat_tracks_processor_fraction(self):
+        sim, res = make_resource(n_processors=4, speedup=1.0)
+        j = make_job(0, 40.0, partition=2)  # runs 20 units at 50% procs
+        j.mark_placed(0)
+        res.accept_job(j)
+        sim.run(until=40.0)
+        # busy 0.5 for 20 units, 0 for 20 -> mean 0.25
+        assert res.util_stat.mean(40.0) == pytest.approx(0.25)
+
+
+class TestMoldableWorkload:
+    def test_default_partition_is_one(self):
+        gen = WorkloadGenerator(rate=0.01, n_clusters=2)
+        jobs = gen.generate(5000.0, RngHub(0).stream("wl"))
+        assert all(j.partition_size == 1 for j in jobs)
+
+    def test_partitions_are_powers_of_two_within_max(self):
+        gen = WorkloadGenerator(rate=0.01, n_clusters=2, max_partition=8)
+        jobs = gen.generate(20000.0, RngHub(1).stream("wl"))
+        sizes = {j.partition_size for j in jobs}
+        assert sizes <= {1, 2, 4, 8}
+        assert len(sizes) > 1  # actually varied
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(rate=0.01, n_clusters=1, max_partition=0)

@@ -1,0 +1,152 @@
+"""Tests for routing and message transport."""
+
+import pytest
+
+from repro.network import DEFAULT_SIZES, Message, MessageKind, Network, Router
+from repro.sim import Entity, RngHub, Simulator
+from repro.topology import Topology
+
+
+class Inbox(Entity):
+    def __init__(self, sim, name, node):
+        super().__init__(sim, name, node)
+        self.received = []
+
+    def handle(self, message):
+        self.received.append((self.sim.now, message))
+
+
+def line_topology():
+    t = Topology(3)
+    t.add_link(0, 1, 1.0, 10.0)
+    t.add_link(1, 2, 2.0, 5.0)
+    return t
+
+
+class TestMessage:
+    def test_default_size_from_kind(self):
+        assert Message(MessageKind.JOB_TRANSFER).size == DEFAULT_SIZES[MessageKind.JOB_TRANSFER]
+
+    def test_unknown_kind_defaults_to_one(self):
+        assert Message("exotic").size == 1.0
+
+    def test_explicit_size(self):
+        assert Message(MessageKind.POLL_REQUEST, size=9.0).size == 9.0
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(MessageKind.POLL_REQUEST, size=0.0)
+
+    def test_payload_defaults_to_dict(self):
+        m = Message(MessageKind.POLL_REQUEST)
+        m.payload["x"] = 1
+        assert m.payload == {"x": 1}
+
+
+class TestRouter:
+    def test_same_node_zero(self):
+        r = Router(line_topology())
+        assert r.path_info(1, 1) == (0.0, 0, 0.0)
+        assert r.transit_delay(1, 1, 100.0) == 0.0
+
+    def test_transit_delay_formula(self):
+        r = Router(line_topology())
+        # 0 -> 2: latency 3, factor 1/10 + 1/5 = 0.3
+        assert r.transit_delay(0, 2, 10.0) == pytest.approx(3.0 + 10.0 * 0.3)
+
+    def test_hop_count(self):
+        r = Router(line_topology())
+        assert r.hop_count(0, 2) == 2
+
+    def test_cache_populates_per_source(self):
+        r = Router(line_topology())
+        assert r.cached_sources == 0
+        r.transit_delay(0, 2, 1.0)
+        assert r.cached_sources == 1
+        r.transit_delay(0, 1, 1.0)   # same source: no new table
+        assert r.cached_sources == 1
+        r.transit_delay(2, 0, 1.0)
+        assert r.cached_sources == 2
+
+
+class TestNetwork:
+    def make(self, delay_scale=1.0, loss=0.0, seed=0):
+        sim = Simulator()
+        net = Network(
+            sim,
+            Router(line_topology()),
+            delay_scale=delay_scale,
+            loss_probability=loss,
+            rng=RngHub(seed).stream("loss") if loss else None,
+        )
+        return sim, net
+
+    def test_delivery_after_transit_delay(self):
+        sim, net = self.make()
+        dst = Inbox(sim, "dst", 2)
+        msg = Message(MessageKind.POLL_REQUEST)  # size 1
+        delay = net.send(msg, 0, dst)
+        assert delay == pytest.approx(3.0 + 1.0 * 0.3)
+        sim.run()
+        t, m = dst.received[0]
+        assert t == pytest.approx(delay)
+        assert m is msg
+        assert m.created_at == 0.0
+
+    def test_delay_scale_applies(self):
+        sim, net = self.make(delay_scale=0.5)
+        dst = Inbox(sim, "dst", 2)
+        d = net.send(Message(MessageKind.POLL_REQUEST), 0, dst)
+        assert d == pytest.approx(0.5 * (3.0 + 0.3))
+
+    def test_send_from_stamps_sender(self):
+        sim, net = self.make()
+        src = Inbox(sim, "src", 0)
+        dst = Inbox(sim, "dst", 2)
+        msg = Message(MessageKind.POLL_REQUEST)
+        net.send_from(msg, src, dst)
+        sim.run()
+        assert dst.received[0][1].sender is src
+
+    def test_counters(self):
+        sim, net = self.make()
+        dst = Inbox(sim, "dst", 1)
+        net.send(Message(MessageKind.POLL_REQUEST), 0, dst)
+        net.send(Message(MessageKind.JOB_TRANSFER), 0, dst)
+        assert net.messages_sent == 2
+        assert net.payload_sent == 1.0 + DEFAULT_SIZES[MessageKind.JOB_TRANSFER]
+        sim.run()
+        assert net.messages_delivered == 2
+        assert net.messages_dropped == 0
+
+    def test_loss_injection_drops_messages(self):
+        sim, net = self.make(loss=0.5, seed=3)
+        dst = Inbox(sim, "dst", 1)
+        for _ in range(200):
+            net.send(Message(MessageKind.POLL_REQUEST), 0, dst)
+        sim.run()
+        assert net.messages_dropped > 0
+        assert net.messages_delivered + net.messages_dropped == 200
+        assert len(dst.received) == net.messages_delivered
+        # roughly half dropped
+        assert 50 < net.messages_dropped < 150
+
+    def test_loss_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, Router(line_topology()), loss_probability=0.1)
+
+    def test_bad_delay_scale_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, Router(line_topology()), delay_scale=0.0)
+
+    def test_bad_loss_probability_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(
+                sim,
+                Router(line_topology()),
+                loss_probability=1.0,
+                rng=RngHub(0).stream("loss"),
+            )

@@ -1,0 +1,91 @@
+"""Edge-case tests for the measurement procedure and result accessors."""
+
+import pytest
+
+from repro.core import (
+    AnnealingSchedule,
+    EfficiencyRecord,
+    Enabler,
+    EnablerSpace,
+    ScalabilityProcedure,
+    ScalingPath,
+)
+
+
+class Obs:
+    def __init__(self, F, G, H, success=1.0):
+        self.record = EfficiencyRecord(F=F, G=G, H=H)
+        self.success_rate = success
+
+
+def space():
+    return EnablerSpace([Enabler("tau", (10.0, 20.0, 40.0), default_index=1)])
+
+
+def run(system, scales=(1, 2)):
+    proc = ScalabilityProcedure(
+        system,
+        space(),
+        path=ScalingPath(scales),
+        schedule=AnnealingSchedule(iterations=6, t0=0.5),
+        seed=0,
+    )
+    return proc.run(name="X")
+
+
+class TestBaseOutsideBand:
+    def test_e0_adopts_achieved_base_efficiency(self):
+        """A system whose healthy floor is far above the band must be
+        measured against its own base (CENTRAL's situation)."""
+
+        def high_e_system(k, settings):
+            # G is tiny regardless of tau: efficiency ~0.9 everywhere.
+            return Obs(F=900.0 * k, G=100.0 * k * (10.0 / settings["tau"]), H=5.0 * k)
+
+        res = run(high_e_system)
+        assert not res.base_feasible
+        assert res.e0 == pytest.approx(res.points[0].efficiency)
+        assert res.e0 > 0.6
+
+    def test_degenerate_efficiency_falls_back_to_band_center(self):
+        def broken(k, settings):
+            return Obs(F=0.0, G=10.0, H=1.0, success=0.0)
+
+        # base F = 0 -> E = 0; e0 falls back to the band center, the
+        # base record still normalizes G/H (F=0 would break normalize),
+        # so the procedure raises a clear error instead of nonsense.
+        with pytest.raises(ValueError):
+            run(broken)
+
+
+class TestResultAccessors:
+    def make(self):
+        def proportional(k, settings):
+            tau = settings["tau"]
+            return Obs(F=100.0 * k, G=140.0 * k * (20.0 / tau), H=5.0 * k)
+
+        return run(proportional, scales=(1, 2, 4))
+
+    def test_scales_G_efficiencies(self):
+        res = self.make()
+        assert res.scales == (1, 2, 4)
+        assert len(res.G) == 3
+        assert len(res.efficiencies) == 3
+
+    def test_feasible_through_prefix_semantics(self):
+        res = self.make()
+        # proportional system: feasible everywhere -> through the top
+        assert res.feasible_through == 4
+
+    def test_feasible_through_zero_when_base_fails(self):
+        def awful(k, settings):
+            return Obs(F=10.0, G=1000.0, H=1.0, success=0.1)
+
+        res = run(awful)
+        assert res.points[0].feasible is False
+        assert res.feasible_through == 0.0
+
+    def test_constants_match_base_point(self):
+        res = self.make()
+        base = res.points[0].record
+        assert res.constants.e0 == pytest.approx(base.efficiency)

@@ -1,0 +1,72 @@
+"""End-to-end integration: the measurement procedure over real
+simulations (tiny systems, short paths) — slow-ish but the closest test
+to the paper's actual experiment loop."""
+
+import pytest
+
+from repro.core.annealing import AnnealingSchedule
+from repro.core.procedure import ScalabilityProcedure
+from repro.core.scaling import (
+    Enabler,
+    EnablerSpace,
+    ScalingPath,
+    UPDATE_INTERVAL,
+)
+from repro.experiments import SimulationConfig, run_simulation
+
+
+def make_simulate(rms):
+    """A miniature Case-1-style closure: pool and workload scale with k."""
+
+    def simulate(k, settings):
+        cfg = SimulationConfig(
+            rms=rms,
+            n_schedulers=max(1, int(4 * k)),
+            n_resources=int(12 * k),
+            workload_rate=12 * 0.00028 * k,
+            horizon=6000.0,
+            drain=5000.0,
+            seed=3,
+        ).with_enablers(dict(settings))
+        return run_simulation(cfg)
+
+    return simulate
+
+
+def small_space():
+    return EnablerSpace(
+        [Enabler(UPDATE_INTERVAL, (7.0, 8.5, 10.0, 13.0, 24.0, 60.0), default_index=1)]
+    )
+
+
+@pytest.mark.slow
+class TestProcedureOverRealSimulations:
+    def run(self, rms):
+        proc = ScalabilityProcedure(
+            make_simulate(rms),
+            small_space(),
+            path=ScalingPath((1, 2)),
+            schedule=AnnealingSchedule(iterations=4, t0=0.5),
+            seed=1,
+        )
+        return proc.run(name=rms)
+
+    def test_distributed_design_measured_feasible(self):
+        res = self.run("LOWEST")
+        assert res.points[0].success_rate >= 0.85
+        # Base efficiency lands near the band for the calibrated regime.
+        assert 0.3 < res.e0 < 0.6
+        # Normalized curves are well-formed.
+        assert res.curves.f[0] == res.curves.g[0] == 1.0
+        assert len(res.slopes.g_slopes) == 1
+
+    def test_overhead_grows_with_scale(self):
+        res = self.run("LOWEST")
+        assert res.G[1] > res.G[0]
+
+    def test_results_are_deterministic(self):
+        a = self.run("S-I")
+        b = self.run("S-I")
+        assert a.G == b.G
+        assert a.e0 == b.e0
+        assert [p.settings for p in a.points] == [p.settings for p in b.points]

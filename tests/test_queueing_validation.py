@@ -1,0 +1,131 @@
+"""Queueing-theory validation of the simulation substrate.
+
+The Resource (for exponential service) and the MessageServer (for
+deterministic service) are textbook queues; under Poisson arrivals
+their simulated steady-state statistics must match M/M/1 and M/D/1
+theory.  These tests catch subtle kernel bugs (event ordering, clock
+drift, busy-time accounting) that unit tests cannot.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CostLedger
+from repro.grid import CostModel, Resource
+from repro.grid.jobs import Job
+from repro.sim import MessageServer, RngHub, Simulator
+from repro.workload import JobSpec
+
+
+def make_job(job_id, arrival, execution):
+    return Job(
+        JobSpec(
+            job_id=job_id,
+            arrival_time=arrival,
+            execution_time=execution,
+            requested_time=execution * 2,
+            benefit_factor=5.0,
+            submit_cluster=0,
+            job_class="LOCAL",
+        )
+    )
+
+
+class TestMM1Resource:
+    @pytest.mark.slow
+    def test_mm1_mean_number_in_system(self):
+        """M/M/1 at rho = 0.5: E[N] = rho/(1-rho) = 1.0, E[T] = 1/(mu-lam)."""
+        lam, mu = 0.5, 1.0
+        sim = Simulator()
+        ledger = CostLedger()
+        res = Resource(
+            sim, "r", 0, 0, 0, service_rate=1.0, ledger=ledger,
+            costs=CostModel(job_control=0.0, data_mgmt=0.0),
+        )
+        rng = RngHub(42).stream("mm1")
+        horizon = 400_000.0
+        t, jid, jobs = 0.0, 0, []
+        while True:
+            t += rng.exponential(1.0 / lam)
+            if t >= horizon:
+                break
+            job = make_job(jid, t, float(rng.exponential(1.0 / mu)))
+            jobs.append(job)
+            job.mark_placed(0)
+            sim.schedule_at(t, res.accept_job, job)
+            jid += 1
+        sim.run()
+        done = [j for j in jobs if j.completion_time is not None]
+        resp = np.array([j.response_time for j in done])
+        # E[T] = 1/(mu - lam) = 2.0
+        assert resp.mean() == pytest.approx(2.0, rel=0.06)
+        # utilization = rho = 0.5
+        assert res.util_stat.mean(horizon) == pytest.approx(0.5, rel=0.05)
+
+    def test_low_load_response_is_service_time(self):
+        """At near-zero load, response ~ service time (no queueing)."""
+        sim = Simulator()
+        res = Resource(
+            sim, "r", 0, 0, 0, service_rate=2.0, ledger=CostLedger(),
+            costs=CostModel(),
+        )
+        jobs = [make_job(i, 1000.0 * i, 50.0) for i in range(20)]
+        for j in jobs:
+            j.mark_placed(0)
+            sim.schedule_at(j.spec.arrival_time, res.accept_job, j)
+        sim.run()
+        for j in jobs:
+            assert j.response_time == pytest.approx(25.0)  # 50/2.0
+
+
+class _FixedServer(MessageServer):
+    def __init__(self, sim, st):
+        super().__init__(sim, "md1", ledger=None)
+        self._st = st
+        self.sojourn = []
+
+    def service_time(self, message):
+        return self._st
+
+    def cost_category(self, message):
+        return "g.schedule"
+
+    def handle(self, message):
+        self.sojourn.append(self.sim.now - message)
+
+
+class TestMD1MessageServer:
+    @pytest.mark.slow
+    def test_md1_mean_wait(self):
+        """M/D/1: Wq = rho*S / (2(1-rho)); sojourn = Wq + S."""
+        lam, s = 0.5, 1.0  # rho = 0.5
+        sim = Simulator()
+        srv = _FixedServer(sim, s)
+        rng = RngHub(7).stream("md1")
+        horizon = 200_000.0
+        t = 0.0
+        n = 0
+        while True:
+            t += rng.exponential(1.0 / lam)
+            if t >= horizon:
+                break
+            sim.schedule_at(t, srv.deliver, t)  # message payload = arrival time
+            n += 1
+        sim.run()
+        expected_sojourn = s + (0.5 * s) / (2 * (1 - 0.5))  # 1.5
+        assert np.mean(srv.sojourn) == pytest.approx(expected_sojourn, rel=0.05)
+        # busy fraction = rho
+        assert srv.busy_time / horizon == pytest.approx(0.5, rel=0.05)
+
+    def test_overload_queue_grows_linearly(self):
+        """rho > 1: backlog grows ~ (lam*S - 1) per unit time."""
+        sim = Simulator()
+        srv = _FixedServer(sim, 2.0)  # capacity 0.5/unit
+        for i in range(1000):
+            sim.schedule_at(float(i), srv.deliver, float(i))  # lam = 1
+        sim.run(until=1000.0)
+        # after 1000 units, ~500 served, ~500 waiting
+        assert srv.served == pytest.approx(500, abs=5)
+        assert srv.queue_length == pytest.approx(499, abs=5)

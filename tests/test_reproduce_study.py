@@ -1,0 +1,71 @@
+"""Tests for the Study driver plumbing (no heavy simulation: the
+per-case measurement is stubbed)."""
+
+import pytest
+
+from repro.experiments.reproduce import Study
+
+from test_experiments_reporting import fake_series
+
+
+def stubbed_study(monkeypatch=None):
+    study = Study(profile="ci", rms=["LOWEST", "CENTRAL"])
+    calls = []
+
+    def fake_measure(case, rms):
+        calls.append((case.case_id, rms))
+        return fake_series(rms)
+
+    study._measure = fake_measure
+    return study, calls
+
+
+class TestStudy:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            Study(profile="galactic")
+
+    def test_default_rms_list_is_all_seven(self):
+        assert len(Study().rms_list) == 7
+
+    def test_sa_iterations_default_from_profile(self):
+        s = Study(profile="ci")
+        assert s.sa_iterations == s.profile.sa_iterations
+
+    def test_run_case_measures_each_rms_once(self):
+        study, calls = stubbed_study()
+        study.run_case(1)
+        assert calls == [(1, "LOWEST"), (1, "CENTRAL")]
+
+    def test_run_case_memoized(self):
+        study, calls = stubbed_study()
+        study.run_case(2)
+        study.run_case(2)
+        assert len(calls) == 2  # not re-measured
+
+    def test_figures_4_6_7_share_case3(self):
+        study, calls = stubbed_study()
+        study.figure(4)
+        study.figure(6)
+        study.figure(7)
+        assert [c for c, _ in calls].count(3) == 2  # one pass over 2 RMSs
+
+    def test_figure_metadata(self):
+        study, _ = stubbed_study()
+        fig = study.figure(5)
+        assert fig.figure == "Figure 5"
+        assert "L_p" in fig.title
+
+    def test_bad_figure_number(self):
+        study, _ = stubbed_study()
+        with pytest.raises(ValueError):
+            study.figure(1)
+        with pytest.raises(ValueError):
+            study.figure(8)
+
+    def test_each_figure_maps_to_expected_case(self):
+        mapping = {2: 1, 3: 2, 4: 3, 5: 4, 6: 3, 7: 3}
+        for fig_no, case_id in mapping.items():
+            study, calls = stubbed_study()
+            study.figure(fig_no)
+            assert calls[0][0] == case_id

@@ -1,0 +1,143 @@
+"""Protocol tests for CENTRAL and LOWEST."""
+
+import pytest
+
+from repro.grid import JobState
+from repro.rms import CentralScheduler, LowestScheduler
+from repro.workload import JobClass
+
+from helpers import MiniGrid, make_job
+
+
+class TestCentral:
+    def make(self, **kw):
+        return MiniGrid(
+            scheduler_cls=CentralScheduler, central=True, n_clusters=2,
+            resources_per_cluster=2, **kw,
+        )
+
+    def test_remote_class_job_placed_from_global_table(self):
+        g = self.make()
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job)
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+        assert job.executed_cluster == 0  # the single scheduler's id
+
+    def test_spreads_over_entire_pool(self):
+        g = self.make()
+        for _ in range(4):
+            g.submit(make_job(execution=500.0))
+        g.sim.run(until=100.0)
+        assert [r.jobs_received for r in g.resources] == [1, 1, 1, 1]
+
+    def test_no_inter_scheduler_traffic(self):
+        g = self.make()
+        for _ in range(5):
+            g.submit(make_job(execution=100.0, job_class=JobClass.REMOTE))
+        g.sim.run()
+        s = g.schedulers[0]
+        assert s.jobs_sent_remote == 0
+        assert s.jobs_received_remote == 0
+
+
+class TestLowest:
+    def make(self, n_clusters=3, **kw):
+        return MiniGrid(
+            scheduler_cls=LowestScheduler, n_clusters=n_clusters,
+            resources_per_cluster=2, **kw,
+        )
+
+    def test_local_job_never_polls(self):
+        g = self.make()
+        job = make_job(execution=50.0, job_class=JobClass.LOCAL)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert g.schedulers[0].polls_started == 0
+        assert job.executed_cluster == 0
+
+    def test_remote_job_polls_lp_peers(self):
+        g = self.make()
+        g.schedulers[0].l_p = 2
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert g.schedulers[0].polls_started == 1
+        assert job.state == JobState.COMPLETED
+        # 2 requests + 2 replies + dispatch-side messages passed the net
+        polled = [s for s in g.schedulers[1:] if s.served > 0]
+        assert len(polled) == 2
+
+    def test_job_moves_to_least_loaded_cluster(self):
+        g = self.make(n_clusters=2)
+        s0 = g.schedulers[0]
+        s0.l_p = 1
+        # Local cluster looks busy; remote looks empty.
+        s0.table.record(0, 5.0, 0.0)
+        s0.table.record(1, 5.0, 0.0)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 1
+        assert job.transfers == 1
+
+    def test_job_stays_local_when_local_least_loaded(self):
+        g = self.make(n_clusters=2)
+        s0, s1 = g.schedulers[0], g.schedulers[1]
+        s0.l_p = 1
+        s1.table.record(2, 5.0, 0.0)
+        s1.table.record(3, 5.0, 0.0)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 0
+        assert job.transfers == 0
+
+    def test_tie_prefers_local(self):
+        g = self.make(n_clusters=2)
+        g.schedulers[0].l_p = 1
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 0  # equal loads: no pointless transfer
+
+    def test_poll_reply_reports_min_table_load(self):
+        g = self.make(n_clusters=2)
+        s1 = g.schedulers[1]
+        s1.table.record(2, 4.0, 0.0)
+        s1.table.record(3, 7.0, 0.0)
+        from repro.network import Message, MessageKind
+
+        replies = []
+        g.schedulers[0].on_poll_reply = lambda m: replies.append(m.payload)
+        s1.deliver(
+            Message(
+                MessageKind.POLL_REQUEST,
+                payload={"job_id": 1, "reply_to": g.schedulers[0]},
+            )
+        )
+        g.sim.run()
+        assert replies[0]["min_load"] == 4.0
+
+    def test_timeout_decides_without_replies(self):
+        """If peers never answer (offline), the job still gets placed."""
+        g = self.make(n_clusters=2)
+        s0 = g.schedulers[0]
+        s0.l_p = 1
+        # Peer that drops poll requests silently.
+        g.schedulers[1].on_poll_request = lambda m: None
+        job = make_job(execution=100.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+        assert job.executed_cluster == 0
+
+    def test_remote_job_completes_end_to_end(self):
+        g = self.make()
+        jobs = [
+            make_job(execution=800.0, job_class=JobClass.REMOTE) for _ in range(6)
+        ]
+        for i, j in enumerate(jobs):
+            g.submit(j, cluster=i % 3)
+        g.sim.run()
+        assert all(j.state == JobState.COMPLETED for j in jobs)

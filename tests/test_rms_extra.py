@@ -1,0 +1,115 @@
+"""Tests for the extension baselines RANDOM and THRESHOLD."""
+
+import pytest
+
+from repro.grid import JobState
+from repro.rms import rms_names
+from repro.rms.extra import RandomScheduler, ThresholdScheduler, register_extras
+from repro.rms.registry import RMS_BY_NAME, get_rms
+from repro.workload import JobClass
+
+from helpers import MiniGrid, make_job
+
+
+def mark_cluster_loaded(sched, load=5.0):
+    for rid in sched.table.loads():
+        sched.table.record(rid, load, sched.sim.now)
+
+
+class TestRegistration:
+    def test_not_registered_by_default(self):
+        # ALL_RMS stays the paper's seven even after registration.
+        register_extras()
+        assert len(rms_names()) == 7
+        assert get_rms("RANDOM").scheduler_cls is RandomScheduler
+        assert get_rms("threshold").scheduler_cls is ThresholdScheduler
+
+    def test_idempotent(self):
+        register_extras()
+        register_extras()
+        assert sum(1 for n in RMS_BY_NAME if n == "RANDOM") == 1
+
+
+class TestRandom:
+    def test_remote_job_transferred_blindly(self):
+        g = MiniGrid(scheduler_cls=RandomScheduler, n_clusters=3, resources_per_cluster=2)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+        assert job.transfers == 1
+        assert job.executed_cluster in (1, 2)
+
+    def test_local_job_stays(self):
+        g = MiniGrid(scheduler_cls=RandomScheduler, n_clusters=3, resources_per_cluster=2)
+        job = make_job(execution=50.0, job_class=JobClass.LOCAL)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 0
+
+    def test_no_peers_runs_locally(self):
+        g = MiniGrid(scheduler_cls=RandomScheduler, n_clusters=1, resources_per_cluster=2)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 0
+
+
+class TestThreshold:
+    def make(self, n_clusters=3):
+        g = MiniGrid(
+            scheduler_cls=ThresholdScheduler, n_clusters=n_clusters,
+            resources_per_cluster=2,
+        )
+        for s in g.schedulers:
+            s.l_p = 2
+        return g
+
+    def test_first_idle_peer_accepts(self):
+        g = self.make()
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+        assert job.transfers == 1  # everyone idle: first probe accepts
+        assert g.schedulers[0].probes_sent == 1
+
+    def test_all_loaded_falls_back_local(self):
+        g = self.make()
+        for s in g.schedulers[1:]:
+            mark_cluster_loaded(s)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 0
+        assert g.schedulers[0].probes_sent == 2  # tried both, both refused
+
+    def test_second_peer_accepts_after_first_refuses(self):
+        g = self.make()
+        # Load exactly one remote cluster; the probe chain must skip it.
+        loaded = [s for s in g.schedulers[1:]][0]
+        mark_cluster_loaded(loaded)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+        assert job.executed_cluster != loaded.scheduler_id or job.transfers == 0
+
+    def test_probe_timeout_advances_chain(self):
+        g = self.make()
+        for s in g.schedulers[1:]:
+            s.on_poll_request = lambda m: None  # drop all probes
+        job = make_job(execution=100.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+        assert job.executed_cluster == 0
+
+    def test_sequential_not_parallel(self):
+        """Probes go out one at a time: after the first request is
+        answered affirmatively, no further probes are sent."""
+        g = self.make()
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert g.schedulers[0].probes_sent == 1

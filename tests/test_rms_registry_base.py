@@ -1,0 +1,139 @@
+"""Tests for the RMS registry and shared policy machinery."""
+
+import pytest
+
+from repro.grid import JobState
+from repro.rms import (
+    ALL_RMS,
+    PollBook,
+    RMS_BY_NAME,
+    get_rms,
+    rms_names,
+    unpark_for_transfer,
+)
+
+from helpers import MiniGrid, make_job
+
+
+class TestRegistry:
+    def test_seven_designs_in_paper_order(self):
+        assert rms_names() == ["CENTRAL", "LOWEST", "RESERVE", "AUCTION", "S-I", "R-I", "Sy-I"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_rms("lowest").name == "LOWEST"
+        assert get_rms("SY-I").name == "Sy-I"
+        assert get_rms("CENTRAL").name == "CENTRAL"
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(KeyError, match="valid"):
+            get_rms("FIFO")
+
+    def test_only_central_is_centralized(self):
+        assert [i.name for i in ALL_RMS if i.centralized] == ["CENTRAL"]
+
+    def test_supersschedulers_use_middleware(self):
+        mw = {i.name for i in ALL_RMS if i.uses_middleware}
+        assert mw == {"S-I", "R-I", "Sy-I"}
+
+    def test_mechanism_classification(self):
+        mech = {i.name: i.mechanism for i in ALL_RMS}
+        assert mech["LOWEST"] == "pull" and mech["S-I"] == "pull"
+        assert mech["RESERVE"] == "push" and mech["R-I"] == "push"
+        assert mech["AUCTION"] == "hybrid" and mech["Sy-I"] == "hybrid"
+        assert mech["CENTRAL"] == "central"
+
+    def test_volunteering_designs(self):
+        vol = {i.name for i in ALL_RMS if i.uses_volunteering}
+        assert vol == {"RESERVE", "AUCTION", "R-I", "Sy-I"}
+
+    def test_registry_names_unique(self):
+        names = [i.name for i in ALL_RMS]
+        assert len(names) == len(set(names)) == 7
+        # extension baselines may also be registered by other tests, but
+        # the paper's seven are always present
+        assert set(names) <= set(RMS_BY_NAME)
+
+
+class TestUnpark:
+    def test_unpark_waiting_job(self):
+        j = make_job()
+        j.mark_waiting()
+        unpark_for_transfer(j)
+        assert j.state == JobState.SUBMITTED
+
+    def test_unpark_noop_on_other_states(self):
+        j = make_job()
+        unpark_for_transfer(j)
+        assert j.state == JobState.SUBMITTED
+        j.mark_placed(0)
+        unpark_for_transfer(j)
+        assert j.state == JobState.PLACED
+
+
+class TestPollBook:
+    def make_book(self, timeout=10.0):
+        g = MiniGrid(n_clusters=2, resources_per_cluster=1)
+        decided = []
+        book = PollBook(g.schedulers[0], timeout, decided.append)
+        return g, book, decided
+
+    def test_zero_expected_decides_immediately(self):
+        g, book, decided = self.make_book()
+        job = make_job()
+        book.open(job, expected=0)
+        assert len(decided) == 1
+        assert decided[0].job is job
+        assert decided[0].replies == []
+
+    def test_fanin_completion_triggers_decide(self):
+        g, book, decided = self.make_book()
+        job = make_job()
+        book.open(job, expected=2)
+        peer = g.schedulers[1]
+        book.record_reply(job.job_id, peer, {"x": 1})
+        assert decided == []
+        book.record_reply(job.job_id, peer, {"x": 2})
+        assert len(decided) == 1
+        assert len(decided[0].replies) == 2
+
+    def test_timeout_decides_with_partial_replies(self):
+        g, book, decided = self.make_book(timeout=10.0)
+        job = make_job()
+        book.open(job, expected=3)
+        book.record_reply(job.job_id, g.schedulers[1], {"x": 1})
+        g.sim.run(until=20.0)
+        assert len(decided) == 1
+        assert len(decided[0].replies) == 1
+
+    def test_no_double_decide(self):
+        g, book, decided = self.make_book(timeout=10.0)
+        job = make_job()
+        book.open(job, expected=1)
+        book.record_reply(job.job_id, g.schedulers[1], {})
+        g.sim.run(until=20.0)  # timeout fires after decision
+        assert len(decided) == 1
+
+    def test_late_and_unknown_replies_dropped(self):
+        g, book, decided = self.make_book()
+        job = make_job()
+        book.open(job, expected=1)
+        book.record_reply(999, g.schedulers[1], {})  # unknown job
+        assert decided == []
+        book.record_reply(job.job_id, g.schedulers[1], {})
+        book.record_reply(job.job_id, g.schedulers[1], {})  # after close
+        assert len(decided) == 1
+        assert len(decided[0].replies) == 1
+
+    def test_open_count_tracks_pending(self):
+        g, book, decided = self.make_book()
+        a, b = make_job(), make_job()
+        book.open(a, expected=1)
+        book.open(b, expected=1)
+        assert book.open_count == 2
+        book.record_reply(a.job_id, g.schedulers[1], {})
+        assert book.open_count == 1
+
+    def test_bad_timeout_rejected(self):
+        g = MiniGrid(n_clusters=1, resources_per_cluster=1)
+        with pytest.raises(ValueError):
+            PollBook(g.schedulers[0], 0.0, lambda p: None)

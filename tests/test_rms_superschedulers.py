@@ -1,0 +1,264 @@
+"""Protocol tests for S-I, R-I, and Sy-I (the superscheduler family)."""
+
+import pytest
+
+from repro.grid import JobState
+from repro.network import Message, MessageKind
+from repro.rms import (
+    ReceiverInitiatedScheduler,
+    SenderInitiatedScheduler,
+    SuperScheduler,
+    SymmetricScheduler,
+)
+from repro.workload import JobClass
+
+from helpers import MiniGrid, make_job
+
+
+def mark_cluster_loaded(sched, load=5.0):
+    for rid in sched.table.loads():
+        sched.table.record(rid, load, sched.sim.now)
+
+
+def make_grid(cls, n_clusters=2, lp=1):
+    g = MiniGrid(
+        scheduler_cls=cls, n_clusters=n_clusters, resources_per_cluster=2,
+        use_middleware=True,
+    )
+    for s in g.schedulers:
+        s.l_p = lp
+    return g
+
+
+class TestSuperSchedulerEstimates:
+    def test_awt_scales_with_backlog(self):
+        g = make_grid(SenderInitiatedScheduler)
+        s = g.schedulers[0]
+        assert s.awt() == 0.0
+        mark_cluster_loaded(s, load=2.0)
+        assert s.awt() == pytest.approx(2.0 * s._service_duration_est)
+
+    def test_ert_uses_speed_estimate(self):
+        g = make_grid(SenderInitiatedScheduler)
+        s = g.schedulers[0]
+        assert s.ert(100.0) == pytest.approx(100.0)  # prior speed 1.0
+        s._service_speed_est = 2.0
+        assert s.ert(100.0) == pytest.approx(50.0)
+
+    def test_completion_updates_estimates(self):
+        g = make_grid(SenderInitiatedScheduler)
+        s = g.schedulers[0]
+        job = make_job(execution=100.0)
+        job.mark_placed(0)
+        job.mark_running(0.0)
+        job.mark_completed(50.0)  # measured speed 2.0, duration 50
+        before_dur = s._service_duration_est
+        s.after_completion(job)
+        assert s._service_duration_est < before_dur
+        assert s._service_speed_est > 1.0
+
+    def test_choose_by_att_min_wins(self):
+        g = make_grid(SenderInitiatedScheduler)
+        s = g.schedulers[0]
+        peer = g.schedulers[1]
+        # peer ATT clearly better
+        assert s.choose_by_att(100.0, [(None, 500.0, 0.5), (peer, 100.0, 2.0)]) is peer
+
+    def test_choose_by_att_tie_breaks_on_rus(self):
+        g = make_grid(SenderInitiatedScheduler)
+        s = g.schedulers[0]
+        peer = g.schedulers[1]
+        # ATTs within psi=5: lower RUS (local) wins.
+        assert s.choose_by_att(100.0, [(None, 100.0, 0.1), (peer, 98.0, 2.0)]) is None
+
+    def test_choose_by_att_empty(self):
+        g = make_grid(SenderInitiatedScheduler)
+        assert g.schedulers[0].choose_by_att(1.0, []) is None
+
+    def test_middleware_flag_set(self):
+        assert SuperScheduler.use_middleware is True
+
+
+class TestSenderInitiated:
+    def test_remote_job_polls_via_middleware(self):
+        g = make_grid(SenderInitiatedScheduler)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert g.schedulers[0].polls_started == 1
+        assert g.middleware.relayed >= 2  # request + reply at least
+        assert job.state == JobState.COMPLETED
+
+    def test_moves_to_faster_cluster(self):
+        g = make_grid(SenderInitiatedScheduler)
+        s0 = g.schedulers[0]
+        mark_cluster_loaded(s0, load=4.0)  # local AWT huge
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 1
+        assert job.transfers == 1
+
+    def test_stays_local_when_equal(self):
+        g = make_grid(SenderInitiatedScheduler)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 0  # tie -> RUS tie -> local kept
+
+    def test_local_class_never_polls(self):
+        g = make_grid(SenderInitiatedScheduler)
+        job = make_job(execution=10.0, job_class=JobClass.LOCAL)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert g.schedulers[0].polls_started == 0
+
+    def test_poll_timeout_places_job(self):
+        g = make_grid(SenderInitiatedScheduler)
+        g.schedulers[1].on_poll_request = lambda m: None  # drop
+        job = make_job(execution=100.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.state == JobState.COMPLETED
+
+
+class TestReceiverInitiated:
+    def test_volunteering_requires_underutilized_resource(self):
+        g = make_grid(ReceiverInitiatedScheduler)
+        s1 = g.schedulers[1]
+        s1.start_volunteering()
+        mark_cluster_loaded(s1, load=2.0)
+        g.sim.run(until=s1.volunteer_interval * 2.5)
+        assert s1.volunteers_sent == 0
+
+    def test_volunteering_periodic(self):
+        g = make_grid(ReceiverInitiatedScheduler)
+        s1 = g.schedulers[1]
+        s1.start_volunteering()
+        g.sim.run(until=s1.volunteer_interval * 2.5)
+        # idle cluster volunteers each period (to l_p=1 peer): ~3 ticks
+        assert s1.volunteers_sent in (2, 3)
+
+    def test_parked_job_moves_on_volunteer(self):
+        g = make_grid(ReceiverInitiatedScheduler)
+        s0, s1 = g.schedulers
+        mark_cluster_loaded(s0, load=4.0)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run(until=10.0)
+        assert job.state == JobState.WAITING
+        s1.start_volunteering()
+        g.sim.run(until=3000.0)  # bounded: the volunteer loop never exhausts
+        assert s0.demands_sent >= 1
+        assert job.executed_cluster == 1
+        assert job.transfers == 1
+        assert job.state == JobState.COMPLETED
+
+    def test_light_cluster_schedules_immediately(self):
+        g = make_grid(ReceiverInitiatedScheduler)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert job.executed_cluster == 0
+
+    def test_volunteer_with_no_parked_jobs_ignored(self):
+        g = make_grid(ReceiverInitiatedScheduler)
+        s0, s1 = g.schedulers
+        s1.start_volunteering()
+        g.sim.run(until=s1.volunteer_interval * 1.5)
+        assert s0.demands_sent == 0
+
+    def test_demand_reply_keeps_job_local_if_att_worse(self):
+        g = make_grid(ReceiverInitiatedScheduler)
+        s0, s1 = g.schedulers
+        mark_cluster_loaded(s0, load=1.0)  # just above T_l, parks
+        # volunteer looks MUCH slower
+        s1._service_speed_est = 0.01
+        s1._service_duration_est = 5000.0
+        mark_cluster_loaded(s1, load=0.4)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run(until=10.0)
+        s1.start_volunteering()
+        g.sim.run(until=3000.0)
+        assert job.executed_cluster == 0  # stayed home
+
+    def test_park_timeout_safety_net(self):
+        g = make_grid(ReceiverInitiatedScheduler)
+        s0 = g.schedulers[0]
+        s0.wait_timeout = 30.0
+        mark_cluster_loaded(s0, load=4.0)
+        job = make_job(execution=10.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()  # nobody ever volunteers
+        assert job.state == JobState.COMPLETED
+        assert job.executed_cluster == 0
+
+
+class TestSymmetric:
+    def test_fallback_to_polling_without_adverts(self):
+        g = make_grid(SymmetricScheduler)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run()
+        assert g.schedulers[0].fallback_polls == 1
+        assert job.state == JobState.COMPLETED
+
+    def test_uses_fresh_advert_instead_of_polling(self):
+        g = make_grid(SymmetricScheduler)
+        s0, s1 = g.schedulers
+        s1.start_volunteering()
+        g.sim.run(until=s1.volunteer_interval + 5.0)
+        mark_cluster_loaded(s0, load=4.0)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)
+        g.sim.run(until=3000.0)
+        assert s0.fallback_polls == 0
+        assert s0.advert_placements == 1
+        assert job.executed_cluster == 1
+
+    def test_advert_but_light_local_stays_home(self):
+        g = make_grid(SymmetricScheduler)
+        s0, s1 = g.schedulers
+        s1.start_volunteering()
+        g.sim.run(until=s1.volunteer_interval + 5.0)
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0)  # local is idle
+        g.sim.run(until=3000.0)
+        assert job.executed_cluster == 0
+        assert s0.advert_placements == 1
+
+    def test_stale_adverts_expire(self):
+        g = make_grid(SymmetricScheduler)
+        s0, s1 = g.schedulers
+        s0._adverts.append((s1, 0.0))
+        g.sim.run(until=s0.advert_ttl + 1.0)
+        assert s0._fresh_advertiser() is None
+
+    def test_answers_polls_like_si(self):
+        g = make_grid(SymmetricScheduler)
+        s0, s1 = g.schedulers
+        got = []
+        s0.on_poll_reply = lambda m: got.append(m.payload)
+        s1.deliver(
+            Message(
+                MessageKind.POLL_REQUEST,
+                payload={"job_id": 5, "demand": 100.0, "reply_to": s0},
+            )
+        )
+        g.sim.run()
+        assert got and {"awt", "ert", "rus"} <= set(got[0])
+
+    def test_both_planes_active_means_both_costs(self):
+        """Sy-I with volunteering on AND no adverts at arrival pays for
+        volunteering and polling — the hybrid's double overhead."""
+        g = make_grid(SymmetricScheduler)
+        s0, s1 = g.schedulers
+        s0.start_volunteering()
+        s1.start_volunteering()
+        mark_cluster_loaded(s1, load=3.0)  # s1 won't volunteer
+        job = make_job(execution=900.0, job_class=JobClass.REMOTE)
+        g.submit(job, cluster=0, at=1.0)
+        g.sim.run(until=s0.volunteer_interval * 2)
+        assert s0.fallback_polls == 1
+        assert s0.volunteers_sent >= 1

@@ -1,0 +1,177 @@
+"""Tests for Entity / MessageServer queueing semantics."""
+
+import pytest
+
+from repro.sim import Entity, MessageServer, Simulator
+
+
+class RecordingLedger:
+    """Minimal ChargeSink capturing (category, amount) pairs."""
+
+    def __init__(self):
+        self.charges = []
+
+    def charge(self, category, amount):
+        self.charges.append((category, amount))
+
+    def total(self, category=None):
+        return sum(a for c, a in self.charges if category is None or c == category)
+
+
+class EchoServer(MessageServer):
+    """Fixed-service-time server that records completion times."""
+
+    def __init__(self, sim, st=2.0, ledger=None):
+        super().__init__(sim, "echo", node=0, ledger=ledger)
+        self._st = st
+        self.handled = []
+
+    def service_time(self, message):
+        return self._st
+
+    def cost_category(self, message):
+        return "proc"
+
+    def handle(self, message):
+        self.handled.append((self.sim.now, message))
+
+
+class TestEntityBase:
+    def test_plain_entity_dispatches_immediately(self):
+        sim = Simulator()
+
+        class Sink(Entity):
+            def __init__(self, sim):
+                super().__init__(sim, "sink", node=3)
+                self.got = []
+
+            def handle(self, message):
+                self.got.append(message)
+
+        s = Sink(sim)
+        s.deliver("hello")
+        assert s.got == ["hello"]
+        assert s.node == 3
+
+    def test_handle_is_abstract(self):
+        sim = Simulator()
+        e = Entity(sim, "e")
+        with pytest.raises(NotImplementedError):
+            e.deliver("x")
+
+
+class TestMessageServer:
+    def test_single_message_served_after_service_time(self):
+        sim = Simulator()
+        srv = EchoServer(sim, st=2.0)
+        sim.schedule(1.0, srv.deliver, "m")
+        sim.run()
+        assert srv.handled == [(3.0, "m")]
+        assert srv.busy_time == 2.0
+        assert srv.served == 1
+
+    def test_fifo_backlog(self):
+        sim = Simulator()
+        srv = EchoServer(sim, st=2.0)
+        for i in range(3):
+            sim.schedule(0.0, srv.deliver, i)
+        sim.run()
+        # Serial service: completions at 2, 4, 6 in arrival order.
+        assert srv.handled == [(2.0, 0), (4.0, 1), (6.0, 2)]
+        assert srv.busy_time == 6.0
+
+    def test_busy_and_queue_length_transitions(self):
+        sim = Simulator()
+        srv = EchoServer(sim, st=5.0)
+        srv.deliver("a")
+        assert srv.busy
+        assert srv.queue_length == 0
+        srv.deliver("b")
+        assert srv.queue_length == 1
+        sim.run()
+        assert not srv.busy
+        assert srv.queue_length == 0
+
+    def test_ledger_charged_per_message(self):
+        sim = Simulator()
+        ledger = RecordingLedger()
+        srv = EchoServer(sim, st=1.5, ledger=ledger)
+        srv.deliver("a")
+        srv.deliver("b")
+        sim.run()
+        assert ledger.charges == [("proc", 1.5), ("proc", 1.5)]
+
+    def test_zero_service_time_not_charged(self):
+        sim = Simulator()
+        ledger = RecordingLedger()
+        srv = EchoServer(sim, st=0.0, ledger=ledger)
+        srv.deliver("a")
+        sim.run()
+        assert ledger.charges == []
+        assert srv.served == 1
+
+    def test_negative_service_time_rejected(self):
+        sim = Simulator()
+        srv = EchoServer(sim, st=-1.0)
+        with pytest.raises(ValueError):
+            srv.deliver("a")
+
+    def test_handler_sending_to_self_queues_behind_waiters(self):
+        sim = Simulator()
+
+        class Resender(MessageServer):
+            def __init__(self, sim):
+                super().__init__(sim, "r", ledger=None)
+                self.order = []
+
+            def service_time(self, message):
+                return 1.0
+
+            def cost_category(self, message):
+                return "proc"
+
+            def handle(self, message):
+                self.order.append(message)
+                if message == "first":
+                    self.deliver("resent")
+
+        srv = Resender(sim)
+        srv.deliver("first")
+        srv.deliver("second")
+        sim.run()
+        assert srv.order == ["first", "second", "resent"]
+
+    def test_state_dependent_service_time(self):
+        """Service time may depend on server state (CENTRAL scans a
+        growing table); the charged busy time must follow it."""
+        sim = Simulator()
+
+        class Growing(MessageServer):
+            def __init__(self, sim, ledger):
+                super().__init__(sim, "g", ledger=ledger)
+                self.scale = 1.0
+
+            def service_time(self, message):
+                return self.scale
+
+            def cost_category(self, message):
+                return "proc"
+
+            def handle(self, message):
+                self.scale += 1.0
+
+        ledger = RecordingLedger()
+        srv = Growing(sim, ledger)
+        for _ in range(3):
+            srv.deliver("m")
+        sim.run()
+        assert [a for _, a in ledger.charges] == [1.0, 2.0, 3.0]
+
+    def test_queue_stat_time_average(self):
+        sim = Simulator()
+        srv = EchoServer(sim, st=4.0)
+        srv.deliver("a")  # in service immediately; queue stays 0
+        srv.deliver("b")  # waits 4 units
+        sim.run()
+        # queue length is 1 on [0,4), 0 on [4,8) -> mean 0.5 over 8 units
+        assert srv.queue_stat.mean(sim.now) == pytest.approx(0.5)

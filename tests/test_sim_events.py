@@ -1,0 +1,129 @@
+"""Unit and property tests for the event queue primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import Event, EventQueue
+
+
+def make_event(time, seq):
+    return Event(time, seq, lambda: None, ())
+
+
+class TestEventOrdering:
+    def test_earlier_time_wins(self):
+        assert make_event(1.0, 5) < make_event(2.0, 0)
+
+    def test_seq_breaks_ties(self):
+        assert make_event(1.0, 0) < make_event(1.0, 1)
+        assert not (make_event(1.0, 1) < make_event(1.0, 0))
+
+    def test_cancel_is_idempotent(self):
+        ev = make_event(1.0, 0)
+        assert not ev.cancelled
+        ev.cancel()
+        assert ev.cancelled
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_cancel_drops_references(self):
+        payload = object()
+        ev = Event(1.0, 0, lambda x: None, (payload,))
+        ev.cancel()
+        assert ev.args == ()
+        assert ev.fn is None
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        for t, s in [(3.0, 0), (1.0, 1), (2.0, 2)]:
+            q.push(make_event(t, s))
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        evs = [make_event(float(i), i) for i in range(4)]
+        for ev in evs:
+            q.push(ev)
+        assert len(q) == 4
+        evs[0].cancel()
+        q.note_cancelled()
+        assert len(q) == 3
+        assert bool(q)
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        evs = [make_event(float(i), i) for i in range(5)]
+        for ev in evs:
+            q.push(ev)
+        for ev in evs[:3]:
+            ev.cancel()
+            q.note_cancelled()
+        assert q.pop().time == 3.0
+        assert q.pop().time == 4.0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        a = make_event(1.0, 0)
+        b = make_event(2.0, 1)
+        q.push(a)
+        q.push(b)
+        a.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_compaction_preserves_survivors(self):
+        q = EventQueue()
+        evs = [make_event(float(i), i) for i in range(200)]
+        for ev in evs:
+            q.push(ev)
+        # Cancel all even-seq events: more than half after a while,
+        # triggering the O(n) compaction path.
+        for ev in evs[:150]:
+            ev.cancel()
+            q.note_cancelled()
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == [float(i) for i in range(150, 200)]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1e6, allow_nan=False), st.booleans()),
+        max_size=60,
+    )
+)
+def test_queue_is_stable_total_order(entries):
+    """Popped order must be sorted by (time, insertion index), skipping
+    cancelled entries — for any pattern of pushes and cancellations."""
+    q = EventQueue()
+    events = []
+    for i, (t, cancel) in enumerate(entries):
+        ev = make_event(t, i)
+        q.push(ev)
+        events.append((ev, cancel))
+    for ev, cancel in events:
+        if cancel:
+            ev.cancel()
+            q.note_cancelled()
+    expected = sorted(
+        ((ev.time, ev.seq) for ev, cancel in events if not cancel),
+    )
+    got = []
+    while q:
+        ev = q.pop()
+        got.append((ev.time, ev.seq))
+    assert got == expected

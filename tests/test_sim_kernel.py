@@ -1,0 +1,189 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_clock(self):
+        assert Simulator().now == 0.0
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "mid")
+        sim.run()
+        assert fired == ["early", "mid", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(10):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 0.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.5, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 12.5
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(9.0, lambda: None)
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.schedule(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0, 7.0]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append((sim.now, n))
+            if n > 0:
+                sim.schedule(1.0, chain, n - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert fired == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "no")
+        sim.schedule(2.0, fired.append, "yes")
+        sim.cancel(ev)
+        sim.run()
+        assert fired == ["yes"]
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.cancel(ev)
+        sim.cancel(ev)  # must not corrupt live count
+        assert sim.pending == 0
+        sim.run()
+
+    def test_cancel_from_within_event(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(5.0, fired.append, "victim")
+        sim.schedule(1.0, lambda: sim.cancel(victim))
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_run_until_past_horizon_rejected(self):
+        sim = Simulator(start_time=3.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=2.0)
+
+    def test_run_can_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(6.0, fired.append, 2)
+        sim.run(until=3.0)
+        sim.run(until=10.0)
+        assert fired == [1, 2]
+        assert sim.now == 10.0
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(0.0, loop)
+        sim.run(max_events=50)
+        assert sim.events_executed == 50
+
+    def test_step_returns_false_on_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+
+    def test_events_executed_excludes_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(ev)
+        sim.run()
+        assert sim.events_executed == 1
+
+    def test_trace_hook(self):
+        sim = Simulator()
+        traced = []
+        sim.trace = lambda t, fn, args: traced.append(t)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert traced == [1.0, 2.0]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), max_size=50))
+def test_execution_times_nondecreasing(delays):
+    """However events are scheduled up front, observed firing times are
+    nondecreasing and match the multiset of requested times."""
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(delays)

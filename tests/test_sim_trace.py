@@ -1,0 +1,132 @@
+"""Tests for tracing and timeline tooling."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import TraceRecorder, busy_gantt, job_timeline
+
+from helpers import make_job
+
+
+class TestTraceRecorder:
+    def test_records_executed_events(self):
+        sim = Simulator()
+        rec = TraceRecorder(sim)
+
+        def tick(x):
+            pass
+
+        sim.schedule(1.0, tick, 42)
+        sim.schedule(2.0, tick, 43)
+        sim.run()
+        assert len(rec.records) == 2
+        assert rec.records[0].time == 1.0
+        assert "tick" in rec.records[0].callback
+        assert "42" in rec.records[0].summary
+
+    def test_capacity_ring(self):
+        sim = Simulator()
+        rec = TraceRecorder(sim, capacity=3)
+        for i in range(6):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert len(rec.records) == 3
+        assert rec.dropped == 3
+        assert rec.records[0].time == 3.0  # oldest retained
+
+    def test_predicate_filters(self):
+        sim = Simulator()
+        rec = TraceRecorder(sim, predicate=lambda t, fn, args: t >= 5.0)
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert all(r.time >= 5.0 for r in rec.records)
+        assert len(rec.records) == 5
+
+    def test_matching(self):
+        sim = Simulator()
+        rec = TraceRecorder(sim)
+
+        def alpha():
+            pass
+
+        def beta():
+            pass
+
+        sim.schedule(1.0, alpha)
+        sim.schedule(2.0, beta)
+        sim.run()
+        assert len(rec.matching("alpha")) == 1
+
+    def test_detach(self):
+        sim = Simulator()
+        rec = TraceRecorder(sim)
+        rec.detach(sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert rec.records == []
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(Simulator(), capacity=0)
+
+
+class TestJobTimeline:
+    def test_full_lifecycle_narrative(self):
+        j = make_job(arrival=100.0, execution=50.0, benefit=3.0, cluster=1)
+        j.mark_placed(2)
+        j.mark_running(120.0)
+        j.mark_completed(170.0)
+        lines = job_timeline(j)
+        text = "\n".join(lines)
+        assert "arrival" in text
+        assert "cluster 2" in text
+        assert "transferred" in text
+        assert "waited 20.0" in text
+        assert "SUCCESS" in text
+
+    def test_missed_bound_flagged(self):
+        j = make_job(arrival=0.0, execution=10.0, benefit=2.0)
+        j.mark_placed(0)
+        j.mark_running(100.0)
+        j.mark_completed(110.0)  # response 110 > bound 20
+        assert "MISSED BOUND" in "\n".join(job_timeline(j))
+
+    def test_incomplete_job_shows_state(self):
+        j = make_job()
+        assert "submitted" in "\n".join(job_timeline(j))
+
+
+class TestBusyGantt:
+    def make_completed(self, cluster, start, end, arrival=0.0):
+        j = make_job(arrival=arrival, execution=end - start, benefit=5.0, cluster=cluster)
+        j.mark_placed(cluster)
+        j.mark_running(start)
+        j.mark_completed(end)
+        return j
+
+    def test_renders_busy_periods(self):
+        jobs = [
+            self.make_completed(0, 10.0, 50.0),
+            self.make_completed(1, 20.0, 80.0),
+        ]
+        out = busy_gantt(jobs, 0.0, 100.0, width=40)
+        assert "cluster   0" in out
+        assert "cluster   1" in out
+        assert "#" in out
+
+    def test_overlap_marked(self):
+        jobs = [
+            self.make_completed(0, 10.0, 50.0),
+            self.make_completed(0, 20.0, 60.0),
+        ]
+        out = busy_gantt(jobs, 0.0, 100.0, width=40)
+        assert "=" in out
+
+    def test_empty_window(self):
+        out = busy_gantt([], 0.0, 10.0)
+        assert "no service" in out
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            busy_gantt([], 10.0, 10.0)

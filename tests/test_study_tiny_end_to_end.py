@@ -1,0 +1,68 @@
+"""A genuinely end-to-end Study run on a micro profile.
+
+Everything the benchmark harness does — case construction, enabler
+tuning with presweep + annealing, normalization, slope analysis, figure
+assembly, summary — exercised on a profile small enough for the unit
+suite (two RMSs, two scales, seconds of wall clock).
+"""
+
+import pytest
+
+from repro.experiments import Study
+from repro.experiments.config import ScaleProfile
+from repro.experiments.reporting import figure_report, write_csv
+from repro.experiments.summary import study_report, summarize_case
+
+MICRO = ScaleProfile(
+    name="micro",
+    base_resources=8,
+    base_schedulers=4,
+    fixed_resources=8,
+    fixed_schedulers=4,
+    base_rate_per_resource=0.00028,
+    horizon=3000.0,
+    drain=20000.0,
+    scales=(1, 2),
+    sa_iterations=3,
+)
+
+
+@pytest.mark.slow
+class TestMicroStudy:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        study = Study(profile=MICRO, rms=["CENTRAL", "LOWEST"], seed=5)
+        return study.figure(2)
+
+    def test_series_shapes(self, fig):
+        assert set(fig.series) == {"CENTRAL", "LOWEST"}
+        for s in fig.series.values():
+            assert s.scales == (1, 2)
+            assert len(s.metrics) == 2
+            assert s.g_norm[0] == 1.0
+
+    def test_overhead_grows_with_scale(self, fig):
+        for name, s in fig.series.items():
+            assert s.G[1] > 0
+
+    def test_report_and_csv(self, fig, tmp_path):
+        out = figure_report(fig, "G")
+        assert "CENTRAL" in out and "LOWEST" in out
+        path = tmp_path / "micro.csv"
+        write_csv(fig, str(path))
+        assert path.read_text().startswith("rms,")
+
+    def test_summary_over_real_series(self, fig):
+        cs = summarize_case("micro case 1", fig.series)
+        assert set(cs.ranking) == {"CENTRAL", "LOWEST"}
+        report = study_report([cs])
+        assert "micro case 1" in report
+
+    def test_unknown_profile_still_rejected(self):
+        with pytest.raises(KeyError):
+            Study(profile="nope")
+
+    def test_profile_instance_accepted(self):
+        s = Study(profile=MICRO)
+        assert s.profile.name == "micro"
+        assert s.sa_iterations == 3

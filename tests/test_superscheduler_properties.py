@@ -1,0 +1,68 @@
+"""Property-based tests for the superscheduler decision rule."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rms import SenderInitiatedScheduler
+
+from helpers import MiniGrid
+
+
+def scheduler():
+    g = MiniGrid(scheduler_cls=SenderInitiatedScheduler, n_clusters=2,
+                 resources_per_cluster=1, use_middleware=True)
+    return g.schedulers[0], g.schedulers[1]
+
+
+CANDIDATE = st.tuples(
+    st.floats(min_value=0, max_value=10_000, allow_nan=False),  # att
+    st.floats(min_value=0, max_value=50, allow_nan=False),      # rus
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(local=CANDIDATE, remotes=st.lists(CANDIDATE, max_size=5))
+def test_choice_minimizes_att_up_to_psi(local, remotes):
+    """The chosen candidate's ATT is within psi of the global minimum —
+    never worse (the tolerance only widens the tie set)."""
+    s, peer = scheduler()
+    # distinct marker objects so each candidate is identity-unique
+    candidates = [(None, local[0], local[1])]
+    for att, rus in remotes:
+        candidates.append((object(), att, rus))
+    chosen = s.choose_by_att(100.0, candidates)
+    chosen_att = next(att for c, att, _ in candidates if c is chosen)
+    best_att = min(att for _, att, _ in candidates)
+    assert chosen_att <= best_att + s.psi + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(local=CANDIDATE, remotes=st.lists(CANDIDATE, min_size=1, max_size=5))
+def test_tie_break_prefers_smallest_rus(local, remotes):
+    """Among near-minimal candidates, the smallest RUS wins."""
+    s, peer = scheduler()
+    candidates = [(None, local[0], local[1])]
+    for att, rus in remotes:
+        candidates.append((object(), att, rus))
+    chosen = s.choose_by_att(100.0, candidates)
+    best_att = min(att for _, att, _ in candidates)
+    near = [(c, att, rus) for c, att, rus in candidates if att <= best_att + s.psi]
+    chosen_rus = next(rus for c, _, rus in candidates if c is chosen)
+    assert chosen_rus == min(rus for _, _, rus in near)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    demand=st.floats(min_value=1, max_value=10_000),
+    backlog=st.floats(min_value=0, max_value=20),
+)
+def test_att_monotone_in_backlog_and_demand(demand, backlog):
+    """ATT grows with both the cluster backlog and the job demand."""
+    s, _ = scheduler()
+    for rid in s.table.loads():
+        s.table.record(rid, backlog, 0.0)
+    base = s.att(demand)
+    for rid in s.table.loads():
+        s.table.record(rid, backlog + 1.0, 1.0)
+    assert s.att(demand) > base
+    assert s.att(demand * 2) > s.att(demand)

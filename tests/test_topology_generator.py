@@ -1,0 +1,105 @@
+"""Tests for the synthetic (Mercator-substitute) topology generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RngHub
+from repro.topology import TopologyParams, generate_topology
+
+
+def gen(n=50, seed=1, **kw):
+    return generate_topology(TopologyParams(n_nodes=n, **kw), RngHub(seed).stream("topology"))
+
+
+class TestParams:
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyParams(n_nodes=1)
+
+    def test_bad_attach_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyParams(n_nodes=10, m_attach=0)
+
+    def test_bad_waxman_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyParams(n_nodes=10, waxman_alpha=1.5)
+        with pytest.raises(ValueError):
+            TopologyParams(n_nodes=10, waxman_beta=0.0)
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyParams(n_nodes=10, min_latency=0.0)
+
+    def test_empty_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyParams(n_nodes=10, bandwidth_tiers=())
+
+
+class TestGeneratedGraphs:
+    def test_connected(self):
+        assert gen(100).is_connected()
+
+    def test_node_count(self):
+        assert gen(73).n_nodes == 73
+
+    def test_deterministic_for_seed(self):
+        a, b = gen(40, seed=9), gen(40, seed=9)
+        assert {(l.u, l.v, l.latency, l.bandwidth) for l in a.links()} == {
+            (l.u, l.v, l.latency, l.bandwidth) for l in b.links()
+        }
+
+    def test_different_seeds_differ(self):
+        a, b = gen(40, seed=1), gen(40, seed=2)
+        assert {(l.u, l.v) for l in a.links()} != {(l.u, l.v) for l in b.links()}
+
+    def test_latencies_respect_floor(self):
+        t = gen(60, min_latency=0.5)
+        assert all(l.latency >= 0.5 for l in t.links())
+
+    def test_bandwidths_from_tiers(self):
+        tiers = (7.0, 11.0)
+        t = gen(60, bandwidth_tiers=tiers)
+        assert all(l.bandwidth in tiers for l in t.links())
+
+    def test_coords_attached(self):
+        t = gen(30)
+        assert t.coords is not None
+        assert len(t.coords) == 30
+
+    def test_degree_skew(self):
+        """Preferential attachment should produce a heavier-than-uniform
+        degree tail: max degree well above the mean."""
+        t = gen(300, seed=3)
+        degrees = np.array([t.degree(u) for u in range(t.n_nodes)])
+        assert degrees.max() >= 3 * degrees.mean()
+
+    def test_waxman_phase_adds_links(self):
+        base = gen(200, seed=5, waxman_alpha=0.0)
+        shortcut = gen(200, seed=5, waxman_alpha=0.5, waxman_beta=0.8)
+        assert shortcut.n_links > base.n_links
+
+    def test_min_edge_count(self):
+        # PA phase alone contributes ~ m_attach links per node.
+        t = gen(100, m_attach=2, waxman_alpha=0.0)
+        assert t.n_links >= 100 - 2  # m = min(m_attach, existing)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    m=st.integers(min_value=1, max_value=4),
+)
+def test_always_connected_and_valid(n, seed, m):
+    """Any parameterization yields a connected graph with positive link
+    weights — the property the whole message plane depends on."""
+    t = generate_topology(
+        TopologyParams(n_nodes=n, m_attach=m), RngHub(seed).stream("topology")
+    )
+    assert t.is_connected()
+    for link in t.links():
+        assert link.latency > 0
+        assert link.bandwidth > 0
+        assert link.u != link.v

@@ -1,0 +1,116 @@
+"""Tests for Grid element placement and clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RngHub
+from repro.topology import TopologyParams, generate_topology, map_grid
+
+
+def topo(n=60, seed=2):
+    return generate_topology(TopologyParams(n_nodes=n), RngHub(seed).stream("topology"))
+
+
+class TestMapGrid:
+    def test_basic_shape(self):
+        gm = map_grid(topo(), n_schedulers=4, n_resources=40)
+        assert gm.n_schedulers == 4
+        assert gm.n_resources == 40
+        assert gm.n_estimators == 4  # defaults to one per scheduler
+
+    def test_validation_passes(self):
+        map_grid(topo(), n_schedulers=5, n_resources=30).validate()
+
+    def test_clusters_partition_resources(self):
+        gm = map_grid(topo(), n_schedulers=4, n_resources=40)
+        all_rs = sorted(r for rs in gm.resources_of_cluster.values() for r in rs)
+        assert all_rs == list(range(40))
+
+    def test_no_empty_cluster(self):
+        gm = map_grid(topo(), n_schedulers=8, n_resources=9)
+        assert all(gm.resources_of_cluster[s] for s in range(8))
+
+    def test_schedulers_at_high_degree_nodes(self):
+        t = topo()
+        gm = map_grid(t, n_schedulers=3, n_resources=20)
+        degrees = sorted((t.degree(u) for u in range(t.n_nodes)), reverse=True)
+        chosen = sorted((t.degree(u) for u in gm.scheduler_nodes), reverse=True)
+        assert chosen == degrees[:3]
+
+    def test_base_estimators_colocated_with_schedulers(self):
+        gm = map_grid(topo(), n_schedulers=4, n_resources=20)
+        assert gm.estimator_nodes == gm.scheduler_nodes
+
+    def test_extra_estimators_cover_clusters_round_robin(self):
+        gm = map_grid(topo(), n_schedulers=2, n_resources=20, n_estimators=6)
+        assert gm.n_estimators == 6
+        # extras sit at the scheduler site of the cluster they cover
+        assert gm.estimator_nodes[2] == gm.scheduler_nodes[0]
+        assert gm.estimator_nodes[3] == gm.scheduler_nodes[1]
+        # each extra covers exactly one cluster
+        for e in range(2, 6):
+            assert gm.schedulers_of_estimator[e] == [(e - 2) % 2]
+
+    def test_base_estimators_give_one_per_cluster(self):
+        gm = map_grid(topo(), n_schedulers=4, n_resources=20)
+        for r in range(20):
+            assert gm.estimator_of_resource[r] == gm.cluster_of_resource[r]
+
+    def test_cluster_sizes_balanced(self):
+        gm = map_grid(topo(), n_schedulers=4, n_resources=22)
+        sizes = sorted(len(rs) for rs in gm.resources_of_cluster.values())
+        assert sizes[-1] - sizes[0] <= 1 or sizes[-1] <= -(-22 // 4)
+
+    def test_fewer_estimators_than_schedulers_keep_clusters_whole(self):
+        gm = map_grid(topo(), n_schedulers=4, n_resources=20, n_estimators=2)
+        for r in range(20):
+            assert gm.estimator_of_resource[r] == gm.cluster_of_resource[r] % 2
+
+    def test_every_estimator_coverage_consistent(self):
+        gm = map_grid(topo(), n_schedulers=3, n_resources=24, n_estimators=5)
+        for r in range(24):
+            e = gm.estimator_of_resource[r]
+            assert gm.cluster_of_resource[r] in gm.schedulers_of_estimator[e]
+
+    def test_more_resources_than_routers_colocate(self):
+        gm = map_grid(topo(n=20), n_schedulers=2, n_resources=100)
+        assert gm.n_resources == 100
+        assert all(0 <= node < 20 for node in gm.resource_nodes)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            map_grid(topo(), n_schedulers=0, n_resources=5)
+        with pytest.raises(ValueError):
+            map_grid(topo(), n_schedulers=5, n_resources=4)
+        with pytest.raises(ValueError):
+            map_grid(topo(), n_schedulers=2, n_resources=5, n_estimators=0)
+
+    def test_deterministic(self):
+        a = map_grid(topo(seed=7), n_schedulers=4, n_resources=30, n_estimators=6)
+        b = map_grid(topo(seed=7), n_schedulers=4, n_resources=30, n_estimators=6)
+        assert a.scheduler_nodes == b.scheduler_nodes
+        assert a.resource_nodes == b.resource_nodes
+        assert a.cluster_of_resource == b.cluster_of_resource
+        assert a.estimator_of_resource == b.estimator_of_resource
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=80),
+    seed=st.integers(min_value=0, max_value=5_000),
+    n_sched=st.integers(min_value=1, max_value=6),
+    extra_est=st.integers(min_value=0, max_value=5),
+)
+def test_map_grid_invariants(n, seed, n_sched, extra_est):
+    """validate() must hold for arbitrary feasible configurations."""
+    n_res = max(n_sched, n // 2)
+    gm = map_grid(
+        topo(n=n, seed=seed),
+        n_schedulers=n_sched,
+        n_resources=n_res,
+        n_estimators=n_sched + extra_est,
+    )
+    gm.validate()
+    # every resource's node is a valid router
+    assert all(0 <= node < n for node in gm.resource_nodes)

@@ -1,0 +1,110 @@
+"""Tests for shortest-path algorithms, cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RngHub
+from repro.topology import (
+    Topology,
+    TopologyParams,
+    generate_topology,
+    multi_source_nearest,
+    single_source,
+)
+
+
+def line(n=4):
+    """0 -1- 1 -2- 2 -3- 3 ... latencies increasing."""
+    t = Topology(n)
+    for i in range(n - 1):
+        t.add_link(i, i + 1, float(i + 1), 10.0 * (i + 1))
+    return t
+
+
+class TestSingleSource:
+    def test_line_distances(self):
+        info = single_source(line(4), 0)
+        assert [d for d, _, _ in info] == [0.0, 1.0, 3.0, 6.0]
+        assert [h for _, h, _ in info] == [0, 1, 2, 3]
+
+    def test_transmission_factor_accumulates(self):
+        info = single_source(line(3), 0)
+        assert info[2][2] == pytest.approx(1 / 10.0 + 1 / 20.0)
+
+    def test_source_is_zero(self):
+        info = single_source(line(3), 1)
+        assert info[1] == (0.0, 0, 0.0)
+
+    def test_unreachable_marked(self):
+        t = Topology(3)
+        t.add_link(0, 1, 1.0, 1.0)
+        info = single_source(t, 0)
+        assert math.isinf(info[2][0])
+        assert info[2][1] == -1
+
+    def test_prefers_low_latency_path(self):
+        t = Topology(3)
+        t.add_link(0, 2, 10.0, 1000.0)   # direct but slow
+        t.add_link(0, 1, 1.0, 1.0)
+        t.add_link(1, 2, 1.0, 1.0)
+        info = single_source(t, 0)
+        assert info[2][0] == 2.0
+        assert info[2][1] == 2  # took the 2-hop path
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_matches_networkx(self, n, seed):
+        topo = generate_topology(
+            TopologyParams(n_nodes=n), RngHub(seed).stream("topology")
+        )
+        g = topo.to_networkx()
+        ref = nx.single_source_dijkstra_path_length(g, 0, weight="latency")
+        ours = single_source(topo, 0)
+        for v in range(n):
+            assert ours[v][0] == pytest.approx(ref[v])
+
+
+class TestMultiSource:
+    def test_nearest_assignment_on_line(self):
+        # line latencies: 0-1:1, 1-2:2, 2-3:3 ; sources {0, 3}
+        dist, nearest = multi_source_nearest(line(4), [0, 3])
+        assert nearest[0] == 0 and nearest[3] == 3
+        assert nearest[1] == 0          # 1 is at distance 1 from 0, 5 from 3
+        assert nearest[2] == 3          # 2 is at distance 3 from both; ties
+        # Verify distances are the min over sources.
+        assert dist[1] == 1.0
+        assert dist[2] == 3.0
+
+    def test_single_source_degenerates(self):
+        dist, nearest = multi_source_nearest(line(4), [0])
+        assert all(s == 0 for s in nearest)
+        assert dist == [0.0, 1.0, 3.0, 6.0]
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            multi_source_nearest(line(3), [7])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=50),
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_nearest_really_is_nearest(self, n, seed, k):
+        topo = generate_topology(
+            TopologyParams(n_nodes=n), RngHub(seed).stream("topology")
+        )
+        sources = sorted(set(range(0, n, max(1, n // k))))[:k]
+        dist, nearest = multi_source_nearest(topo, sources)
+        per_source = {s: single_source(topo, s) for s in sources}
+        for v in range(n):
+            best = min(per_source[s][v][0] for s in sources)
+            assert dist[v] == pytest.approx(best)
+            assert per_source[nearest[v]][v][0] == pytest.approx(best)

@@ -1,0 +1,97 @@
+"""Tests for the reliable-job-plane rules of the transport."""
+
+import pytest
+
+from repro.network import Message, MessageKind, Network, Router
+from repro.network.transport import RELIABLE_KINDS, _effective_kind
+from repro.sim import Entity, RngHub, Simulator
+from repro.topology import Topology
+
+
+class Inbox(Entity):
+    def __init__(self, sim, name, node):
+        super().__init__(sim, name, node)
+        self.got = []
+
+    def handle(self, message):
+        self.got.append(message)
+
+
+def lossy_net(loss=0.9, seed=0):
+    sim = Simulator()
+    topo = Topology(2)
+    topo.add_link(0, 1, 0.5, 100.0)
+    net = Network(
+        sim, Router(topo), loss_probability=loss, rng=RngHub(seed).stream("loss")
+    )
+    return sim, net
+
+
+class TestEffectiveKind:
+    def test_plain_message(self):
+        assert _effective_kind(Message(MessageKind.POLL_REQUEST)) == MessageKind.POLL_REQUEST
+
+    def test_relay_unwraps_inner(self):
+        inner = Message(MessageKind.JOB_TRANSFER)
+        wrapper = Message(
+            MessageKind.MIDDLEWARE_RELAY, payload={"inner": inner, "recipient": None}
+        )
+        assert _effective_kind(wrapper) == MessageKind.JOB_TRANSFER
+
+    def test_relay_without_inner(self):
+        wrapper = Message(MessageKind.MIDDLEWARE_RELAY, payload={})
+        assert _effective_kind(wrapper) == MessageKind.MIDDLEWARE_RELAY
+
+
+class TestReliability:
+    def test_job_plane_never_dropped(self):
+        sim, net = lossy_net(loss=0.9)
+        dst = Inbox(sim, "dst", 1)
+        for kind in RELIABLE_KINDS:
+            for _ in range(30):
+                net.send(Message(kind), 0, dst)
+        sim.run()
+        assert net.messages_dropped == 0
+        assert len(dst.got) == 30 * len(RELIABLE_KINDS)
+
+    def test_control_plane_dropped(self):
+        sim, net = lossy_net(loss=0.9)
+        dst = Inbox(sim, "dst", 1)
+        for _ in range(100):
+            net.send(Message(MessageKind.STATUS_UPDATE), 0, dst)
+        sim.run()
+        assert net.messages_dropped > 60
+
+    def test_relayed_transfer_reliable_but_relayed_poll_lossy(self):
+        sim, net = lossy_net(loss=0.9, seed=1)
+        dst = Inbox(sim, "dst", 1)
+        for _ in range(50):
+            inner = Message(MessageKind.JOB_TRANSFER)
+            net.send(
+                Message(
+                    MessageKind.MIDDLEWARE_RELAY,
+                    payload={"inner": inner, "recipient": dst},
+                ),
+                0,
+                dst,
+            )
+        assert net.messages_dropped == 0
+        for _ in range(50):
+            inner = Message(MessageKind.POLL_REQUEST)
+            net.send(
+                Message(
+                    MessageKind.MIDDLEWARE_RELAY,
+                    payload={"inner": inner, "recipient": dst},
+                ),
+                0,
+                dst,
+            )
+        assert net.messages_dropped > 25
+
+    def test_reliable_kinds_cover_job_plane(self):
+        assert RELIABLE_KINDS == {
+            MessageKind.JOB_SUBMIT,
+            MessageKind.JOB_DISPATCH,
+            MessageKind.JOB_TRANSFER,
+            MessageKind.JOB_COMPLETE,
+        }

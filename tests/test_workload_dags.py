@@ -1,0 +1,143 @@
+"""Tests for the dependency-constrained workload extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import SimulationConfig, build_system, run_simulation, summarize
+from repro.grid import JobState
+from repro.sim import RngHub
+from repro.workload import DagWorkload, DagWorkloadGenerator, WorkloadGenerator
+
+
+def base_gen(rate=0.01, clusters=3):
+    return WorkloadGenerator(rate=rate, n_clusters=clusters)
+
+
+def rng(seed=0):
+    return RngHub(seed).stream("wl")
+
+
+class TestDagWorkloadGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DagWorkloadGenerator(base_gen(), dependency_prob=1.5)
+        with pytest.raises(ValueError):
+            DagWorkloadGenerator(base_gen(), max_parents=0)
+        with pytest.raises(ValueError):
+            DagWorkloadGenerator(base_gen(), window=0)
+
+    def test_zero_probability_gives_no_edges(self):
+        dag = DagWorkloadGenerator(base_gen(), dependency_prob=0.0).generate(
+            5000.0, rng()
+        )
+        assert dag.parents == {}
+
+    def test_edges_generated_and_acyclic(self):
+        dag = DagWorkloadGenerator(base_gen(), dependency_prob=0.6).generate(
+            20000.0, rng(1)
+        )
+        assert dag.parents  # some dependencies exist
+        dag.validate()
+        for child, ps in dag.parents.items():
+            assert all(p < child for p in ps)
+
+    def test_parents_within_window(self):
+        dag = DagWorkloadGenerator(
+            base_gen(), dependency_prob=1.0, window=3
+        ).generate(20000.0, rng(2))
+        for child, ps in dag.parents.items():
+            assert all(child - p <= 3 for p in ps)
+
+    def test_max_parents_respected(self):
+        dag = DagWorkloadGenerator(
+            base_gen(), dependency_prob=1.0, max_parents=2, window=8
+        ).generate(20000.0, rng(3))
+        assert all(len(ps) <= 2 for ps in dag.parents.values())
+        assert any(len(ps) == 2 for ps in dag.parents.values())
+
+    def test_children_inverse_relation(self):
+        dag = DagWorkloadGenerator(base_gen(), dependency_prob=0.7).generate(
+            10000.0, rng(4)
+        )
+        children = dag.children()
+        for child, ps in dag.parents.items():
+            for p in ps:
+                assert child in children[p]
+
+    def test_deterministic(self):
+        g = DagWorkloadGenerator(base_gen(), dependency_prob=0.5)
+        a = g.generate(5000.0, rng(5))
+        b = g.generate(5000.0, rng(5))
+        assert a.parents == b.parents
+
+
+class TestDependencyExecution:
+    def cfg(self, **kw):
+        kw.setdefault("dependency_prob", 0.5)
+        return SimulationConfig(
+            rms="LOWEST",
+            n_schedulers=3,
+            n_resources=9,
+            workload_rate=0.005,
+            update_interval=16.0,
+            horizon=3000.0,
+            drain=60000.0,
+            seed=4,
+            **kw,
+        )
+
+    def test_children_run_after_parents(self):
+        system = build_system(self.cfg())
+        assert system.coordinator is not None
+        dag = system.coordinator.dag
+        assert dag.parents, "seed must produce some dependencies"
+        system.sim.run(until=system.config.horizon)
+        deadline = system.config.horizon + system.config.drain
+        while system.sim.now < deadline and any(
+            j.state != JobState.COMPLETED for j in system.jobs
+        ):
+            system.sim.run(until=min(deadline, system.sim.now + 2000.0))
+        by_id = {j.job_id: j for j in system.jobs}
+        for child_id, ps in dag.parents.items():
+            child = by_id[child_id]
+            assert child.state == JobState.COMPLETED
+            for p in ps:
+                # precedence: child starts service after parent completes
+                assert child.start_service >= by_id[p].completion_time - 1e-9
+
+    def test_cross_cluster_edges_charge_H(self):
+        m_dep = run_simulation(self.cfg())
+        m_indep = run_simulation(self.cfg(dependency_prob=0.0))
+        # Same workload stream; the DAG variant stages data across
+        # clusters, so its RP overhead is at least as large.
+        assert m_dep.record.H >= m_indep.record.H
+
+    def test_no_dependencies_no_coordinator(self):
+        system = build_system(self.cfg(dependency_prob=0.0))
+        assert system.coordinator is None
+
+    def test_staged_edges_counted(self):
+        system = build_system(self.cfg(dependency_prob=0.9))
+        system.sim.run(until=system.config.horizon)
+        deadline = system.config.horizon + system.config.drain
+        while system.sim.now < deadline and any(
+            j.state != JobState.COMPLETED for j in system.jobs
+        ):
+            system.sim.run(until=min(deadline, system.sim.now + 2000.0))
+        assert system.coordinator.staged_edges >= 0  # counted, never negative
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    prob=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_dag_generation_invariants(seed, prob):
+    """For any probability/seed the generated DAG validates."""
+    dag = DagWorkloadGenerator(base_gen(), dependency_prob=prob).generate(
+        4000.0, rng(seed)
+    )
+    dag.validate()
+    ids = {j.job_id for j in dag.jobs}
+    assert set(dag.parents) <= ids
