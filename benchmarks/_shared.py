@@ -5,11 +5,23 @@ profile, so the Case-3 measurement is paid once and reused by Figures
 4, 6, and 7 — exactly as in the paper, where all three figures read the
 same experiment.
 
+Every simulation the studies run goes through one process-wide
+:class:`~repro.experiments.parallel.ExperimentEngine`, so benchmark
+sweeps fan out over worker processes and re-runs are served from the
+content-addressed run cache (results are identical either way — the
+runs are deterministic and keyed by config content).
+
 Environment knobs:
 
 * ``REPRO_BENCH_PROFILE`` — ``ci`` (default) or ``full``.
 * ``REPRO_BENCH_SA_ITERS`` — annealing iterations per tuning problem
   (default 8 for ``ci``; use the profile default for archival runs).
+* ``REPRO_JOBS`` — worker processes for independent runs (default 1;
+  0 = one per CPU).
+* ``REPRO_CACHE_DIR`` — run-cache location (default ``.repro-cache``).
+* ``REPRO_NO_CACHE`` — set to 1 to skip cache reads (still writes).
+* ``REPRO_RESUME`` — set to 1 to checkpoint/resume completed
+  (case, RMS) points across invocations.
 """
 
 from __future__ import annotations
@@ -18,19 +30,36 @@ import os
 from typing import Dict
 
 from repro.experiments import Study
+from repro.experiments.parallel import ExperimentEngine, RunCache
 from repro.experiments.reporting import figure_report
 
 _PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "ci")
 _SA_ITERS = int(os.environ.get("REPRO_BENCH_SA_ITERS", "8"))
+_NO_CACHE = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+_RESUME = os.environ.get("REPRO_RESUME", "") not in ("", "0")
 
 _studies: Dict[str, Study] = {}
+_engine: ExperimentEngine | None = None
+
+
+def shared_engine() -> ExperimentEngine:
+    """The process-wide experiment engine used by every bench."""
+    global _engine
+    if _engine is None:
+        _engine = ExperimentEngine(cache=RunCache(read=not _NO_CACHE))
+    return _engine
 
 
 def shared_study() -> Study:
     """The process-wide Study used by every figure bench."""
     study = _studies.get(_PROFILE)
     if study is None:
-        study = Study(profile=_PROFILE, sa_iterations=_SA_ITERS)
+        study = Study(
+            profile=_PROFILE,
+            sa_iterations=_SA_ITERS,
+            engine=shared_engine(),
+            resume=_RESUME,
+        )
         _studies[_PROFILE] = study
     return study
 

@@ -108,7 +108,13 @@ class ScalabilityProcedure:
         The Step-1 efficiency band (paper: [0.38, 0.42]).
     tuner_kwargs:
         Passed through to :class:`EnablerTuner` (annealing schedule,
-        success floor, seed, ...).
+        success floor, seed, ...).  In particular ``batch_simulate``
+        attaches a batch evaluator (usually backed by a parallel
+        :class:`~repro.experiments.parallel.ExperimentEngine`): the
+        procedure then submits its independent candidate evaluations —
+        the default-settings reference run at every scale up front, and
+        each scale's pre-sweep scan — as batches instead of one run at
+        a time.
     """
 
     def __init__(
@@ -125,6 +131,14 @@ class ScalabilityProcedure:
 
     def run(self, name: str = "RMS") -> ScalabilityResult:
         """Execute the full procedure and return the measurement."""
+        # Every scale's search starts from the same default enabler
+        # settings; those reference runs are mutually independent, so
+        # warm the tuner's memo with all of them in a single batch (a
+        # parallel engine executes them concurrently; without one this
+        # is the same serial work the searches would do lazily).
+        defaults = self.tuner.space.default_settings()
+        self.tuner.observe_many([(k, defaults) for k in self.path])
+
         # Step 1: base configuration and E0.
         base_point = self.tuner.tune_base(self.path.base, band=self.band)
         lo, hi = self.band

@@ -32,7 +32,7 @@ revisits points frequently and each evaluation is a full simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -107,6 +107,14 @@ class EnablerTuner:
         of the configured system at scale ``k`` with the given enabler
         settings.  Must be deterministic for caching to be sound (the
         experiment runner seeds every run identically).
+    batch_simulate:
+        Optional ``batch_simulate(pairs) -> [Observation, ...]`` over a
+        list of ``(k, settings)`` pairs.  When provided, independent
+        candidate evaluations (the pre-sweep scan, the procedure's
+        per-scale reference runs) are submitted as one batch so an
+        attached parallel engine can fan them out over worker
+        processes.  Must agree with ``simulate`` point for point — both
+        are views of the same deterministic run function.
     space:
         The enabler grid to search.
     schedule:
@@ -132,12 +140,16 @@ class EnablerTuner:
         penalty_s: float = 1000.0,
         presweep: bool = True,
         seed: int = 0,
+        batch_simulate: Optional[
+            Callable[[Sequence[Tuple[float, Mapping[str, float]]]], Sequence[Observation]]
+        ] = None,
     ) -> None:
         if e_tol <= 0:
             raise ValueError("e_tol must be positive")
         if not (0.0 < success_floor <= 1.0):
             raise ValueError("success_floor must be in (0, 1]")
         self._simulate = simulate
+        self._batch_simulate = batch_simulate
         self.space = space
         self.schedule = schedule or AnnealingSchedule(iterations=30, t0=0.5)
         self.e_tol = e_tol
@@ -156,6 +168,43 @@ class EnablerTuner:
             obs = self._simulate(k, dict(settings))
             self._cache[key] = obs
         return obs
+
+    def observe_many(
+        self, pairs: Sequence[Tuple[float, Mapping[str, float]]]
+    ) -> List[Observation]:
+        """Observe a batch of independent ``(k, settings)`` candidates.
+
+        Uncached candidates are evaluated through ``batch_simulate``
+        when one was provided (letting a parallel engine run them
+        concurrently) and serially otherwise; every result lands in the
+        memo, so subsequent :meth:`tune` probes of the same points are
+        cache hits.  Results are returned in input order and are
+        identical to what repeated single observations would produce —
+        batching is purely an execution-strategy choice.
+        """
+        keyed = [
+            (k, settings, (k, tuple(sorted(settings.items()))))
+            for k, settings in pairs
+        ]
+        todo: List[Tuple[float, Mapping[str, float]]] = []
+        todo_keys: List[Tuple[float, Tuple[Tuple[str, float], ...]]] = []
+        for k, settings, key in keyed:
+            if key not in self._cache and key not in todo_keys:
+                todo.append((k, dict(settings)))
+                todo_keys.append(key)
+        if todo:
+            if self._batch_simulate is not None:
+                observations = list(self._batch_simulate(todo))
+                if len(observations) != len(todo):
+                    raise ValueError(
+                        "batch_simulate returned "
+                        f"{len(observations)} results for {len(todo)} candidates"
+                    )
+            else:
+                observations = [self._simulate(k, dict(s)) for k, s in todo]
+            for key, obs in zip(todo_keys, observations):
+                self._cache[key] = obs
+        return [self._cache[key] for _, _, key in keyed]
 
     def _penalties(self, obs: Observation, e_target: float) -> float:
         e = obs.record.efficiency
@@ -188,12 +237,18 @@ class EnablerTuner:
             # the paper's enabler sets) moves the operating point across
             # orders of magnitude; single-step annealing moves cannot
             # traverse its grid within the budget, so scan it outright
-            # and anneal from the best scan point.
+            # and anneal from the best scan point.  The scan points are
+            # mutually independent, so they are submitted as one batch
+            # (a parallel engine evaluates them concurrently).
             primary = self.space.enablers[0]
-            best_val = objective(initial)
+            candidates = []
             for v in primary.values:
                 candidate = dict(defaults)
                 candidate[primary.name] = v
+                candidates.append(candidate)
+            self.observe_many([(k, c) for c in candidates])
+            best_val = objective(initial)
+            for candidate in candidates:
                 val = objective(candidate)
                 if val < best_val:
                     best_val = val

@@ -1,6 +1,6 @@
 """Evaluation harness: experiment cases, runner, reproduction drivers."""
 
-from .cases import CASES, ExperimentCase, get_case, make_simulate
+from .cases import CASES, ExperimentCase, get_case, make_batch_simulate, make_simulate
 from .config import PROFILES, CommonParameters, ScaleProfile, SimulationConfig
 from .replication import MetricSummary, ReplicationResult, replicate
 from .reporting import ascii_plot, figure_report, format_table, write_csv
@@ -16,11 +16,16 @@ from .reproduce import (
     figure7,
 )
 from .inspect import inspection_report
+from .parallel import ExperimentEngine, RunCache, StudyManifest, config_key
 from .summary import CaseSummary, study_report, summarize_case
 from .runner import RunMetrics, System, build_system, run_simulation, summarize
 
 __all__ = [
     "CASES",
+    "ExperimentEngine",
+    "RunCache",
+    "StudyManifest",
+    "config_key",
     "CommonParameters",
     "ExperimentCase",
     "FigureData",
@@ -46,6 +51,7 @@ __all__ = [
     "inspection_report",
     "format_table",
     "get_case",
+    "make_batch_simulate",
     "make_simulate",
     "replicate",
     "run_simulation",

@@ -20,7 +20,7 @@ the core measurement procedure consumes.  All four scale the workload
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.scaling import (
     LINK_DELAY_SCALE,
@@ -34,7 +34,7 @@ from ..core.scaling import (
 from .config import PROFILES, ScaleProfile, SimulationConfig
 from .runner import RunMetrics, run_simulation
 
-__all__ = ["ExperimentCase", "CASES", "get_case", "make_simulate"]
+__all__ = ["ExperimentCase", "CASES", "get_case", "make_simulate", "make_batch_simulate"]
 
 #: the calibrated update-interval grid (see EXPERIMENTS.md): spans the
 #: regime from scheduler saturation (tau=6) to near-zero state
@@ -197,6 +197,7 @@ def make_simulate(
     profile: ScaleProfile,
     seed: int = 7,
     memo: Optional[Dict] = None,
+    engine=None,
 ) -> Callable[[float, Mapping[str, float]], RunMetrics]:
     """Build the ``simulate(k, settings)`` closure for one (case, RMS).
 
@@ -206,6 +207,10 @@ def make_simulate(
         Optional external cache ``{(k, settings-items): RunMetrics}``;
         sharing it with the figure drivers lets them re-read tuned
         points' full metrics (throughput, response times) for free.
+    engine:
+        Optional :class:`~repro.experiments.parallel.ExperimentEngine`;
+        when given, runs execute through it (and hit its persistent run
+        cache) instead of calling :func:`run_simulation` directly.
     """
     cache: Dict = memo if memo is not None else {}
 
@@ -217,8 +222,52 @@ def make_simulate(
         config = case.config_for(rms, k, profile, seed=seed).with_enablers(
             dict(settings)
         )
-        metrics = run_simulation(config)
+        metrics = engine.run(config) if engine is not None else run_simulation(config)
         cache[key] = metrics
         return metrics
 
     return simulate
+
+
+def make_batch_simulate(
+    case: ExperimentCase,
+    rms: str,
+    profile: ScaleProfile,
+    seed: int = 7,
+    memo: Optional[Dict] = None,
+    engine=None,
+) -> Callable[[Sequence[Tuple[float, Mapping[str, float]]]], List[RunMetrics]]:
+    """Build the batch companion of :func:`make_simulate`.
+
+    The returned ``simulate_many(pairs)`` evaluates a list of
+    ``(k, settings)`` candidates — through ``engine.run_many`` when an
+    engine is attached (process-pool fan-out + run cache), serially
+    otherwise — and shares ``memo`` with the scalar closure so the two
+    views never recompute each other's points.
+    """
+    cache: Dict = memo if memo is not None else {}
+
+    def simulate_many(
+        pairs: Sequence[Tuple[float, Mapping[str, float]]]
+    ) -> List[RunMetrics]:
+        keys = [(k, tuple(sorted(dict(s).items()))) for k, s in pairs]
+        todo_keys = []
+        todo_configs = []
+        for (k, settings), key in zip(pairs, keys):
+            if key not in cache and key not in todo_keys:
+                todo_keys.append(key)
+                todo_configs.append(
+                    case.config_for(rms, k, profile, seed=seed).with_enablers(
+                        dict(settings)
+                    )
+                )
+        if todo_configs:
+            if engine is not None:
+                metrics_list = engine.run_many(todo_configs)
+            else:
+                metrics_list = [run_simulation(c) for c in todo_configs]
+            for key, metrics in zip(todo_keys, metrics_list):
+                cache[key] = metrics
+        return [cache[key] for key in keys]
+
+    return simulate_many

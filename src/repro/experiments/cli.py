@@ -4,13 +4,21 @@ Usage::
 
     python -m repro figure 2                  # Figure 2, ci profile
     python -m repro figure 4 --profile full   # paper-scale (slow)
+    python -m repro figure 2 --jobs 4         # fan runs over 4 processes
+    python -m repro figure 2 --resume         # restart a killed sweep
     python -m repro figure 6 --csv out.csv    # also dump the series
     python -m repro compare                   # quick 7-design comparison
     python -m repro list                      # what can be regenerated
 
 The ``figure`` subcommand runs the full isoefficiency measurement for
 the corresponding experimental case (all seven RMS designs), prints the
-table + ASCII plot, and optionally writes a CSV.
+table + ASCII plot, and optionally writes a CSV.  Simulations execute
+through the parallel experiment engine: ``--jobs N`` (or the
+``REPRO_JOBS`` environment variable) fans independent runs over worker
+processes, results persist in a content-addressed run cache
+(``.repro-cache/`` or ``--cache-dir``; ``--no-cache`` skips reads but
+still writes), and ``--resume`` checkpoints completed (case, RMS)
+points so a killed sweep restarts where it left off.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import sys
 from typing import List, Optional
 
 from .config import PROFILES, SimulationConfig
+from .parallel import ExperimentEngine, RunCache
 from .reporting import figure_report, format_table, write_csv
 from .reproduce import Study
 from .runner import run_simulation
@@ -44,17 +53,29 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
+    """Build the experiment engine an invocation asked for."""
+    cache = RunCache(
+        root=getattr(args, "cache_dir", None),
+        read=not getattr(args, "no_cache", False),
+    )
+    return ExperimentEngine(jobs=args.jobs, cache=cache)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.number not in _FIGURE_QUANTITY:
         print(f"error: the paper has figures 2-7, not {args.number}", file=sys.stderr)
         return 2
-    study = Study(
-        profile=args.profile,
-        rms=args.rms.split(",") if args.rms else None,
-        seed=args.seed,
-        sa_iterations=args.sa_iterations,
-    )
-    fig = study.figure(args.number)
+    with _make_engine(args) as engine:
+        study = Study(
+            profile=args.profile,
+            rms=args.rms.split(",") if args.rms else None,
+            seed=args.seed,
+            sa_iterations=args.sa_iterations,
+            engine=engine,
+            resume=args.resume,
+        )
+        fig = study.figure(args.number)
     quantity = args.quantity or _FIGURE_QUANTITY[args.number]
     print(figure_report(fig, quantity, precision=args.precision))
     if args.csv:
@@ -66,23 +87,26 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from ..rms.registry import get_rms, rms_names
 
-    rows = []
-    for rms in rms_names():
-        tau = 40.0 if rms == "CENTRAL" else 8.5
-        m = run_simulation(
-            SimulationConfig(
-                rms=rms,
-                n_schedulers=8,
-                n_resources=24,
-                workload_rate=0.0067,
-                update_interval=tau,
-                horizon=12000.0,
-                seed=args.seed,
-            )
+    names = rms_names()
+    configs = [
+        SimulationConfig(
+            rms=rms,
+            n_schedulers=8,
+            n_resources=24,
+            workload_rate=0.0067,
+            update_interval=40.0 if rms == "CENTRAL" else 8.5,
+            horizon=12000.0,
+            seed=args.seed,
         )
-        rows.append(
-            [rms, get_rms(rms).mechanism, m.efficiency, m.record.G, m.success_rate]
-        )
+        for rms in names
+    ]
+    # The seven designs are independent runs: one engine batch.
+    with _make_engine(args) as engine:
+        metrics = engine.run_many(configs)
+    rows = [
+        [rms, get_rms(rms).mechanism, m.efficiency, m.record.G, m.success_rate]
+        for rms, m in zip(names, metrics)
+    ]
     print(format_table(["RMS", "mechanism", "E", "G", "success"], rows, precision=3))
     return 0
 
@@ -107,12 +131,39 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--quantity", default=None, help="override plotted quantity")
     fig.add_argument("--precision", type=int, default=1)
     fig.add_argument("--csv", default=None, help="also write the series to CSV")
+    _add_engine_args(fig)
+    fig.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint completed (case, RMS) points and skip them on restart",
+    )
     fig.set_defaults(fn=_cmd_figure)
 
     cmp_ = sub.add_parser("compare", help="quick 7-design comparison run")
     cmp_.add_argument("--seed", type=int, default=7)
+    _add_engine_args(cmp_)
     cmp_.set_defaults(fn=_cmd_compare)
     return p
+
+
+def _add_engine_args(sub: argparse.ArgumentParser) -> None:
+    """Engine flags shared by the simulation-running subcommands."""
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = one per CPU)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read the run cache (fresh results are still written)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

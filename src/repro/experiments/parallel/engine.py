@@ -1,0 +1,160 @@
+"""The experiment engine: cached, parallel execution of simulation runs.
+
+:class:`ExperimentEngine` is the single choke point through which the
+tuner's candidate batches, replication fans, benchmark sweeps, and the
+CLI all execute simulations.  For every batch it
+
+1. deduplicates identical configs (the tuner frequently revisits
+   points),
+2. serves what it can from the :class:`~.cache.RunCache` (if attached),
+3. fans the remaining *unique* configs out over a
+   ``ProcessPoolExecutor`` — or runs them inline when ``jobs == 1`` —
+4. writes fresh results back to the cache,
+
+and returns results in input order.  Because every run is a pure
+function of its config, the results are **independent of the worker
+count**: ``jobs=1`` and ``jobs=8`` produce identical metrics, which is
+what lets the run cache and the determinism test layer gate this whole
+subsystem.
+
+Worker-count resolution order: explicit argument, then the
+``REPRO_JOBS`` environment variable, then 1 (serial).  ``jobs <= 0``
+means "one per CPU".
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SimulationConfig
+from ..runner import RunMetrics, run_simulation
+from .cache import RunCache
+from .hashing import config_key
+
+__all__ = ["ExperimentEngine", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: argument > ``$REPRO_JOBS`` > 1.
+
+    ``0`` or a negative value (from either source) selects
+    ``os.cpu_count()`` workers.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        jobs = int(env)
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _run_config(config: SimulationConfig) -> RunMetrics:
+    """Top-level worker (must be picklable for the process pool)."""
+    return run_simulation(config)
+
+
+class ExperimentEngine:
+    """Runs batches of independent simulations, cached and in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes (see :func:`resolve_jobs`).  ``1`` keeps
+        everything in-process — no pool, no pickling — so debuggers,
+        profilers, and coverage see every frame.
+    cache:
+        A :class:`RunCache`, or ``None`` to disable persistence
+        entirely (the default: library callers opt in, the CLI and
+        benchmarks attach one).
+
+    The engine may be used as a context manager; otherwise call
+    :meth:`close` to reap the worker pool (it is also reaped on
+    garbage collection).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, cache: Optional[RunCache] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        #: simulations actually executed (cache misses), for tests/UX
+        self.runs_executed = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def run(self, config: SimulationConfig) -> RunMetrics:
+        """Run (or fetch) a single simulation."""
+        return self.run_many([config])[0]
+
+    def run_many(self, configs: Sequence[SimulationConfig]) -> List[RunMetrics]:
+        """Run a batch of independent simulations; results in input order.
+
+        Identical configs are executed once; cache hits are not
+        executed at all.  With ``jobs > 1`` the unique misses execute
+        concurrently in worker processes.
+        """
+        configs = list(configs)
+        keys = [config_key(c) for c in configs]
+        results: Dict[str, RunMetrics] = {}
+
+        # 1) cache reads
+        if self.cache is not None:
+            for key, config in zip(keys, configs):
+                if key not in results:
+                    hit = self.cache.get(config, key=key)
+                    if hit is not None:
+                        results[key] = hit
+
+        # 2) unique misses, in first-appearance order (determinism of
+        #    execution order for the serial path)
+        miss_keys: List[str] = []
+        miss_configs: List[SimulationConfig] = []
+        for key, config in zip(keys, configs):
+            if key not in results and key not in miss_keys:
+                miss_keys.append(key)
+                miss_configs.append(config)
+
+        # 3) execute
+        if miss_configs:
+            if self.jobs == 1 or len(miss_configs) == 1:
+                computed = [_run_config(c) for c in miss_configs]
+            else:
+                computed = list(self._executor().map(_run_config, miss_configs))
+            self.runs_executed += len(miss_configs)
+            for key, config, metrics in zip(miss_keys, miss_configs, computed):
+                results[key] = metrics
+                # 4) cache writes
+                if self.cache is not None:
+                    self.cache.put(config, metrics, key=key)
+
+        return [results[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    def _executor(self) -> ProcessPoolExecutor:
+        """The lazily created, reused worker pool."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: reap the worker pool."""
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,83 @@
+"""Canonical, cross-process hashing of simulation configurations.
+
+The run cache and the study manifest both key on *what a run computes*,
+which is fully determined by its :class:`SimulationConfig` (the runner
+derives every random stream from ``config.seed``).  The key must
+therefore be
+
+* **canonical** — invariant to dict/field ordering and to how the
+  config was constructed (``replace``, ``with_enablers``, literal);
+* **stable across processes** — no dependence on ``PYTHONHASHSEED``,
+  object identity, or interpreter session (Python's built-in ``hash``
+  satisfies none of these for strings);
+* **sensitive** — any semantic field change, however deep
+  (``costs.update_proc``, ``common.t_cpu``), must change the key.
+
+We get all three by flattening the config dataclass tree into plain
+JSON types, serializing with sorted keys, and hashing with SHA-256.
+``CACHE_SCHEMA_VERSION`` is mixed into the digest so that changing the
+persisted record format (or the meaning of a config field) invalidates
+old cache entries wholesale instead of deserializing them wrongly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict
+
+from ..config import SimulationConfig
+
+__all__ = ["CACHE_SCHEMA_VERSION", "canonical_config", "config_key", "canonical_json"]
+
+#: bump when the cache record format or config semantics change
+CACHE_SCHEMA_VERSION = 1
+
+
+def _plain(value: Any) -> Any:
+    """Reduce a config field value to plain JSON types, recursively."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        # Collapse integral floats so 2.0 and 2 produced by different
+        # construction paths hash identically.
+        return int(value) if value.is_integer() else value
+    raise TypeError(f"cannot canonicalize config field of type {type(value)!r}")
+
+
+def canonical_config(config: SimulationConfig) -> Dict[str, Any]:
+    """The config as a nested dict of plain JSON types.
+
+    Field order is irrelevant to the eventual key (serialization sorts
+    keys at every level).
+    """
+    return _plain(config)
+
+
+def canonical_json(payload: Any) -> bytes:
+    """Serialize ``payload`` to canonical (sorted, compact) JSON bytes."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def config_key(config: SimulationConfig) -> str:
+    """The content-addressed cache key of one simulation run.
+
+    A hex SHA-256 digest over the canonicalized config plus the cache
+    schema version; equal configs map to equal keys in every process.
+    """
+    payload = {"v": CACHE_SCHEMA_VERSION, "config": canonical_config(config)}
+    return hashlib.sha256(canonical_json(payload)).hexdigest()

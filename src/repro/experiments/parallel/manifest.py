@@ -1,0 +1,216 @@
+"""Checkpoint/resume for multi-point studies.
+
+A figure sweep measures many independent points — (case, RMS design)
+pairs, each a full Step-1..4 isoefficiency procedure.  A paper-scale
+sweep runs for hours; killing it halfway should not forfeit the
+completed points.  :class:`StudyManifest` is the checkpoint record: a
+single JSON file mapping a point's identity key to its fully serialized
+:class:`~repro.core.procedure.ScalabilityResult` (plus the tuned
+points' run metrics), written atomically after every completed point.
+On resume, completed points are reconstructed from the manifest —
+*skipped exactly*, zero simulations — and only the remainder runs.
+
+The serializers here are also what makes results durable artifacts:
+``result_to_jsonable`` / ``result_from_jsonable`` round-trip every
+dataclass the measurement procedure produces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ...core.efficiency import EfficiencyRecord, NormalizedCurves
+from ...core.isoefficiency import IsoefficiencyConstants
+from ...core.procedure import ScalabilityResult
+from ...core.slope import SlopeAnalysis
+from ...core.tuner import TunedPoint
+from .hashing import canonical_json
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "StudyManifest",
+    "result_to_jsonable",
+    "result_from_jsonable",
+]
+
+#: bump when the manifest payload format changes
+MANIFEST_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# ScalabilityResult (de)serialization
+# ---------------------------------------------------------------------------
+
+def _point_to_jsonable(point: TunedPoint) -> Dict[str, Any]:
+    return {
+        "scale": point.scale,
+        "settings": {str(k): float(v) for k, v in point.settings.items()},
+        "record": {"F": point.record.F, "G": point.record.G, "H": point.record.H},
+        "success_rate": point.success_rate,
+        "objective": point.objective,
+        "feasible": bool(point.feasible),
+    }
+
+
+def _point_from_jsonable(payload: Dict[str, Any]) -> TunedPoint:
+    record = payload["record"]
+    return TunedPoint(
+        scale=float(payload["scale"]),
+        settings={str(k): float(v) for k, v in payload["settings"].items()},
+        record=EfficiencyRecord(
+            F=float(record["F"]), G=float(record["G"]), H=float(record["H"])
+        ),
+        success_rate=float(payload["success_rate"]),
+        objective=float(payload["objective"]),
+        feasible=bool(payload["feasible"]),
+    )
+
+
+def result_to_jsonable(result: ScalabilityResult) -> Dict[str, Any]:
+    """Flatten a :class:`ScalabilityResult` into plain JSON types."""
+    curves = result.curves
+    slopes = result.slopes
+    return {
+        "name": result.name,
+        "e0": result.e0,
+        "points": [_point_to_jsonable(p) for p in result.points],
+        "curves": {
+            "scales": list(curves.scales),
+            "f": list(curves.f),
+            "g": list(curves.g),
+            "h": list(curves.h),
+        },
+        "slopes": {
+            "scales": list(slopes.scales),
+            "g_slopes": list(slopes.g_slopes),
+            "f_slopes": list(slopes.f_slopes),
+            "scalable": list(slopes.scalable),
+            "improving": list(slopes.improving),
+        },
+        "constants": {
+            "alpha": result.constants.alpha,
+            "c": result.constants.c,
+            "c_prime": result.constants.c_prime,
+        },
+        "eq2_ok": [bool(v) for v in result.eq2_ok],
+        "base_feasible": bool(result.base_feasible),
+    }
+
+
+def result_from_jsonable(payload: Dict[str, Any]) -> ScalabilityResult:
+    """Rebuild a :class:`ScalabilityResult` from its JSON form."""
+    curves = payload["curves"]
+    slopes = payload["slopes"]
+    constants = payload["constants"]
+    return ScalabilityResult(
+        name=str(payload["name"]),
+        e0=float(payload["e0"]),
+        points=[_point_from_jsonable(p) for p in payload["points"]],
+        curves=NormalizedCurves(
+            scales=tuple(curves["scales"]),
+            f=tuple(curves["f"]),
+            g=tuple(curves["g"]),
+            h=tuple(curves["h"]),
+        ),
+        slopes=SlopeAnalysis(
+            scales=tuple(slopes["scales"]),
+            g_slopes=tuple(slopes["g_slopes"]),
+            f_slopes=tuple(slopes["f_slopes"]),
+            scalable=tuple(bool(v) for v in slopes["scalable"]),
+            improving=tuple(bool(v) for v in slopes["improving"]),
+        ),
+        constants=IsoefficiencyConstants(
+            alpha=float(constants["alpha"]),
+            c=float(constants["c"]),
+            c_prime=float(constants["c_prime"]),
+        ),
+        eq2_ok=[bool(v) for v in payload["eq2_ok"]],
+        base_feasible=bool(payload["base_feasible"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The manifest file
+# ---------------------------------------------------------------------------
+
+class StudyManifest:
+    """Durable record of a multi-point study's completed points.
+
+    Parameters
+    ----------
+    path:
+        Manifest file location.  A missing file starts an empty
+        manifest; an unreadable one is treated the same (resume then
+        recomputes everything rather than crashing).
+
+    A point's **key** must encode everything that determines its result
+    (profile, seed, case, RMS, tuning budget); the study layer builds
+    it.  ``mark_done`` persists immediately and atomically, so a kill
+    between points loses at most the in-flight point.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._completed: Dict[str, Any] = {}
+        self.load()
+
+    # ------------------------------------------------------------------
+    def load(self) -> None:
+        """(Re)read the manifest from disk, tolerating absence/corruption."""
+        self._completed = {}
+        try:
+            payload = json.loads(self.path.read_text("utf-8"))
+            if payload.get("version") != MANIFEST_VERSION:
+                raise ValueError("manifest version mismatch")
+            completed = payload["completed"]
+            if not isinstance(completed, dict):
+                raise TypeError("manifest 'completed' must be a mapping")
+            self._completed = completed
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError, KeyError, TypeError):
+            # corrupted manifest: start over rather than crash the sweep
+            self._completed = {}
+
+    def save(self) -> None:
+        """Atomically persist the manifest."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": MANIFEST_VERSION, "completed": self._completed}
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(canonical_json(payload))
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def is_done(self, key: str) -> bool:
+        """Whether the point ``key`` completed in a previous run."""
+        return key in self._completed
+
+    def payload(self, key: str) -> Optional[Any]:
+        """The stored payload for a completed point (``None`` if absent)."""
+        return self._completed.get(key)
+
+    def mark_done(self, key: str, payload: Any = None) -> None:
+        """Record a completed point (with its result payload) and persist."""
+        self._completed[key] = payload
+        self.save()
+
+    @property
+    def completed_keys(self) -> List[str]:
+        """Keys of every completed point, in insertion order."""
+        return list(self._completed)
+
+    def __len__(self) -> int:
+        """Number of completed points."""
+        return len(self._completed)

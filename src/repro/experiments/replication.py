@@ -82,6 +82,8 @@ def replicate(
     z: float = 1.96,
     seeds: Optional[Sequence[int]] = None,
     runner: Callable[[SimulationConfig], RunMetrics] = run_simulation,
+    engine=None,
+    jobs: Optional[int] = None,
 ) -> ReplicationResult:
     """Run ``config`` under ``n`` independent seeds and summarize.
 
@@ -96,7 +98,16 @@ def replicate(
     seeds:
         Explicit seed list (overrides ``n``).
     runner:
-        Injection point for tests.
+        Injection point for tests.  A custom runner always executes
+        serially in-process (it may not be picklable).
+    engine:
+        Optional :class:`~repro.experiments.parallel.ExperimentEngine`:
+        the replications — independent by construction — are fanned out
+        as one batch over its worker pool and served from its run
+        cache.  Ignored when a custom ``runner`` is injected.
+    jobs:
+        Convenience: build a throwaway (cache-less) engine with this
+        many workers.  Ignored when ``engine`` is given.
     """
     if seeds is None:
         if n < 1:
@@ -105,7 +116,16 @@ def replicate(
     seeds = list(seeds)
     if not seeds:
         raise ValueError("need at least one seed")
-    runs = [runner(replace(config, seed=s)) for s in seeds]
+    replicas = [replace(config, seed=s) for s in seeds]
+    if engine is None and jobs is not None and runner is run_simulation:
+        from .parallel import ExperimentEngine
+
+        with ExperimentEngine(jobs=jobs) as owned:
+            runs = owned.run_many(replicas)
+    elif engine is not None and runner is run_simulation:
+        runs = engine.run_many(replicas)
+    else:
+        runs = [runner(c) for c in replicas]
     summaries = {
         name: _summary(name, [fn(m) for m in runs], z) for name, fn in _SCALARS.items()
     }

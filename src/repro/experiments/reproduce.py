@@ -10,14 +10,18 @@ results within a :class:`Study`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.annealing import AnnealingSchedule
 from ..core.procedure import ScalabilityProcedure, ScalabilityResult
 from ..rms.registry import rms_names
-from .cases import ExperimentCase, get_case, make_simulate
+from .cases import ExperimentCase, get_case, make_batch_simulate, make_simulate
 from .config import PROFILES, ScaleProfile
+from .parallel.cache import DEFAULT_CACHE_DIR, metrics_from_jsonable, metrics_to_jsonable
+from .parallel.manifest import StudyManifest, result_from_jsonable, result_to_jsonable
 from .runner import RunMetrics
 
 __all__ = ["RMSSeries", "FigureData", "Study", "figure2", "figure3", "figure4", "figure5", "figure6", "figure7"]
@@ -110,6 +114,21 @@ class Study:
         Which designs to measure (default: all seven).
     seed:
         Root seed for every simulation in the study.
+    engine:
+        Optional :class:`~repro.experiments.parallel.ExperimentEngine`;
+        every simulation of the study then executes through it —
+        independent candidate batches fan out over its worker pool and
+        repeat runs are served from its run cache.  ``None`` keeps the
+        historical serial in-process behavior.
+    resume:
+        Checkpoint/resume the study through a
+        :class:`~repro.experiments.parallel.StudyManifest`: completed
+        (case, RMS) points are persisted as they finish and *skipped*
+        (reconstructed from the manifest, zero simulations) on the next
+        run.
+    manifest_path:
+        Manifest file location (implies ``resume``); defaults to
+        ``<cache-dir>/manifests/study.json``.
     """
 
     def __init__(
@@ -118,6 +137,9 @@ class Study:
         rms: Optional[Sequence[str]] = None,
         seed: int = 7,
         sa_iterations: Optional[int] = None,
+        engine=None,
+        resume: bool = False,
+        manifest_path: "str | Path | None" = None,
     ) -> None:
         if isinstance(profile, ScaleProfile):
             self.profile = profile
@@ -130,29 +152,85 @@ class Study:
         self.sa_iterations = (
             sa_iterations if sa_iterations is not None else self.profile.sa_iterations
         )
+        self.engine = engine
+        self._manifest: Optional[StudyManifest] = None
+        if resume or manifest_path is not None:
+            if manifest_path is None:
+                root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+                manifest_path = Path(root) / "manifests" / "study.json"
+            self._manifest = StudyManifest(manifest_path)
         self._case_cache: Dict[int, Dict[str, RMSSeries]] = {}
 
     # ------------------------------------------------------------------
     def run_case(self, case_id: int) -> Dict[str, RMSSeries]:
-        """Measure every requested RMS on one case (memoized)."""
+        """Measure every requested RMS on one case (memoized).
+
+        With a manifest attached (``resume=True``), points the manifest
+        records as completed are reconstructed from it without running
+        a single simulation; newly measured points are checkpointed as
+        they finish.
+        """
         if case_id in self._case_cache:
             return self._case_cache[case_id]
         case = get_case(case_id)
         out: Dict[str, RMSSeries] = {}
         for rms in self.rms_list:
-            out[rms] = self._measure(case, rms)
+            key = self._point_key(case_id, rms)
+            if self._manifest is not None and self._manifest.is_done(key):
+                series = self._series_from_payload(rms, self._manifest.payload(key))
+                if series is not None:
+                    out[rms] = series
+                    continue
+            series = self._measure(case, rms)
+            out[rms] = series
+            if self._manifest is not None:
+                self._manifest.mark_done(key, self._series_payload(series))
         self._case_cache[case_id] = out
         return out
 
+    def _point_key(self, case_id: int, rms: str) -> str:
+        """Identity of one study point: everything that shapes its result."""
+        scales = ",".join(str(s) for s in self.profile.scales)
+        return (
+            f"{self.profile.name}:seed{self.seed}:sa{self.sa_iterations}"
+            f":scales[{scales}]:case{case_id}:{rms}"
+        )
+
+    @staticmethod
+    def _series_payload(series: RMSSeries) -> Dict:
+        """Serialize one measured series for the manifest."""
+        return {
+            "result": result_to_jsonable(series.result),
+            "metrics": [metrics_to_jsonable(m) for m in series.metrics],
+        }
+
+    @staticmethod
+    def _series_from_payload(rms: str, payload) -> Optional[RMSSeries]:
+        """Rebuild a series from its manifest payload (``None`` if bad)."""
+        try:
+            return RMSSeries(
+                rms=rms,
+                result=result_from_jsonable(payload["result"]),
+                metrics=[metrics_from_jsonable(m) for m in payload["metrics"]],
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
     def _measure(self, case: ExperimentCase, rms: str) -> RMSSeries:
         memo: Dict = {}
-        simulate = make_simulate(case, rms, self.profile, seed=self.seed, memo=memo)
+        simulate = make_simulate(
+            case, rms, self.profile, seed=self.seed, memo=memo, engine=self.engine
+        )
+        batch = make_batch_simulate(
+            case, rms, self.profile, seed=self.seed, memo=memo, engine=self.engine
+        )
         procedure = ScalabilityProcedure(
             simulate,
             case.enabler_space(),
             path=case.path(self.profile),
             schedule=AnnealingSchedule(iterations=self.sa_iterations, t0=0.5),
             seed=self.seed,
+            batch_simulate=batch,
         )
         result = procedure.run(name=rms)
         # Re-read the tuned points' full metrics from the shared memo

@@ -77,3 +77,58 @@ class TestFigureCommand:
         monkeypatch.setattr(cli, "Study", StubStudy)
         cli.main(["figure", "6", "--quantity", "g_norm"])
         assert "g_norm" in capsys.readouterr().out
+
+
+class TestEngineFlags:
+    def test_engine_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["figure", "2", "--jobs", "3", "--no-cache", "--resume",
+             "--cache-dir", "/tmp/x"]
+        )
+        assert args.jobs == 3
+        assert args.no_cache is True
+        assert args.resume is True
+        assert args.cache_dir == "/tmp/x"
+
+    def test_engine_flag_defaults(self):
+        args = cli.build_parser().parse_args(["figure", "2"])
+        assert args.jobs is None
+        assert args.no_cache is False
+        assert args.resume is False
+        assert args.cache_dir is None
+
+    def test_engine_and_resume_forwarded_to_study(self, monkeypatch):
+        captured = {}
+
+        class StubStudy:
+            def __init__(self, **kw):
+                captured.update(kw)
+
+            def figure(self, number):
+                return fake_figure()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        cli.main(["figure", "2", "--jobs", "2", "--no-cache", "--resume"])
+        engine = captured["engine"]
+        assert engine.jobs == 2
+        assert engine.cache.read is False
+        assert engine.cache.write is True
+        assert captured["resume"] is True
+
+    def test_compare_accepts_jobs(self, monkeypatch):
+        from repro.experiments.parallel import ExperimentEngine
+
+        seen = {}
+
+        class StubEngine(ExperimentEngine):
+            def run_many(self, configs):
+                seen["n"] = len(configs)
+                from test_parallel_engine import stub_metrics
+
+                return [stub_metrics(c.seed) for c in configs]
+
+        monkeypatch.setattr(cli, "ExperimentEngine", StubEngine)
+        assert cli.main(["compare", "--jobs", "2"]) == 0
+        from repro.rms import rms_names
+
+        assert seen["n"] == len(rms_names())

@@ -1,0 +1,185 @@
+"""Tests for study checkpoint/resume: manifest file + result round trip.
+
+The resume contract: a study run with ``resume=True`` persists every
+completed (case, RMS) point; a later run *skips exactly* those points —
+reconstructing them from the manifest with zero simulations — and
+measures only the remainder.  A corrupted manifest degrades to a fresh
+start, never a crash.
+"""
+
+import json
+
+import pytest
+
+from repro.core.efficiency import EfficiencyRecord, NormalizedCurves
+from repro.core.isoefficiency import IsoefficiencyConstants
+from repro.core.procedure import ScalabilityResult
+from repro.core.slope import SlopeAnalysis
+from repro.core.tuner import TunedPoint
+from repro.experiments.config import ScaleProfile
+from repro.experiments.parallel import (
+    StudyManifest,
+    result_from_jsonable,
+    result_to_jsonable,
+)
+from repro.experiments.reproduce import Study
+
+#: a deliberately tiny profile so one full measurement runs in ~1 s
+TINY = ScaleProfile(
+    name="tiny-test",
+    base_resources=9,
+    base_schedulers=3,
+    fixed_resources=9,
+    fixed_schedulers=3,
+    base_rate_per_resource=0.0004,
+    horizon=1500.0,
+    drain=2500.0,
+    scales=(1, 2),
+    sa_iterations=1,
+)
+
+
+def fake_result(name="LOWEST"):
+    """A hand-built ScalabilityResult exercising every nested type."""
+    points = [
+        TunedPoint(
+            scale=k,
+            settings={"update_interval": 8.5 * k, "neighborhood_size": 3.0},
+            record=EfficiencyRecord(F=200.0 * k, G=100.0 * k, H=10.0 * k),
+            success_rate=0.97,
+            objective=1.0 + k,
+            feasible=(k < 3.0),
+        )
+        for k in (1.0, 2.0, 3.0)
+    ]
+    curves = NormalizedCurves(
+        scales=(1.0, 2.0, 3.0), f=(1.0, 2.0, 3.0), g=(1.0, 2.0, 3.0), h=(1.0, 2.0, 3.0)
+    )
+    return ScalabilityResult(
+        name=name,
+        e0=0.4,
+        points=points,
+        curves=curves,
+        slopes=SlopeAnalysis(
+            scales=(1.0, 2.0, 3.0),
+            g_slopes=(1.0, 1.0),
+            f_slopes=(1.0, 1.0),
+            scalable=(True, True),
+            improving=(False,),
+        ),
+        constants=IsoefficiencyConstants(alpha=2.5, c=0.333, c_prime=0.0333),
+        eq2_ok=[True, True, False],
+        base_feasible=True,
+    )
+
+
+class TestResultRoundTrip:
+    def test_lossless(self):
+        result = fake_result()
+        again = result_from_jsonable(result_to_jsonable(result))
+        assert again == result
+
+    def test_json_serializable(self):
+        payload = result_to_jsonable(fake_result())
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestStudyManifest:
+    def test_mark_and_reload(self, tmp_path):
+        path = tmp_path / "m.json"
+        m = StudyManifest(path)
+        assert not m.is_done("a")
+        m.mark_done("a", {"x": 1})
+        m.mark_done("b")
+        reloaded = StudyManifest(path)
+        assert reloaded.is_done("a") and reloaded.is_done("b")
+        assert reloaded.payload("a") == {"x": 1}
+        assert reloaded.completed_keys == ["a", "b"]
+        assert len(reloaded) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        m = StudyManifest(tmp_path / "nope.json")
+        assert len(m) == 0
+
+    def test_corrupted_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{{{ definitely not json")
+        m = StudyManifest(path)
+        assert len(m) == 0
+        m.mark_done("a")  # and it can still persist afterwards
+        assert StudyManifest(path).is_done("a")
+
+    def test_wrong_version_starts_fresh(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"version": -9, "completed": {"a": None}}))
+        assert len(StudyManifest(path)) == 0
+
+    def test_parent_dirs_created(self, tmp_path):
+        m = StudyManifest(tmp_path / "deep" / "er" / "m.json")
+        m.mark_done("a")
+        assert m.path.exists()
+
+
+class TestStudyResume:
+    def test_resume_skips_exactly_completed_points(self, tmp_path, monkeypatch):
+        manifest = tmp_path / "study.json"
+
+        first = Study(profile=TINY, rms=["LOWEST"], manifest_path=manifest)
+        measured = first.run_case(1)["LOWEST"]
+        assert StudyManifest(manifest).is_done(first._point_key(1, "LOWEST"))
+
+        # Second study, same manifest: measuring anything is an error.
+        second = Study(profile=TINY, rms=["LOWEST"], manifest_path=manifest)
+        monkeypatch.setattr(
+            Study,
+            "_measure",
+            lambda self, case, rms: pytest.fail("completed point was re-measured"),
+        )
+        resumed = second.run_case(1)["LOWEST"]
+        assert resumed.result == measured.result
+        assert resumed.metrics == measured.metrics
+        assert resumed.G == measured.G
+
+    def test_resume_measures_only_missing_points(self, tmp_path):
+        manifest = tmp_path / "study.json"
+        Study(profile=TINY, rms=["LOWEST"], manifest_path=manifest).run_case(1)
+
+        measured = []
+        real_measure = Study._measure
+
+        def spying_measure(self, case, rms):
+            measured.append(rms)
+            return real_measure(self, case, rms)
+
+        both = Study(profile=TINY, rms=["LOWEST", "CENTRAL"], manifest_path=manifest)
+        try:
+            Study._measure = spying_measure
+            out = both.run_case(1)
+        finally:
+            Study._measure = real_measure
+        assert measured == ["CENTRAL"]  # LOWEST came from the manifest
+        assert set(out) == {"LOWEST", "CENTRAL"}
+        # ... and now CENTRAL is checkpointed too
+        assert StudyManifest(manifest).is_done(both._point_key(1, "CENTRAL"))
+
+    def test_malformed_payload_falls_back_to_measurement(self, tmp_path):
+        manifest_path = tmp_path / "study.json"
+        study = Study(profile=TINY, rms=["LOWEST"], manifest_path=manifest_path)
+        StudyManifest(manifest_path).mark_done(
+            study._point_key(1, "LOWEST"), {"garbage": True}
+        )
+        study = Study(profile=TINY, rms=["LOWEST"], manifest_path=manifest_path)
+        out = study.run_case(1)["LOWEST"]  # re-measured, not crashed
+        assert out.G[0] > 0
+
+    def test_point_key_distinguishes_studies(self):
+        a = Study(profile=TINY, rms=["LOWEST"], seed=1)
+        b = Study(profile=TINY, rms=["LOWEST"], seed=2)
+        assert a._point_key(1, "LOWEST") != b._point_key(1, "LOWEST")
+        assert a._point_key(1, "LOWEST") != a._point_key(2, "LOWEST")
+        assert a._point_key(1, "LOWEST") != a._point_key(1, "CENTRAL")
+
+    def test_no_resume_no_manifest_io(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        Study(profile=TINY, rms=["LOWEST"]).run_case(1)
+        assert not (tmp_path / "manifests").exists()

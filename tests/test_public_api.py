@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.workload",
     "repro.rms",
     "repro.experiments",
+    "repro.experiments.parallel",
 ]
 
 MODULES = PACKAGES + [
@@ -35,6 +36,10 @@ MODULES = PACKAGES + [
     "repro.experiments.cases",
     "repro.experiments.cli",
     "repro.experiments.config",
+    "repro.experiments.parallel.cache",
+    "repro.experiments.parallel.engine",
+    "repro.experiments.parallel.hashing",
+    "repro.experiments.parallel.manifest",
     "repro.experiments.replication",
     "repro.experiments.reporting",
     "repro.experiments.reproduce",

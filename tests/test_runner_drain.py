@@ -1,0 +1,100 @@
+"""Regression tests for the post-horizon drain loop in ``run_simulation``.
+
+The drain loop (``runner.run_simulation``) continues a run past the
+arrival window so near-horizon jobs get credited.  Two properties must
+hold even for a pathological run whose jobs can *never* complete:
+
+* the loop terminates at ``horizon + drain`` instead of spinning
+  (the kernel advances the clock to ``until`` even with an empty or
+  never-quiescent event queue, and the loop is bounded by the drain
+  deadline);
+* jobs truncated at the deadline count *against* ``success_rate`` —
+  an RMS must not look better by failing to finish work.
+"""
+
+import pytest
+
+from repro.core.efficiency import EfficiencyRecord
+from repro.experiments import SimulationConfig, run_simulation
+from repro.experiments.runner import RunMetrics
+from repro.grid.jobs import JobState
+
+
+def undeliverable_config(**kw):
+    """A run whose jobs can never complete: the per-resource service
+    rate is so low that every job's execution stretches far beyond
+    ``horizon + drain`` — the run can only end by exhausting the drain."""
+    kw.setdefault("rms", "LOWEST")
+    kw.setdefault("n_schedulers", 3)
+    kw.setdefault("n_resources", 9)
+    kw.setdefault("workload_rate", 0.004)
+    kw.setdefault("horizon", 800.0)
+    kw.setdefault("drain", 1200.0)
+    kw.setdefault("service_rate", 1e-6)
+    return SimulationConfig(**kw)
+
+
+class TestDrainTermination:
+    def test_never_completing_run_terminates(self):
+        metrics = run_simulation(undeliverable_config())
+        assert metrics.jobs_submitted > 0
+        assert metrics.jobs_completed < metrics.jobs_submitted
+
+    def test_truncated_jobs_count_against_success_rate(self):
+        metrics = run_simulation(undeliverable_config())
+        # every truncated job is a failure of the managed system
+        assert metrics.jobs_successful <= metrics.jobs_completed
+        assert metrics.success_rate == pytest.approx(
+            metrics.jobs_successful / metrics.jobs_submitted
+        )
+        assert metrics.success_rate < 1.0
+
+    def test_healthy_run_still_drains_to_completion(self):
+        """Control: at a normal service rate the same config completes
+        every job within the drain allowance (the loop's normal exit)."""
+        metrics = run_simulation(undeliverable_config(service_rate=1.0))
+        assert metrics.jobs_completed == metrics.jobs_submitted
+
+    def test_drain_loop_bounded_by_deadline(self):
+        """Drive the drain loop manually: the clock may never pass
+        ``horizon + drain`` while jobs are stuck."""
+        from repro.experiments.runner import build_system
+
+        config = undeliverable_config()
+        system = build_system(config)
+        sim = system.sim
+        sim.run(until=config.horizon)
+        deadline = config.horizon + config.drain
+        step = max(200.0, config.horizon / 10.0)
+        iterations = 0
+        while sim.now < deadline and any(
+            j.state != JobState.COMPLETED for j in system.jobs
+        ):
+            sim.run(until=min(deadline, sim.now + step))
+            iterations += 1
+            assert iterations <= 1 + int(config.drain / step) + 1, (
+                "drain loop ran more iterations than the deadline allows"
+            )
+        assert sim.now == pytest.approx(deadline)
+
+
+class TestSuccessRateSemantics:
+    def _metrics(self, submitted, completed, successful):
+        return RunMetrics(
+            record=EfficiencyRecord(F=10.0, G=5.0, H=1.0),
+            jobs_submitted=submitted,
+            jobs_completed=completed,
+            jobs_successful=successful,
+            mean_response=1.0,
+            throughput=0.1,
+            messages_sent=10,
+            scheduler_busy=1.0,
+            horizon=100.0,
+        )
+
+    def test_denominator_is_submitted_not_completed(self):
+        m = self._metrics(submitted=10, completed=4, successful=4)
+        assert m.success_rate == pytest.approx(0.4)
+
+    def test_empty_run_is_vacuously_successful(self):
+        assert self._metrics(0, 0, 0).success_rate == 1.0
