@@ -8,8 +8,10 @@ its evaluation depends on — a discrete-event simulation kernel
 OSPF-like routing and transport (:mod:`repro.network`), the managed Grid
 model (:mod:`repro.grid`), synthetic supercomputer workloads
 (:mod:`repro.workload`), the seven RMS designs it evaluates
-(:mod:`repro.rms`), and the experiment harness that regenerates every
-table and figure (:mod:`repro.experiments`).
+(:mod:`repro.rms`), the experiment harness that regenerates every
+table and figure (:mod:`repro.experiments`), and a structured
+telemetry layer — spans, events, metrics, and convergence traces —
+over the whole stack (:mod:`repro.telemetry`).
 
 Quickstart::
 
@@ -21,4 +23,14 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "experiments", "grid", "network", "rms", "sim", "topology", "workload"]
+__all__ = [
+    "core",
+    "experiments",
+    "grid",
+    "network",
+    "rms",
+    "sim",
+    "telemetry",
+    "topology",
+    "workload",
+]

@@ -21,7 +21,7 @@ import math
 
 import numpy as np
 
-__all__ = ["AnnealingSchedule", "AnnealingResult", "anneal"]
+__all__ = ["AnnealingSchedule", "AnnealingResult", "AnnealingStep", "anneal"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +60,37 @@ class AnnealingSchedule:
             raise ValueError("restarts must be >= 1")
 
 
+@dataclass(frozen=True)
+class AnnealingStep:
+    """One annealing iteration, as reported to an observer.
+
+    Attributes
+    ----------
+    restart:
+        Zero-based chain index.
+    iteration:
+        Zero-based move index within the chain.
+    temperature:
+        Temperature at which the move was judged.
+    candidate:
+        The proposed point (never mutated afterwards by the annealer).
+    value:
+        Its objective value.
+    accepted:
+        Whether the Metropolis rule accepted the move.
+    best_value:
+        Best objective seen so far, *after* this move.
+    """
+
+    restart: int
+    iteration: int
+    temperature: float
+    candidate: Any
+    value: float
+    accepted: bool
+    best_value: float
+
+
 @dataclass
 class AnnealingResult:
     """Outcome of an annealing search.
@@ -90,6 +121,7 @@ def anneal(
     neighbor: Callable[[Any, np.random.Generator], Any],
     rng: np.random.Generator,
     schedule: Optional[AnnealingSchedule] = None,
+    observer: Optional[Callable[[AnnealingStep], None]] = None,
 ) -> AnnealingResult:
     """Minimize ``objective`` by simulated annealing.
 
@@ -108,6 +140,11 @@ def anneal(
         Randomness for moves and acceptance.
     schedule:
         Cooling schedule; defaults to :class:`AnnealingSchedule()`.
+    observer:
+        Optional callback receiving an :class:`AnnealingStep` after
+        every move — the telemetry layer's convergence trace.  The
+        observer sees the search, it must not steer it: it runs after
+        the acceptance draw, so it cannot perturb the random stream.
     """
     sched = schedule or AnnealingSchedule()
     best = initial
@@ -115,20 +152,35 @@ def anneal(
     evaluations = 1
     trace = [best_value]
 
-    for _ in range(sched.restarts):
+    for restart in range(sched.restarts):
         current = initial if evaluations == 1 else best
         current_value = best_value if current is best else objective(current)
         temp = sched.t0
-        for _ in range(sched.iterations):
+        for iteration in range(sched.iterations):
             candidate = neighbor(current, rng)
             value = objective(candidate)
             evaluations += 1
             delta = value - current_value
-            if delta <= 0.0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
+            accepted = delta <= 0.0 or rng.random() < math.exp(
+                -delta / max(temp, 1e-12)
+            )
+            if accepted:
                 current, current_value = candidate, value
             if current_value < best_value:
                 best, best_value = current, current_value
             trace.append(best_value)
+            if observer is not None:
+                observer(
+                    AnnealingStep(
+                        restart=restart,
+                        iteration=iteration,
+                        temperature=temp,
+                        candidate=candidate,
+                        value=value,
+                        accepted=accepted,
+                        best_value=best_value,
+                    )
+                )
             temp *= sched.cooling
 
     return AnnealingResult(

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..telemetry.spans import current as _telemetry
 from .efficiency import EfficiencyRecord, NormalizedCurves, normalize
 from .isoefficiency import IsoefficiencyConstants, check_eq2
 from .scaling import EnablerSpace, ScalingPath
@@ -131,47 +132,70 @@ class ScalabilityProcedure:
 
     def run(self, name: str = "RMS") -> ScalabilityResult:
         """Execute the full procedure and return the measurement."""
-        # Every scale's search starts from the same default enabler
-        # settings; those reference runs are mutually independent, so
-        # warm the tuner's memo with all of them in a single batch (a
-        # parallel engine executes them concurrently; without one this
-        # is the same serial work the searches would do lazily).
-        defaults = self.tuner.space.default_settings()
-        self.tuner.observe_many([(k, defaults) for k in self.path])
+        tel = _telemetry()
+        with tel.span(
+            "procedure", name=name, scales=list(self.path)
+        ) as span:
+            # Every scale's search starts from the same default enabler
+            # settings; those reference runs are mutually independent, so
+            # warm the tuner's memo with all of them in a single batch (a
+            # parallel engine executes them concurrently; without one this
+            # is the same serial work the searches would do lazily).
+            defaults = self.tuner.space.default_settings()
+            self.tuner.observe_many([(k, defaults) for k in self.path])
 
-        # Step 1: base configuration and E0.
-        base_point = self.tuner.tune_base(self.path.base, band=self.band)
-        lo, hi = self.band
-        base_feasible = (
-            lo - self.tuner.e_tol <= base_point.efficiency <= hi + self.tuner.e_tol
-            and base_point.success_rate >= self.tuner.success_floor - 1e-12
-        )
-        # Isoefficiency holds E(k) at E(k0) — the *achieved* base
-        # efficiency, even when it missed the requested band (the miss
-        # is recorded in base_feasible).  A design whose healthy base
-        # operating point sits above the band (CENTRAL's single
-        # scheduler cannot burn band-level overhead without saturating)
-        # is still measured against its own base.
-        e0 = base_point.efficiency
-        if not (0.0 < e0 < 1.0):  # degenerate run; fall back to the band center
-            e0 = 0.5 * (lo + hi)
+            # Step 1: base configuration and E0.
+            base_point = self.tuner.tune_base(self.path.base, band=self.band)
+            lo, hi = self.band
+            base_feasible = (
+                lo - self.tuner.e_tol <= base_point.efficiency <= hi + self.tuner.e_tol
+                and base_point.success_rate >= self.tuner.success_floor - 1e-12
+            )
+            # Isoefficiency holds E(k) at E(k0) — the *achieved* base
+            # efficiency, even when it missed the requested band (the miss
+            # is recorded in base_feasible).  A design whose healthy base
+            # operating point sits above the band (CENTRAL's single
+            # scheduler cannot burn band-level overhead without saturating)
+            # is still measured against its own base.
+            e0 = base_point.efficiency
+            if not (0.0 < e0 < 1.0):  # degenerate run; fall back to the band center
+                e0 = 0.5 * (lo + hi)
+            self._emit_scale(tel, name, base_point)
 
-        # Steps 2–3: walk the path, tuning at each scale.
-        points: List[TunedPoint] = [base_point]
-        for k in list(self.path)[1:]:
-            points.append(self.tuner.tune(k, e0))
+            # Steps 2–3: walk the path, tuning at each scale.
+            points: List[TunedPoint] = [base_point]
+            for k in list(self.path)[1:]:
+                point = self.tuner.tune(k, e0)
+                points.append(point)
+                self._emit_scale(tel, name, point)
 
-        # Step 4: slope of G(k) + isoefficiency conditions.
-        records = [p.record for p in points]
-        curves = normalize([p.scale for p in points], records)
-        constants = IsoefficiencyConstants.from_base(records[0])
-        return ScalabilityResult(
+            # Step 4: slope of G(k) + isoefficiency conditions.
+            records = [p.record for p in points]
+            curves = normalize([p.scale for p in points], records)
+            constants = IsoefficiencyConstants.from_base(records[0])
+            span.set(e0=e0, base_feasible=base_feasible)
+            return ScalabilityResult(
+                name=name,
+                e0=e0,
+                points=points,
+                curves=curves,
+                slopes=analyze_slopes(curves),
+                constants=constants,
+                eq2_ok=check_eq2(constants, curves),
+                base_feasible=base_feasible,
+            )
+
+    @staticmethod
+    def _emit_scale(tel, name: str, point: TunedPoint) -> None:
+        """One scale's F/G/H ledger snapshot, as a telemetry event."""
+        tel.event(
+            "procedure.scale",
             name=name,
-            e0=e0,
-            points=points,
-            curves=curves,
-            slopes=analyze_slopes(curves),
-            constants=constants,
-            eq2_ok=check_eq2(constants, curves),
-            base_feasible=base_feasible,
+            scale=point.scale,
+            F=point.record.F,
+            G=point.record.G,
+            H=point.record.H,
+            efficiency=point.efficiency,
+            success=point.success_rate,
+            feasible=point.feasible,
         )

@@ -36,7 +36,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, 
 
 import numpy as np
 
-from .annealing import AnnealingSchedule, anneal
+from ..telemetry.spans import current as _telemetry
+from .annealing import AnnealingSchedule, AnnealingStep, anneal
 from .efficiency import EfficiencyRecord
 from .scaling import EnablerSpace
 
@@ -222,54 +223,112 @@ class EnablerTuner:
             and obs.success_rate >= self.success_floor - 1e-12
         )
 
+    def _observer_for(self, k: float):
+        """An annealing observer emitting the telemetry convergence trace.
+
+        Every iteration's candidate was just evaluated through the memo,
+        so the achieved efficiency/overhead are read back without any
+        extra simulation.  Returns ``None`` when telemetry is disabled —
+        the annealer then skips observer calls entirely.
+        """
+        tel = _telemetry()
+        if not tel.enabled:
+            return None
+
+        def observer(step: AnnealingStep) -> None:
+            attrs = {
+                "scale": k,
+                "restart": step.restart,
+                "iteration": step.iteration,
+                "temperature": step.temperature,
+                "settings": dict(step.candidate),
+                "objective": step.value,
+                "accepted": step.accepted,
+                "best": step.best_value,
+            }
+            obs = self._cache.get((k, tuple(sorted(step.candidate.items()))))
+            if obs is not None:
+                attrs["efficiency"] = obs.record.efficiency
+                attrs["G"] = obs.record.G
+                attrs["success"] = obs.success_rate
+            tel.event("tuner.iteration", **attrs)
+
+        return observer
+
     def _search(self, k: float, e_target: float) -> TunedPoint:
-        defaults = self.space.default_settings()
-        ref = self._observe(k, defaults)
-        g_ref = max(ref.record.G, 1e-9)
+        tel = _telemetry()
+        with tel.span("tuner.search", scale=k, e_target=e_target) as span:
+            defaults = self.space.default_settings()
+            ref = self._observe(k, defaults)
+            g_ref = max(ref.record.G, 1e-9)
 
-        def objective(settings: Dict[str, float]) -> float:
-            obs = self._observe(k, settings)
-            return obs.record.G / g_ref + self._penalties(obs, e_target)
+            def objective(settings: Dict[str, float]) -> float:
+                obs = self._observe(k, settings)
+                return obs.record.G / g_ref + self._penalties(obs, e_target)
 
-        initial = defaults
-        if self.presweep:
-            # The first enabler (the status-update interval in both of
-            # the paper's enabler sets) moves the operating point across
-            # orders of magnitude; single-step annealing moves cannot
-            # traverse its grid within the budget, so scan it outright
-            # and anneal from the best scan point.  The scan points are
-            # mutually independent, so they are submitted as one batch
-            # (a parallel engine evaluates them concurrently).
-            primary = self.space.enablers[0]
-            candidates = []
-            for v in primary.values:
-                candidate = dict(defaults)
-                candidate[primary.name] = v
-                candidates.append(candidate)
-            self.observe_many([(k, c) for c in candidates])
-            best_val = objective(initial)
-            for candidate in candidates:
-                val = objective(candidate)
-                if val < best_val:
-                    best_val = val
-                    initial = candidate
+            initial = defaults
+            if self.presweep:
+                # The first enabler (the status-update interval in both of
+                # the paper's enabler sets) moves the operating point across
+                # orders of magnitude; single-step annealing moves cannot
+                # traverse its grid within the budget, so scan it outright
+                # and anneal from the best scan point.  The scan points are
+                # mutually independent, so they are submitted as one batch
+                # (a parallel engine evaluates them concurrently).
+                primary = self.space.enablers[0]
+                candidates = []
+                for v in primary.values:
+                    candidate = dict(defaults)
+                    candidate[primary.name] = v
+                    candidates.append(candidate)
+                self.observe_many([(k, c) for c in candidates])
+                best_val = objective(initial)
+                for candidate in candidates:
+                    val = objective(candidate)
+                    if val < best_val:
+                        best_val = val
+                        initial = candidate
+                tel.event(
+                    "tuner.presweep",
+                    scale=k,
+                    enabler=primary.name,
+                    candidates=len(candidates),
+                    initial=dict(initial),
+                )
 
-        result = anneal(
-            initial=initial,
-            objective=objective,
-            neighbor=self.space.neighbor,
-            rng=self._rng,
-            schedule=self.schedule,
-        )
-        best_obs = self._observe(k, result.best)
-        return TunedPoint(
-            scale=k,
-            settings=dict(result.best),
-            record=best_obs.record,
-            success_rate=best_obs.success_rate,
-            objective=result.best_value,
-            feasible=self._is_feasible(best_obs, e_target),
-        )
+            result = anneal(
+                initial=initial,
+                objective=objective,
+                neighbor=self.space.neighbor,
+                rng=self._rng,
+                schedule=self.schedule,
+                observer=self._observer_for(k),
+            )
+            best_obs = self._observe(k, result.best)
+            point = TunedPoint(
+                scale=k,
+                settings=dict(result.best),
+                record=best_obs.record,
+                success_rate=best_obs.success_rate,
+                objective=result.best_value,
+                feasible=self._is_feasible(best_obs, e_target),
+            )
+            span.set(
+                evaluations=result.evaluations,
+                objective=result.best_value,
+                feasible=point.feasible,
+            )
+            tel.event(
+                "tuner.result",
+                scale=k,
+                settings=point.settings,
+                efficiency=point.efficiency,
+                G=point.G,
+                success=point.success_rate,
+                objective=point.objective,
+                feasible=point.feasible,
+            )
+            return point
 
     # ------------------------------------------------------------------
     def tune_base(

@@ -6,8 +6,11 @@ Usage::
     python -m repro figure 4 --profile full   # paper-scale (slow)
     python -m repro figure 2 --jobs 4         # fan runs over 4 processes
     python -m repro figure 2 --resume         # restart a killed sweep
+    python -m repro figure 2 --telemetry      # record spans/metrics
     python -m repro figure 6 --csv out.csv    # also dump the series
     python -m repro compare                   # quick 7-design comparison
+    python -m repro telemetry summary         # inspect the latest run
+    python -m repro telemetry tuner           # annealing convergence
     python -m repro list                      # what can be regenerated
 
 The ``figure`` subcommand runs the full isoefficiency measurement for
@@ -19,14 +22,27 @@ processes, results persist in a content-addressed run cache
 (``.repro-cache/`` or ``--cache-dir``; ``--no-cache`` skips reads but
 still writes), and ``--resume`` checkpoints completed (case, RMS)
 points so a killed sweep restarts where it left off.
+
+``--telemetry`` (or ``REPRO_TELEMETRY=1``) records structured spans,
+events, and metrics for the whole invocation into a fresh directory
+under ``telemetry/`` (``--telemetry-dir`` to relocate); ``repro
+telemetry {summary,spans,tuner}`` renders those files afterwards.
+Logging verbosity is ``--log-level`` / ``REPRO_LOG_LEVEL`` (default
+``warning``).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
-from typing import List, Optional
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, List, Optional
 
+from ..telemetry import Telemetry, activate
 from .config import PROFILES, SimulationConfig
 from .parallel import ExperimentEngine, RunCache
 from .reporting import figure_report, format_table, write_csv
@@ -34,6 +50,9 @@ from .reproduce import Study
 from .runner import run_simulation
 
 __all__ = ["main"]
+
+#: default root for per-run telemetry directories
+DEFAULT_TELEMETRY_DIR = "telemetry"
 
 #: figure number -> the quantity its y-axis plots
 _FIGURE_QUANTITY = {2: "G", 3: "G", 4: "G", 5: "G", 6: "throughput", 7: "response"}
@@ -62,11 +81,40 @@ def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
     return ExperimentEngine(jobs=args.jobs, cache=cache)
 
 
+@contextmanager
+def _telemetry_scope(args: argparse.Namespace) -> Iterator[Optional[Telemetry]]:
+    """Activate a per-invocation telemetry session when one was requested.
+
+    ``--telemetry`` or ``REPRO_TELEMETRY=1`` opts in; each invocation
+    gets a fresh timestamped directory under ``--telemetry-dir`` (or
+    ``$REPRO_TELEMETRY_DIR``, default ``telemetry/``) so successive runs
+    never interleave.  Yields ``None`` when telemetry is off.
+    """
+    enabled = getattr(args, "telemetry", False) or (
+        os.environ.get("REPRO_TELEMETRY", "").strip() not in ("", "0")
+    )
+    if not enabled:
+        yield None
+        return
+    root = Path(
+        getattr(args, "telemetry_dir", None)
+        or os.environ.get("REPRO_TELEMETRY_DIR", DEFAULT_TELEMETRY_DIR)
+    )
+    run_dir = root / time.strftime(f"run-%Y%m%d-%H%M%S-{os.getpid()}")
+    session = Telemetry(run_dir)
+    try:
+        with activate(session):
+            yield session
+    finally:
+        session.close()
+        print(f"telemetry written to {run_dir}", file=sys.stderr)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.number not in _FIGURE_QUANTITY:
         print(f"error: the paper has figures 2-7, not {args.number}", file=sys.stderr)
         return 2
-    with _make_engine(args) as engine:
+    with _telemetry_scope(args), _make_engine(args) as engine:
         study = Study(
             profile=args.profile,
             rms=args.rms.split(",") if args.rms else None,
@@ -101,7 +149,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for rms in names
     ]
     # The seven designs are independent runs: one engine batch.
-    with _make_engine(args) as engine:
+    with _telemetry_scope(args), _make_engine(args) as engine:
         metrics = engine.run_many(configs)
     rows = [
         [rms, get_rms(rms).mechanism, m.efficiency, m.record.G, m.success_rate]
@@ -111,12 +159,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from ..telemetry.report import (
+        load_run,
+        resolve_run_dir,
+        spans_report,
+        summary_report,
+        tuner_report,
+    )
+
+    try:
+        run_dir = resolve_run_dir(args.dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run = load_run(run_dir)
+    if args.view == "summary":
+        print(summary_report(run))
+    elif args.view == "spans":
+        print(spans_report(run, top=args.top, name=args.name))
+    elif args.view == "tuner":
+        print(tuner_report(run, rms=args.rms, scale=args.scale))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from 'Measuring Scalability of "
         "Resource Management Systems' (IPDPS 2005).",
+    )
+    p.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="logging verbosity (default: $REPRO_LOG_LEVEL or warning)",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -143,6 +221,32 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--seed", type=int, default=7)
     _add_engine_args(cmp_)
     cmp_.set_defaults(fn=_cmd_compare)
+
+    tel = sub.add_parser(
+        "telemetry", help="render reports from recorded telemetry"
+    )
+    tel_sub = tel.add_subparsers(dest="view", required=True)
+    views = {
+        "summary": "per-span totals, cache hit rate, sim event throughput",
+        "spans": "the individual slowest spans",
+        "tuner": "the annealing convergence trace per (RMS, scale)",
+    }
+    for view, help_text in views.items():
+        v = tel_sub.add_parser(view, help=help_text)
+        v.add_argument(
+            "dir",
+            nargs="?",
+            default=DEFAULT_TELEMETRY_DIR,
+            help="a run directory, or a root whose newest run is used "
+            f"(default: {DEFAULT_TELEMETRY_DIR}/)",
+        )
+        if view == "spans":
+            v.add_argument("--top", type=int, default=20, help="spans shown")
+            v.add_argument("--name", default=None, help="filter by span name")
+        if view == "tuner":
+            v.add_argument("--rms", default=None, help="filter by RMS design")
+            v.add_argument("--scale", type=float, default=None, help="filter by k")
+        v.set_defaults(fn=_cmd_telemetry, view=view)
     return p
 
 
@@ -164,9 +268,47 @@ def _add_engine_args(sub: argparse.ArgumentParser) -> None:
         default=None,
         help="run-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
+    sub.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record spans/events/metrics for this invocation "
+        "(also: REPRO_TELEMETRY=1)",
+    )
+    sub.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="root for per-run telemetry directories "
+        f"(default: $REPRO_TELEMETRY_DIR or {DEFAULT_TELEMETRY_DIR}/)",
+    )
+
+
+_logging_configured = False
+
+
+def _configure_logging(level: Optional[str]) -> None:
+    """Wire ``logging.basicConfig`` exactly once per process.
+
+    Precedence: ``--log-level`` > ``$REPRO_LOG_LEVEL`` > ``warning``.
+    """
+    global _logging_configured
+    if _logging_configured:
+        return
+    name = (level or os.environ.get("REPRO_LOG_LEVEL") or "warning").upper()
+    logging.basicConfig(
+        level=getattr(logging, name, logging.WARNING),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    _logging_configured = True
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    _configure_logging(args.log_level)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (`repro telemetry summary | head`); exit
+        # quietly like any unix filter instead of tracebacking.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -20,17 +20,21 @@ Robustness rules:
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ...core.efficiency import EfficiencyRecord
+from ...telemetry.spans import current as _telemetry
 from ..config import SimulationConfig
 from ..runner import RunMetrics
 from .hashing import CACHE_SCHEMA_VERSION, canonical_json, config_key
 
 import json
+
+log = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -133,6 +137,18 @@ class RunCache:
         self.writes = 0
         self.errors = 0
 
+    @property
+    def repairs(self) -> int:
+        """Corrupt entries encountered and scheduled for repair.
+
+        Every unreadable entry is recomputed and rewritten by the
+        engine's miss path, so the corrupt-read count *is* the repair
+        count.  Each one is logged with the offending key and counted
+        in the telemetry metrics (``cache.repairs``) — corruption is
+        survivable, but never silent.
+        """
+        return self.errors
+
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
@@ -147,7 +163,8 @@ class RunCache:
         if not self.read:
             self.misses += 1
             return None
-        path = self.path_for(key or config_key(config))
+        key = key or config_key(config)
+        path = self.path_for(key)
         try:
             payload = json.loads(path.read_text("utf-8"))
             if payload.get("version") != CACHE_SCHEMA_VERSION:
@@ -156,10 +173,17 @@ class RunCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # unreadable entry: fall back to recompute, never crash
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # unreadable entry: fall back to recompute, never crash —
+            # but say so, and count the repair
             self.errors += 1
             self.misses += 1
+            log.warning(
+                "corrupt run-cache entry %s (%s: %s); recomputing", key, type(exc).__name__, exc
+            )
+            tel = _telemetry()
+            tel.metrics.counter("cache.repairs").increment()
+            tel.event("cache.corrupt", key=key, error=f"{type(exc).__name__}: {exc}")
             return None
         self.hits += 1
         return metrics

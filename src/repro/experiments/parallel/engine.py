@@ -25,9 +25,11 @@ means "one per CPU".
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...telemetry.spans import current as _telemetry
 from ..config import SimulationConfig
 from ..runner import RunMetrics, run_simulation
 from .cache import RunCache
@@ -56,6 +58,18 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 def _run_config(config: SimulationConfig) -> RunMetrics:
     """Top-level worker (must be picklable for the process pool)."""
     return run_simulation(config)
+
+
+def _run_config_timed(config: SimulationConfig) -> Tuple[RunMetrics, int, float]:
+    """Worker that also reports its PID and wall-clock seconds.
+
+    Used when telemetry is enabled so per-job timings measured *inside*
+    the worker (not queue-inflated parent-side latencies) reach the
+    trace.  The metrics are exactly :func:`_run_config`'s.
+    """
+    t0 = time.monotonic()
+    metrics = run_simulation(config)
+    return metrics, os.getpid(), time.monotonic() - t0
 
 
 class ExperimentEngine:
@@ -95,40 +109,111 @@ class ExperimentEngine:
         Identical configs are executed once; cache hits are not
         executed at all.  With ``jobs > 1`` the unique misses execute
         concurrently in worker processes.
+
+        With an ambient telemetry session, the batch is wrapped in an
+        ``engine.batch`` span (dedup/hit/miss counts, worker
+        utilization) and every executed run emits an ``engine.run``
+        event with its worker-side wall-clock — the before/after
+        numbers performance work needs.
         """
+        tel = _telemetry()
         configs = list(configs)
         keys = [config_key(c) for c in configs]
         results: Dict[str, RunMetrics] = {}
 
-        # 1) cache reads
-        if self.cache is not None:
+        with tel.span(
+            "engine.batch", size=len(configs), unique=len(set(keys)), jobs=self.jobs
+        ) as span:
+            repairs_before = self.cache.repairs if self.cache is not None else 0
+
+            # 1) cache reads
+            if self.cache is not None:
+                for key, config in zip(keys, configs):
+                    if key not in results:
+                        hit = self.cache.get(config, key=key)
+                        if hit is not None:
+                            results[key] = hit
+            cache_hits = len(results)
+
+            # 2) unique misses, in first-appearance order (determinism of
+            #    execution order for the serial path)
+            miss_keys: List[str] = []
+            miss_configs: List[SimulationConfig] = []
             for key, config in zip(keys, configs):
-                if key not in results:
-                    hit = self.cache.get(config, key=key)
-                    if hit is not None:
-                        results[key] = hit
+                if key not in results and key not in miss_keys:
+                    miss_keys.append(key)
+                    miss_configs.append(config)
 
-        # 2) unique misses, in first-appearance order (determinism of
-        #    execution order for the serial path)
-        miss_keys: List[str] = []
-        miss_configs: List[SimulationConfig] = []
-        for key, config in zip(keys, configs):
-            if key not in results and key not in miss_keys:
-                miss_keys.append(key)
-                miss_configs.append(config)
+            # 3) execute
+            busy = 0.0
+            wall = 0.0
+            if miss_configs:
+                t_exec = time.monotonic()
+                if self.jobs == 1 or len(miss_configs) == 1:
+                    computed = []
+                    for key, c in zip(miss_keys, miss_configs):
+                        t0 = time.monotonic()
+                        computed.append(_run_config(c))
+                        seconds = time.monotonic() - t0
+                        busy += seconds
+                        if tel.enabled:
+                            tel.event(
+                                "engine.run",
+                                key=key[:12],
+                                rms=c.rms,
+                                seed=c.seed,
+                                seconds=round(seconds, 6),
+                                worker_pid=os.getpid(),
+                            )
+                            tel.metrics.histogram("engine.run_seconds").record(seconds)
+                elif tel.enabled:
+                    computed = []
+                    for (metrics, pid, seconds), key, c in zip(
+                        self._executor().map(_run_config_timed, miss_configs),
+                        miss_keys,
+                        miss_configs,
+                    ):
+                        computed.append(metrics)
+                        busy += seconds
+                        tel.event(
+                            "engine.run",
+                            key=key[:12],
+                            rms=c.rms,
+                            seed=c.seed,
+                            seconds=round(seconds, 6),
+                            worker_pid=pid,
+                        )
+                        tel.metrics.histogram("engine.run_seconds").record(seconds)
+                else:
+                    computed = list(self._executor().map(_run_config, miss_configs))
+                wall = time.monotonic() - t_exec
+                self.runs_executed += len(miss_configs)
+                for key, config, metrics in zip(miss_keys, miss_configs, computed):
+                    results[key] = metrics
+                    # 4) cache writes
+                    if self.cache is not None:
+                        self.cache.put(config, metrics, key=key)
 
-        # 3) execute
-        if miss_configs:
-            if self.jobs == 1 or len(miss_configs) == 1:
-                computed = [_run_config(c) for c in miss_configs]
-            else:
-                computed = list(self._executor().map(_run_config, miss_configs))
-            self.runs_executed += len(miss_configs)
-            for key, config, metrics in zip(miss_keys, miss_configs, computed):
-                results[key] = metrics
-                # 4) cache writes
-                if self.cache is not None:
-                    self.cache.put(config, metrics, key=key)
+            if tel.enabled:
+                repairs = (
+                    self.cache.repairs - repairs_before if self.cache is not None else 0
+                )
+                span.set(
+                    cache_hits=cache_hits,
+                    executed=len(miss_configs),
+                    cache_repairs=repairs,
+                    utilization=(
+                        round(busy / (wall * self.jobs), 4) if wall > 0 else None
+                    ),
+                )
+                scope = tel.metrics.scope("engine")
+                scope.counter("batches").increment()
+                scope.counter("runs_requested").increment(len(configs))
+                scope.counter("runs_executed").increment(len(miss_configs))
+                scope.counter("cache_hits").increment(cache_hits)
+                scope.gauge("jobs").set(self.jobs)
+                if miss_configs:
+                    scope.tally("batch_seconds").record(wall)
 
         return [results[key] for key in keys]
 

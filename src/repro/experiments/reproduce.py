@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.annealing import AnnealingSchedule
 from ..core.procedure import ScalabilityProcedure, ScalabilityResult
 from ..rms.registry import rms_names
+from ..telemetry.spans import current as _telemetry
 from .cases import ExperimentCase, get_case, make_batch_simulate, make_simulate
 from .config import PROFILES, ScaleProfile
 from .parallel.cache import DEFAULT_CACHE_DIR, metrics_from_jsonable, metrics_to_jsonable
@@ -232,10 +233,16 @@ class Study:
             seed=self.seed,
             batch_simulate=batch,
         )
-        result = procedure.run(name=rms)
-        # Re-read the tuned points' full metrics from the shared memo
-        # (cache hits: no extra simulation).
-        metrics = [simulate(p.scale, p.settings) for p in result.points]
+        # The study.measure span labels everything nested under it —
+        # tuner iterations, engine batches, ledger snapshots — with the
+        # (case, rms) pair; `repro telemetry tuner` groups by it.
+        with _telemetry().span(
+            "study.measure", case=case.case_id, rms=rms, profile=self.profile.name
+        ):
+            result = procedure.run(name=rms)
+            # Re-read the tuned points' full metrics from the shared memo
+            # (cache hits: no extra simulation).
+            metrics = [simulate(p.scale, p.settings) for p in result.points]
         return RMSSeries(rms=rms, result=result, metrics=metrics)
 
     # ------------------------------------------------------------------

@@ -33,6 +33,12 @@ class TraceRecord:
 class TraceRecorder:
     """Bounded ring buffer of executed simulation events.
 
+    Recorders chain: attaching saves whatever ``sim.trace`` callback was
+    already installed, forwards every event to it, and :meth:`detach`
+    restores it — so stacking a second observer never silences the
+    first.  Detach in LIFO order; a recorder that is not the innermost
+    observer ignores :meth:`detach` (its caller will restore it).
+
     Parameters
     ----------
     sim:
@@ -41,7 +47,8 @@ class TraceRecorder:
         Maximum retained records (oldest evicted first).
     predicate:
         Optional filter ``(time, fn, args) -> bool``; only matching
-        events are recorded.
+        events are recorded (forwarding to a chained observer is not
+        filtered).
     """
 
     def __init__(
@@ -55,9 +62,12 @@ class TraceRecorder:
         self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._predicate = predicate
         self.dropped = 0
+        self._previous = sim.trace
         sim.trace = self._on_event
 
     def _on_event(self, time: float, fn, args) -> None:
+        if self._previous is not None:
+            self._previous(time, fn, args)
         if self._predicate is not None and not self._predicate(time, fn, args):
             return
         if len(self._records) == self._records.maxlen:
@@ -83,9 +93,9 @@ class TraceRecorder:
         ]
 
     def detach(self, sim: Simulator) -> None:
-        """Stop recording (clears ``sim.trace``)."""
+        """Stop recording, restoring the previously installed callback."""
         if sim.trace == self._on_event:
-            sim.trace = None
+            sim.trace = self._previous
 
 
 def job_timeline(job: Job) -> List[str]:

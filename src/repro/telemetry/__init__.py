@@ -1,0 +1,54 @@
+"""repro.telemetry: structured observability for the reproduction stack.
+
+Three layers, all optional and all zero-cost when disabled:
+
+* **Metrics** — :class:`MetricsRegistry` aggregates named counters,
+  tallies, gauges, and histograms behind hierarchical scopes
+  (:mod:`~repro.telemetry.registry`, :mod:`~repro.telemetry.collectors`).
+* **Spans and events** — :class:`Telemetry` writes JSONL trace records
+  (monotonic timestamps, PID, parent links) to a per-run directory;
+  :func:`current`/:func:`activate` provide the ambient session the
+  instrumented stack (engine, cache, tuner, procedure, runner) emits
+  through (:mod:`~repro.telemetry.spans`).
+* **Reports** — ``repro telemetry {summary,spans,tuner}`` renders the
+  JSONL back into terminal tables (:mod:`~repro.telemetry.report`,
+  imported lazily by the CLI to keep this package import-light).
+
+Typical use::
+
+    from repro.telemetry import Telemetry, activate
+
+    with Telemetry("telemetry/run1") as session, activate(session):
+        study.figure(2)          # spans/events stream to telemetry/run1/
+
+Instrumented library code never takes a session parameter — it calls
+``current().span(...)`` and the ambient session (or the no-op null
+session) handles the rest.
+"""
+
+from .collectors import Counter, Gauge, Histogram, Tally, TimeWeighted
+from .registry import MetricsRegistry, MetricsScope
+from .spans import (
+    NULL_TELEMETRY,
+    SCHEMA_VERSION,
+    NullTelemetry,
+    Telemetry,
+    activate,
+    current,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SCHEMA_VERSION",
+    "Tally",
+    "Telemetry",
+    "TimeWeighted",
+    "activate",
+    "current",
+]

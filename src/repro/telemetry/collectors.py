@@ -1,0 +1,253 @@
+"""Telemetry collectors: gauges and histograms, plus null variants.
+
+The simulation monitors (:mod:`repro.sim.monitor`) cover what a *model*
+needs — counters, tallies, time-weighted signals.  Operating the
+experiment harness needs two more flavours:
+
+* :class:`Gauge` — a settable instantaneous value (current worker
+  count, queue depth at last observation);
+* :class:`Histogram` — bucketed distribution of observations (per-run
+  wall-clock seconds), with one-pass summary statistics riding along.
+
+Each collector has a ``Null*`` twin exposing the same mutating API as
+no-ops.  A disabled :class:`~repro.telemetry.registry.MetricsRegistry`
+hands those out, so instrumented code pays a single no-op method call
+when telemetry is off — no branching at the call site.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..sim.monitor import Counter, Tally, TimeWeighted
+
+__all__ = [
+    "Counter",
+    "Tally",
+    "TimeWeighted",
+    "Gauge",
+    "Histogram",
+    "NullCounter",
+    "NullTally",
+    "NullGauge",
+    "NullHistogram",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram bounds: sub-millisecond .. minutes, log-ish spaced
+#: (tuned for wall-clock seconds of simulation runs and engine batches)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+
+class Gauge:
+    """An instantaneous, settable value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def increment(self, by: float = 1.0) -> None:
+        """Shift the gauge by ``by`` (may be negative)."""
+        self.value += by
+
+    def decrement(self, by: float = 1.0) -> None:
+        """Shift the gauge down by ``by``."""
+        self.value -= by
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Histogram:
+    """Bucketed distribution with one-pass summary statistics.
+
+    Parameters
+    ----------
+    name:
+        Metric name.
+    buckets:
+        Strictly increasing upper bounds; an observation lands in the
+        first bucket whose bound is ``>= x``, or in the overflow.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "_tally")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for b, a in zip(bounds[1:], bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self._tally = Tally(name)
+
+    def record(self, x: float) -> None:
+        """Record one observation."""
+        self._tally.record(x)
+        for i, bound in enumerate(self.bounds):
+            if x <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        return self._tally.count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (``nan`` when empty)."""
+        return self._tally.mean
+
+    @property
+    def min(self) -> float:
+        """Smallest observation."""
+        return self._tally.min
+
+    @property
+    def max(self) -> float:
+        """Largest observation."""
+        return self._tally.max
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._tally.total
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from bucket upper bounds.
+
+        Returns ``nan`` when empty; observations past the last bound
+        report ``inf`` (the histogram cannot resolve them).
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("q must be in [0, 1]")
+        n = self.count
+        if n == 0:
+            return math.nan
+        target = q * n
+        seen = 0
+        for bound, c in zip(self.bounds, self.counts):
+            seen += c
+            if seen >= target:
+                return bound
+        return math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.4g})"
+
+
+# ---------------------------------------------------------------------------
+# Null twins — the disabled-telemetry fast path.
+# ---------------------------------------------------------------------------
+
+class NullCounter:
+    """No-op :class:`Counter` twin."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def increment(self, by: int = 1) -> None:
+        pass
+
+
+class NullTally:
+    """No-op :class:`Tally` twin."""
+
+    __slots__ = ()
+    name = "<null>"
+    count = 0
+    total = 0.0
+    mean = math.nan
+    variance = math.nan
+    std = math.nan
+    min = math.inf
+    max = -math.inf
+
+    def record(self, x: float) -> None:
+        pass
+
+
+class NullGauge:
+    """No-op :class:`Gauge` twin."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def increment(self, by: float = 1.0) -> None:
+        pass
+
+    def decrement(self, by: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram:
+    """No-op :class:`Histogram` twin."""
+
+    __slots__ = ()
+    name = "<null>"
+    bounds: Tuple[float, ...] = ()
+    counts: List[int] = []
+    overflow = 0
+    count = 0
+    total = 0.0
+    mean = math.nan
+    min = math.inf
+    max = -math.inf
+
+    def record(self, x: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+
+def snapshot_collector(c: Any) -> Dict[str, Any]:
+    """One collector's state as plain JSON-able values."""
+    if isinstance(c, Counter):
+        return {"type": "counter", "value": c.value}
+    if isinstance(c, Gauge):
+        return {"type": "gauge", "value": c.value}
+    if isinstance(c, Tally):
+        return {
+            "type": "tally",
+            "count": c.count,
+            "total": c.total,
+            "mean": c.mean,
+            "min": c.min,
+            "max": c.max,
+            "std": c.std,
+        }
+    if isinstance(c, Histogram):
+        return {
+            "type": "histogram",
+            "count": c.count,
+            "total": c.total,
+            "mean": c.mean,
+            "min": c.min,
+            "max": c.max,
+            "buckets": [[b, n] for b, n in zip(c.bounds, c.counts)],
+            "overflow": c.overflow,
+        }
+    if isinstance(c, TimeWeighted):
+        return {"type": "time_weighted", "current": c.current}
+    raise TypeError(f"unknown collector type {type(c).__name__}")

@@ -1,0 +1,103 @@
+"""An optional, dependency-free sampling profiler.
+
+Set ``REPRO_TELEMETRY_PROFILE=1`` (optionally ``=<interval-ms>``) and a
+:class:`~repro.telemetry.spans.Telemetry` session starts a
+:class:`SamplingProfiler`: a daemon thread that periodically samples the
+main thread's stack via ``sys._current_frames()`` and tallies the
+functions it lands in.  Unlike ``cProfile`` it adds no per-call hook to
+the simulation kernel's hot path — overhead is bounded by the sampling
+interval regardless of event rate — which is why it is the profiler the
+telemetry layer ships with.
+
+The result is a list of ``(location, samples)`` pairs, emitted as a
+``profile.samples`` event when the session closes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections import Counter as _TallyMap
+from typing import List, Tuple
+
+__all__ = ["SamplingProfiler"]
+
+#: default sampling period in seconds (5 ms ≈ 200 Hz)
+DEFAULT_INTERVAL = 0.005
+
+
+def _env_interval() -> float:
+    """Interval from ``$REPRO_TELEMETRY_PROFILE`` (ms), else the default."""
+    raw = os.environ.get("REPRO_TELEMETRY_PROFILE", "").strip()
+    try:
+        ms = float(raw)
+    except ValueError:
+        return DEFAULT_INTERVAL
+    return ms / 1000.0 if ms > 1.0 else DEFAULT_INTERVAL
+
+
+class SamplingProfiler:
+    """Samples one thread's top-of-stack at a fixed interval.
+
+    Parameters
+    ----------
+    thread_id:
+        Thread to sample; defaults to the calling thread (which is the
+        thread that runs the simulations).
+    interval:
+        Seconds between samples.
+    depth:
+        Stack frames recorded per sample (innermost first).
+    """
+
+    def __init__(
+        self,
+        thread_id: int | None = None,
+        interval: float | None = None,
+        depth: int = 3,
+    ) -> None:
+        self.thread_id = thread_id if thread_id is not None else threading.get_ident()
+        self.interval = interval if interval is not None else _env_interval()
+        self.depth = depth
+        self.samples = 0
+        self._counts: _TallyMap = _TallyMap()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self.thread_id)
+            if frame is None:
+                continue
+            self.samples += 1
+            parts = []
+            f = frame
+            for _ in range(self.depth):
+                if f is None:
+                    break
+                code = f.f_code
+                module = os.path.splitext(os.path.basename(code.co_filename))[0]
+                parts.append(f"{module}:{code.co_name}")
+                f = f.f_back
+            self._counts[" < ".join(parts)] += 1
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-telemetry-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, top: int = 20) -> List[Tuple[str, int]]:
+        """Stop sampling and return the ``top`` hottest locations."""
+        if self._thread is None:
+            return []
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+        return self._counts.most_common(top)

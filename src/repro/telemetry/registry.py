@@ -1,0 +1,175 @@
+"""A process-wide registry of named metrics behind hierarchical scopes.
+
+:class:`MetricsRegistry` is the aggregation point for everything the
+instrumented stack counts: engine batches, cache hits and repairs,
+simulation event totals, per-run wall-clock histograms.  Collectors are
+created on first use and shared by name, so two call sites asking for
+``engine.runs`` increment the same counter.
+
+``scope("engine")`` returns a view that prefixes names (``runs`` →
+``engine.runs``); scopes nest.  The registry of a *disabled* telemetry
+session hands out shared null collectors instead, making every metric
+mutation a single no-op method call — the "zero hot-path cost when
+disabled" contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from .collectors import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullTally,
+    Tally,
+    TimeWeighted,
+    snapshot_collector,
+)
+
+__all__ = ["MetricsRegistry", "MetricsScope"]
+
+_NULL_COUNTER = NullCounter()
+_NULL_TALLY = NullTally()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class MetricsRegistry:
+    """Named, typed metric collectors, created on first use.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False``, every accessor returns a shared null collector
+        and :meth:`snapshot` is empty.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, cls, *args):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return existing
+        created = cls(name, *args)
+        self._metrics[name] = created
+        return created
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._get(name, Counter)
+
+    def tally(self, name: str) -> Tally:
+        """The tally called ``name``."""
+        if not self.enabled:
+            return _NULL_TALLY
+        return self._get(name, Tally)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name`` (bucket bounds fixed at creation)."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._get(name, Histogram, buckets)
+
+    def register(self, name: str, collector: Any) -> Any:
+        """Adopt an externally built collector (e.g. a simulation
+        :class:`~repro.sim.monitor.TimeWeighted`) under ``name``.
+
+        Returns the collector (unchanged) so adoption can be inline.
+        A disabled registry adopts nothing.
+        """
+        if not self.enabled:
+            return collector
+        if name in self._metrics and self._metrics[name] is not collector:
+            raise ValueError(f"metric {name!r} already registered")
+        self._metrics[name] = collector
+        return collector
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        """A view of this registry that prefixes names with ``prefix.``."""
+        return MetricsScope(self, prefix)
+
+    # ------------------------------------------------------------------
+    def names(self) -> Sequence[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Any]:
+        """The collector registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every metric's state as plain JSON-able values, keyed by name."""
+        return {name: snapshot_collector(self._metrics[name]) for name in self.names()}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+class MetricsScope:
+    """A name-prefixing view of a :class:`MetricsRegistry`.
+
+    ``registry.scope("engine").counter("runs")`` is the registry's
+    ``engine.runs`` counter; scopes nest (``scope("a").scope("b")`` →
+    ``a.b.*``).
+    """
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("scope prefix must be non-empty")
+        self._registry = registry
+        self._prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        """The scoped counter ``<prefix>.<name>``."""
+        return self._registry.counter(self._name(name))
+
+    def tally(self, name: str) -> Tally:
+        """The scoped tally ``<prefix>.<name>``."""
+        return self._registry.tally(self._name(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The scoped gauge ``<prefix>.<name>``."""
+        return self._registry.gauge(self._name(name))
+
+    def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The scoped histogram ``<prefix>.<name>``."""
+        return self._registry.histogram(self._name(name), buckets)
+
+    def register(self, name: str, collector: Any) -> Any:
+        """Adopt ``collector`` as ``<prefix>.<name>``."""
+        return self._registry.register(self._name(name), collector)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        """A nested scope ``<prefix>.<sub>``."""
+        return MetricsScope(self._registry, self._name(prefix))

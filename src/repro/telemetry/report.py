@@ -1,0 +1,338 @@
+"""Render telemetry JSONL files into terminal reports.
+
+These are the readers behind ``repro telemetry {summary,spans,tuner}``:
+they load a run directory's ``spans.jsonl`` (tolerating truncated final
+lines from killed runs), index spans by id, and render
+
+* :func:`summary_report` — per-span-name aggregates, cache hit rate and
+  repairs, simulation event throughput, tuner totals, top metrics;
+* :func:`spans_report` — the individual slowest spans;
+* :func:`tuner_report` — the annealing convergence trace, one table per
+  (RMS, scale): iteration, temperature, objective, achieved E and G,
+  accept/reject.
+
+The module depends only on the telemetry record schema — it never
+imports the experiments stack, so reports work on any archived
+``telemetry/`` directory without constructing a single simulation
+object.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .spans import SPANS_FILENAME
+
+__all__ = [
+    "TelemetryRun",
+    "load_run",
+    "resolve_run_dir",
+    "summary_report",
+    "spans_report",
+    "tuner_report",
+]
+
+
+class TelemetryRun:
+    """Parsed records of one telemetry directory."""
+
+    def __init__(self, directory: Path, records: List[Dict[str, Any]]) -> None:
+        self.directory = directory
+        self.records = records
+        self.meta: Dict[str, Any] = {}
+        self.metrics: Dict[str, Any] = {}
+        self.spans: List[Dict[str, Any]] = []
+        self.events: List[Dict[str, Any]] = []
+        self._by_id: Dict[int, Dict[str, Any]] = {}
+        for r in records:
+            kind = r.get("type")
+            if kind == "span":
+                self.spans.append(r)
+                self._by_id[r["id"]] = r
+            elif kind == "event":
+                self.events.append(r)
+            elif kind == "meta":
+                self.meta = r
+            elif kind == "metrics":
+                self.metrics = r.get("snapshot", {})
+
+    # ------------------------------------------------------------------
+    def events_named(self, name: str) -> List[Dict[str, Any]]:
+        """Events with the given name, in file order."""
+        return [e for e in self.events if e.get("name") == name]
+
+    def spans_named(self, name: str) -> List[Dict[str, Any]]:
+        """Spans with the given name, in completion order."""
+        return [s for s in self.spans if s.get("name") == name]
+
+    def ancestor_attr(self, record: Dict[str, Any], key: str) -> Optional[Any]:
+        """Walk the parent chain for the nearest span attribute ``key``.
+
+        Starts at ``record`` itself (if it is a span with the attr),
+        then follows ``parent`` links.  Open (never closed) spans are
+        absent from the file, so the chain may end early — that yields
+        ``None``, never an error.
+        """
+        seen = set()
+        node: Optional[Dict[str, Any]] = record
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            attrs = node.get("attrs") or {}
+            if key in attrs:
+                return attrs[key]
+            parent = node.get("parent")
+            node = self._by_id.get(parent) if parent is not None else None
+        return None
+
+    @property
+    def duration(self) -> float:
+        """Last recorded timestamp (seconds since session start)."""
+        ts = [s.get("t1", 0.0) for s in self.spans] + [
+            e.get("t", 0.0) for e in self.events
+        ]
+        return max(ts) if ts else 0.0
+
+
+def load_run(directory: "str | Path") -> TelemetryRun:
+    """Load one telemetry directory's records.
+
+    Unparseable lines (a run killed mid-write leaves at most one) are
+    skipped, not fatal.
+    """
+    directory = Path(directory)
+    path = directory / SPANS_FILENAME
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return TelemetryRun(directory, records)
+
+
+def resolve_run_dir(path: "str | Path") -> Path:
+    """The run directory ``path`` denotes.
+
+    ``path`` itself when it directly contains ``spans.jsonl``; otherwise
+    the most recently modified child directory that does (so ``repro
+    telemetry summary telemetry/`` picks the latest run).
+    """
+    root = Path(path)
+    if (root / SPANS_FILENAME).is_file():
+        return root
+    candidates = [d for d in root.glob("*/") if (d / SPANS_FILENAME).is_file()]
+    if not candidates:
+        raise FileNotFoundError(
+            f"no {SPANS_FILENAME} under {root} — run with --telemetry "
+            "(or REPRO_TELEMETRY=1) first"
+        )
+    return max(candidates, key=lambda d: (d / SPANS_FILENAME).stat().st_mtime)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]], precision: int = 3) -> str:
+    """A minimal aligned text table (kept local: reports must not pull
+    in the experiments stack)."""
+
+    def fmt(x: Any) -> str:
+        if isinstance(x, bool):
+            return "yes" if x else "no"
+        if isinstance(x, float):
+            return "nan" if x != x else f"{x:.{precision}f}"
+        return str(x)
+
+    cells = [[fmt(h) for h in headers]] + [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = []
+    for idx, row in enumerate(cells):
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def _span_aggregates(run: TelemetryRun) -> List[List[Any]]:
+    agg: Dict[str, List[float]] = {}
+    for s in run.spans:
+        a = agg.setdefault(s["name"], [0, 0.0, 0.0])
+        a[0] += 1
+        a[1] += s.get("dur", 0.0)
+        a[2] = max(a[2], s.get("dur", 0.0))
+    rows = [
+        [name, int(n), total, total / n if n else math.nan, worst]
+        for name, (n, total, worst) in agg.items()
+    ]
+    rows.sort(key=lambda r: -r[2])
+    return rows
+
+
+def summary_report(run: TelemetryRun) -> str:
+    """The run's one-page operational summary."""
+    parts = [
+        f"telemetry run: {run.directory}",
+        f"records: {len(run.spans)} spans, {len(run.events)} events "
+        f"(schema {run.meta.get('schema', '?')}, pid {run.meta.get('pid', '?')}, "
+        f"{run.duration:.2f}s recorded)",
+    ]
+
+    rows = _span_aggregates(run)
+    if rows:
+        parts.append("\ntime by span (seconds):")
+        parts.append(_table(["span", "count", "total", "mean", "max"], rows))
+
+    batches = run.spans_named("engine.batch")
+    if batches:
+        size = sum(int(b["attrs"].get("size", 0)) for b in batches)
+        hits = sum(int(b["attrs"].get("cache_hits", 0)) for b in batches)
+        executed = sum(int(b["attrs"].get("executed", 0)) for b in batches)
+        repairs = sum(int(b["attrs"].get("cache_repairs", 0)) for b in batches)
+        rate = hits / size if size else math.nan
+        parts.append(
+            f"\nengine: {len(batches)} batches, {size} runs requested, "
+            f"{executed} executed, {hits} cache hits "
+            f"(hit rate {rate:.1%})" + (f", {repairs} corrupt entries repaired" if repairs else "")
+        )
+
+    sims = run.spans_named("sim.run")
+    if sims:
+        events = sum(int(s["attrs"].get("events", 0)) for s in sims)
+        wall = sum(s.get("dur", 0.0) for s in sims)
+        rate = events / wall if wall > 0 else math.nan
+        parts.append(
+            f"simulation: {len(sims)} in-process runs, {events} kernel events, "
+            f"{rate:,.0f} events/sec"
+        )
+
+    iters = run.events_named("tuner.iteration")
+    if iters:
+        accepted = sum(1 for e in iters if e["attrs"].get("accepted"))
+        parts.append(
+            f"tuner: {len(iters)} annealing iterations, "
+            f"{accepted} accepted ({accepted / len(iters):.0%}); "
+            f"see `repro telemetry tuner`"
+        )
+
+    scales = run.events_named("procedure.scale")
+    if scales:
+        parts.append("\nper-scale ledger snapshots:")
+        rows = [
+            [
+                run.ancestor_attr(e, "rms") or e["attrs"].get("name", "?"),
+                e["attrs"].get("scale", math.nan),
+                e["attrs"].get("F", math.nan),
+                e["attrs"].get("G", math.nan),
+                e["attrs"].get("H", math.nan),
+                e["attrs"].get("efficiency", math.nan),
+                bool(e["attrs"].get("feasible")),
+            ]
+            for e in scales
+        ]
+        parts.append(_table(["RMS", "k", "F", "G", "H", "E", "feasible"], rows, precision=1))
+
+    if run.metrics:
+        parts.append("\nmetrics snapshot (counters and gauges):")
+        rows = [
+            [name, snap.get("value")]
+            for name, snap in sorted(run.metrics.items())
+            if snap.get("type") in ("counter", "gauge")
+        ]
+        if rows:
+            parts.append(_table(["metric", "value"], rows))
+
+    corrupt = run.events_named("cache.corrupt")
+    if corrupt:
+        parts.append(f"\ncache repairs ({len(corrupt)} corrupt entries recomputed):")
+        for e in corrupt[:10]:
+            parts.append(f"  {e['attrs'].get('key', '?')}: {e['attrs'].get('error', '?')}")
+
+    return "\n".join(parts)
+
+
+def spans_report(run: TelemetryRun, top: int = 20, name: Optional[str] = None) -> str:
+    """The individual slowest spans, with their attributes."""
+    spans = run.spans_named(name) if name else list(run.spans)
+    spans.sort(key=lambda s: -s.get("dur", 0.0))
+    spans = spans[:top]
+    if not spans:
+        return "(no spans recorded)"
+
+    def attr_summary(s: Dict[str, Any]) -> str:
+        attrs = s.get("attrs") or {}
+        text = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        return text if len(text) <= 60 else text[:57] + "..."
+
+    rows = [
+        [s["name"], s["id"], s.get("parent") or "-", s.get("t0", 0.0),
+         s.get("dur", 0.0), attr_summary(s)]
+        for s in spans
+    ]
+    return _table(["span", "id", "parent", "t0", "dur", "attrs"], rows)
+
+
+def tuner_report(
+    run: TelemetryRun,
+    rms: Optional[str] = None,
+    scale: Optional[float] = None,
+) -> str:
+    """The annealing convergence trace, grouped by (RMS, scale)."""
+    iters = run.events_named("tuner.iteration")
+    if not iters:
+        return "(no tuner iterations recorded)"
+
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    for e in iters:
+        label = run.ancestor_attr(e, "rms") or "?"
+        k = e["attrs"].get("scale", math.nan)
+        if rms is not None and label != rms:
+            continue
+        if scale is not None and k != scale:
+            continue
+        groups.setdefault((str(label), k), []).append(e)
+    if not groups:
+        return "(no tuner iterations match the filters)"
+
+    results = {
+        (str(run.ancestor_attr(e, "rms") or "?"), e["attrs"].get("scale")): e
+        for e in run.events_named("tuner.result")
+    }
+
+    parts = []
+    for (label, k), events in sorted(groups.items(), key=lambda kv: (kv[0][0], kv[0][1])):
+        parts.append(f"\n{label} @ k={k:g} — {len(events)} iterations:")
+        rows = [
+            [
+                i + 1,
+                e["attrs"].get("temperature", math.nan),
+                e["attrs"].get("objective", math.nan),
+                e["attrs"].get("efficiency", math.nan),
+                e["attrs"].get("G", math.nan),
+                bool(e["attrs"].get("accepted")),
+                e["attrs"].get("best", math.nan),
+            ]
+            for i, e in enumerate(events)
+        ]
+        parts.append(_table(
+            ["iter", "T", "J", "E", "G", "accepted", "best J"], rows
+        ))
+        final = results.get((label, k))
+        if final is not None:
+            attrs = final["attrs"]
+            settings = attrs.get("settings", {})
+            knob = ", ".join(f"{n}={v:g}" if isinstance(v, float) else f"{n}={v}"
+                             for n, v in sorted(settings.items()))
+            parts.append(
+                f"  -> y(k): {knob}  (E={attrs.get('efficiency', math.nan):.3f}, "
+                f"G={attrs.get('G', math.nan):.1f}, "
+                f"feasible={'yes' if attrs.get('feasible') else 'no'})"
+            )
+    return "\n".join(parts).lstrip("\n")

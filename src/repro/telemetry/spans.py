@@ -1,0 +1,340 @@
+"""Structured span/event tracing to per-run JSONL files.
+
+A :class:`Telemetry` session owns one run's ``telemetry/`` directory and
+appends newline-delimited JSON records to ``spans.jsonl``:
+
+* ``{"type": "meta", ...}`` — first line: schema version, PID, wall
+  clock at session start, argv;
+* ``{"type": "span", "name", "id", "parent", "pid", "t0", "t1",
+  "dur", "attrs"}`` — one *completed* span, written at exit; ``t0``/
+  ``t1`` are monotonic seconds since session start;
+* ``{"type": "event", "name", "id", "parent", "pid", "t", "attrs"}``
+  — one point-in-time event, written immediately;
+* ``{"type": "metrics", "snapshot": {...}}`` — final line at
+  :meth:`Telemetry.close`: the session registry's snapshot (also
+  mirrored to ``metrics.json`` for direct consumption).
+
+The *ambient* session is process-global: :func:`current` returns either
+the active session or the shared :data:`NULL_TELEMETRY`, whose ``span``
+and ``event`` are no-ops and whose registry hands out null collectors.
+Instrumented code therefore never branches on "is telemetry on?" — it
+calls ``current().span(...)`` and pays a few attribute lookups when
+disabled.  Sessions refuse to record from forked worker processes (PID
+guard), so an engine fan-out cannot interleave child writes into the
+parent's file; workers run effectively telemetry-free.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, Optional
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "activate",
+    "jsonable_attrs",
+]
+
+#: bump when the record shape changes incompatibly
+SCHEMA_VERSION = 1
+
+#: the JSONL file a session writes inside its directory
+SPANS_FILENAME = "spans.jsonl"
+
+
+def jsonable_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce span/event attributes to plain JSON types.
+
+    Scalars pass through, numpy numbers collapse to Python floats/ints
+    via their ``item()``, mappings and sequences recurse, and anything
+    else is stringified — a telemetry record must never raise.
+    """
+    return {str(k): _jsonify(v) for k, v in attrs.items()}
+
+
+def _jsonify(v: Any) -> Any:
+    if v is None or isinstance(v, (bool, int, float, str)):
+        return v
+    if hasattr(v, "item"):  # numpy scalar
+        try:
+            return _jsonify(v.item())
+        except Exception:
+            return repr(v)
+    if isinstance(v, dict):
+        return {str(k): _jsonify(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple, set, frozenset)):
+        return [_jsonify(x) for x in v]
+    return repr(v)
+
+
+class _NullSpan:
+    """The reusable no-op span of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled session: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry(enabled=False)
+        self.directory: Optional[Path] = None
+
+    def span(self, name: str, /, **attrs: Any) -> _NullSpan:
+        """A no-op span."""
+        return _NULL_SPAN
+
+    def event(self, name: str, /, **attrs: Any) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+    def __enter__(self) -> "NullTelemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+#: the shared disabled session returned by :func:`current` by default
+NULL_TELEMETRY = NullTelemetry()
+
+_current: "Telemetry | NullTelemetry" = NULL_TELEMETRY
+
+
+def current() -> "Telemetry | NullTelemetry":
+    """The ambient telemetry session (the null session when disabled)."""
+    return _current
+
+
+@contextmanager
+def activate(session: "Telemetry") -> Iterator["Telemetry"]:
+    """Install ``session`` as the ambient session for the duration.
+
+    Nestable; the previous session (usually the null one) is restored
+    on exit.  Closing the session remains the caller's responsibility.
+    """
+    global _current
+    previous = _current
+    _current = session
+    try:
+        yield session
+    finally:
+        _current = previous
+
+
+class Span:
+    """One live span; use as a context manager.
+
+    Timing uses ``time.monotonic()`` relative to the session start, so
+    records are immune to wall-clock jumps and trivially comparable
+    within a run.
+    """
+
+    __slots__ = ("_session", "name", "span_id", "parent_id", "attrs", "_t0")
+
+    def __init__(self, session: "Telemetry", name: str, attrs: Dict[str, Any]) -> None:
+        self._session = session
+        self.name = name
+        self.span_id = session._next_id()
+        self.parent_id: Optional[int] = None
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes before the span closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.parent_id = self._session._push(self)
+        self._t0 = self._session._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = self._session._clock()
+        self._session._pop(self)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._session._write(
+            {
+                "type": "span",
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "pid": os.getpid(),
+                "t0": round(self._t0, 6),
+                "t1": round(t1, 6),
+                "dur": round(t1 - self._t0, 6),
+                "attrs": jsonable_attrs(self.attrs),
+            }
+        )
+        return False
+
+
+class Telemetry:
+    """One run's telemetry session: spans, events, and metrics.
+
+    Parameters
+    ----------
+    directory:
+        Per-run output directory (created, including parents).
+    registry:
+        Metrics registry to snapshot at close; a fresh enabled one by
+        default.
+
+    The session may be used as a context manager (closing on exit);
+    pair it with :func:`activate` to make it ambient::
+
+        with Telemetry(run_dir) as session, activate(session):
+            study.figure(2)
+    """
+
+    enabled = True
+
+    def __init__(self, directory: "str | Path", registry: Optional[MetricsRegistry] = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._pid = os.getpid()
+        self._start = time.monotonic()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._fh: Optional[IO[str]] = open(
+            self.directory / SPANS_FILENAME, "a", encoding="utf-8"
+        )
+        self._profiler = None
+        self._write(
+            {
+                "type": "meta",
+                "schema": SCHEMA_VERSION,
+                "pid": self._pid,
+                "wall_start": time.time(),
+                "argv": [str(a) for a in sys.argv],
+            }
+        )
+        if os.environ.get("REPRO_TELEMETRY_PROFILE", "").strip() not in ("", "0"):
+            from .profiler import SamplingProfiler
+
+            self._profiler = SamplingProfiler()
+            self._profiler.start()
+
+    # ------------------------------------------------------------------
+    # Internal plumbing used by Span
+    # ------------------------------------------------------------------
+    def _clock(self) -> float:
+        return time.monotonic() - self._start
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> Optional[int]:
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        stack.append(span)
+        return parent
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # exotic exit order; drop it wherever it is
+            stack.remove(span)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        fh = self._fh
+        if fh is None or os.getpid() != self._pid:
+            # closed, or a forked worker inherited us: never write
+            return
+        line = json.dumps(record, separators=(",", ":"), allow_nan=True)
+        with self._lock:
+            fh.write(line + "\n")
+            fh.flush()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        """Open a named span; attributes may be extended via ``set``.
+
+        ``name`` is positional-only so an attribute may itself be
+        called ``name`` (the procedure's ledger events use one).
+        """
+        if os.getpid() != self._pid:
+            return _NULL_SPAN  # type: ignore[return-value]
+        return Span(self, name, dict(attrs))
+
+    def event(self, name: str, /, **attrs: Any) -> None:
+        """Record a point-in-time event under the current span."""
+        if os.getpid() != self._pid:
+            return
+        stack = self._stack()
+        self._write(
+            {
+                "type": "event",
+                "name": name,
+                "id": self._next_id(),
+                "parent": stack[-1].span_id if stack else None,
+                "pid": os.getpid(),
+                "t": round(self._clock(), 6),
+                "attrs": jsonable_attrs(attrs),
+            }
+        )
+
+    def close(self) -> None:
+        """Flush the metrics snapshot and close the JSONL file (idempotent)."""
+        if self._fh is None:
+            return
+        if self._profiler is not None:
+            samples = self._profiler.stop()
+            self._profiler = None
+            if samples:
+                self.event("profile.samples", top=samples)
+        snapshot = self.metrics.snapshot()
+        self._write({"type": "metrics", "snapshot": snapshot})
+        if os.getpid() == self._pid:
+            with open(self.directory / "metrics.json", "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh, indent=2, sort_keys=True)
+        with self._lock:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -132,3 +132,113 @@ class TestEngineFlags:
         from repro.rms import rms_names
 
         assert seen["n"] == len(rms_names())
+
+
+class TestTelemetryFlags:
+    def test_telemetry_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["figure", "2", "--telemetry", "--telemetry-dir", "/tmp/tel"]
+        )
+        assert args.telemetry is True
+        assert args.telemetry_dir == "/tmp/tel"
+        args = cli.build_parser().parse_args(["figure", "2"])
+        assert args.telemetry is False
+
+    def test_log_level_choices(self):
+        args = cli.build_parser().parse_args(["--log-level", "debug", "list"])
+        assert args.log_level == "debug"
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["--log-level", "chatty", "list"])
+
+    def test_figure_with_telemetry_writes_run_dir(self, tmp_path, monkeypatch, capsys):
+        class StubStudy:
+            def __init__(self, **kw):
+                pass
+
+            def figure(self, number):
+                from repro.telemetry import current
+
+                # the ambient session is live while the study runs
+                assert current().enabled
+                current().event("stub.figure", number=number)
+                return fake_figure()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        root = tmp_path / "tel"
+        rc = cli.main(
+            ["figure", "2", "--telemetry", "--telemetry-dir", str(root)]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "telemetry written to" in err
+        (run_dir,) = list(root.iterdir())
+        assert (run_dir / "spans.jsonl").is_file()
+        assert (run_dir / "metrics.json").is_file()
+
+    def test_env_var_enables_telemetry(self, tmp_path, monkeypatch):
+        class StubStudy:
+            def __init__(self, **kw):
+                pass
+
+            def figure(self, number):
+                return fake_figure()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "envtel"))
+        assert cli.main(["figure", "2"]) == 0
+        assert list((tmp_path / "envtel").iterdir())
+
+    def test_no_telemetry_dir_without_flag(self, tmp_path, monkeypatch):
+        class StubStudy:
+            def __init__(self, **kw):
+                pass
+
+            def figure(self, number):
+                from repro.telemetry import NULL_TELEMETRY, current
+
+                assert current() is NULL_TELEMETRY
+                return fake_figure()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["figure", "2"]) == 0
+        assert not (tmp_path / "telemetry").exists()
+
+
+class TestTelemetryCommand:
+    def _record_run(self, root):
+        from repro.telemetry import Telemetry, activate
+
+        with Telemetry(root / "run-1") as session, activate(session):
+            with session.span("engine.batch", size=2, jobs=1) as span:
+                span.set(cache_hits=1, executed=1, cache_repairs=0)
+        return root
+
+    def test_summary_view(self, tmp_path, capsys):
+        root = self._record_run(tmp_path / "tel")
+        assert cli.main(["telemetry", "summary", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry run:" in out
+        assert "engine.batch" in out
+
+    def test_spans_view_with_filter(self, tmp_path, capsys):
+        root = self._record_run(tmp_path / "tel")
+        assert cli.main(
+            ["telemetry", "spans", str(root), "--top", "5", "--name", "engine.batch"]
+        ) == 0
+        assert "engine.batch" in capsys.readouterr().out
+
+    def test_tuner_view_empty(self, tmp_path, capsys):
+        root = self._record_run(tmp_path / "tel")
+        assert cli.main(["telemetry", "tuner", str(root)]) == 0
+        assert "no tuner iterations" in capsys.readouterr().out
+
+    def test_missing_dir_errors(self, tmp_path, capsys):
+        assert cli.main(["telemetry", "summary", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_view_required(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["telemetry"])

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.rms",
     "repro.experiments",
     "repro.experiments.parallel",
+    "repro.telemetry",
 ]
 
 MODULES = PACKAGES + [
@@ -72,6 +73,11 @@ MODULES = PACKAGES + [
     "repro.sim.monitor",
     "repro.sim.rng",
     "repro.sim.trace",
+    "repro.telemetry.collectors",
+    "repro.telemetry.profiler",
+    "repro.telemetry.registry",
+    "repro.telemetry.report",
+    "repro.telemetry.spans",
     "repro.topology.generator",
     "repro.topology.graph",
     "repro.topology.grid_map",

@@ -70,6 +70,46 @@ class TestTraceRecorder:
         with pytest.raises(ValueError):
             TraceRecorder(Simulator(), capacity=0)
 
+    def test_attach_chains_existing_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.trace = lambda t, fn, args: seen.append(t)
+        rec = TraceRecorder(sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        # both the prior callback and the recorder observe the event
+        assert seen == [1.0]
+        assert len(rec.records) == 1
+
+    def test_detach_restores_previous_callback(self):
+        sim = Simulator()
+        seen = []
+        previous = lambda t, fn, args: seen.append(t)
+        sim.trace = previous
+        rec = TraceRecorder(sim)
+        rec.detach(sim)
+        assert sim.trace is previous
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]
+        assert rec.records == []
+
+    def test_stacked_recorders_detach_lifo(self):
+        sim = Simulator()
+        first = TraceRecorder(sim)
+        second = TraceRecorder(sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(first.records) == 1 and len(second.records) == 1
+        second.detach(sim)
+        assert sim.trace == first._on_event
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert len(first.records) == 2
+        assert len(second.records) == 1
+        first.detach(sim)
+        assert sim.trace is None
+
 
 class TestJobTimeline:
     def test_full_lifecycle_narrative(self):
