@@ -122,6 +122,8 @@ def anneal(
     rng: np.random.Generator,
     schedule: Optional[AnnealingSchedule] = None,
     observer: Optional[Callable[[AnnealingStep], None]] = None,
+    width: int = 1,
+    objective_many: Optional[Callable[[List[Any]], List[float]]] = None,
 ) -> AnnealingResult:
     """Minimize ``objective`` by simulated annealing.
 
@@ -145,8 +147,33 @@ def anneal(
         every move — the telemetry layer's convergence trace.  The
         observer sees the search, it must not steer it: it runs after
         the acceptance draw, so it cannot perturb the random stream.
+    width:
+        Speculation width ``W``.  ``1`` (the default) is the classic
+        strictly serial walk.  With ``W > 1`` each round proposes ``W``
+        independent neighbors of the current point up front, evaluates
+        them all at once (through ``objective_many`` when provided, so
+        a parallel backend can fan them out), then examines them one by
+        one in proposal order under the ordinary Metropolis rule — the
+        first acceptable proposal in that order is the one accepted,
+        and proposals after an intra-round acceptance are still
+        examined (against the updated current), so no evaluation is
+        ever discarded: the walk spends exactly one evaluation, one
+        iteration of the budget, and one cooling step per examined
+        proposal, just like the serial walk.  The only semantic
+        difference from ``W = 1`` is that late proposals in a round
+        were generated from the point that was current at the *start*
+        of the round.  All randomness is drawn on the calling thread in
+        a fixed order, so the result is a pure function of ``(initial,
+        seed, schedule, width)`` — in particular it does not depend on
+        how ``objective_many`` schedules its evaluations.
+    objective_many:
+        Optional batch evaluator, ``objective_many(points) ->
+        [value, ...]`` in input order; must agree with ``objective``
+        point for point.  Only consulted when ``width > 1``.
     """
     sched = schedule or AnnealingSchedule()
+    if width < 1:
+        raise ValueError("width must be >= 1")
     best = initial
     best_value = objective(initial)
     evaluations = 1
@@ -156,32 +183,43 @@ def anneal(
         current = initial if evaluations == 1 else best
         current_value = best_value if current is best else objective(current)
         temp = sched.t0
-        for iteration in range(sched.iterations):
-            candidate = neighbor(current, rng)
-            value = objective(candidate)
-            evaluations += 1
-            delta = value - current_value
-            accepted = delta <= 0.0 or rng.random() < math.exp(
-                -delta / max(temp, 1e-12)
-            )
-            if accepted:
-                current, current_value = candidate, value
-            if current_value < best_value:
-                best, best_value = current, current_value
-            trace.append(best_value)
-            if observer is not None:
-                observer(
-                    AnnealingStep(
-                        restart=restart,
-                        iteration=iteration,
-                        temperature=temp,
-                        candidate=candidate,
-                        value=value,
-                        accepted=accepted,
-                        best_value=best_value,
-                    )
+        iteration = 0
+        while iteration < sched.iterations:
+            if width == 1:
+                candidates = [neighbor(current, rng)]
+                values = [objective(candidates[0])]
+            else:
+                burst = min(width, sched.iterations - iteration)
+                candidates = [neighbor(current, rng) for _ in range(burst)]
+                if objective_many is not None:
+                    values = list(objective_many(candidates))
+                else:
+                    values = [objective(c) for c in candidates]
+            evaluations += len(candidates)
+            for candidate, value in zip(candidates, values):
+                delta = value - current_value
+                accepted = delta <= 0.0 or rng.random() < math.exp(
+                    -delta / max(temp, 1e-12)
                 )
-            temp *= sched.cooling
+                if accepted:
+                    current, current_value = candidate, value
+                if current_value < best_value:
+                    best, best_value = current, current_value
+                trace.append(best_value)
+                if observer is not None:
+                    observer(
+                        AnnealingStep(
+                            restart=restart,
+                            iteration=iteration,
+                            temperature=temp,
+                            candidate=candidate,
+                            value=value,
+                            accepted=accepted,
+                            best_value=best_value,
+                        )
+                    )
+                temp *= sched.cooling
+                iteration += 1
 
     return AnnealingResult(
         best=best, best_value=best_value, evaluations=evaluations, trace=trace

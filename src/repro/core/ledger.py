@@ -22,6 +22,7 @@ benches and for debugging protocol behaviour.
 
 from __future__ import annotations
 
+import math
 from typing import Dict
 
 __all__ = ["Category", "CostLedger"]
@@ -60,20 +61,38 @@ class CostLedger:
     :class:`repro.sim.entity.MessageServer`.
     """
 
-    __slots__ = ("_totals",)
+    __slots__ = ("_totals", "_f", "_g", "_h")
 
     def __init__(self) -> None:
         self._totals: Dict[str, float] = {}
+        # Running per-prefix aggregates, maintained charge by charge so
+        # the F/G/H reads the efficiency layer performs after every run
+        # are O(1) instead of a scan over all categories.
+        self._f = 0.0
+        self._g = 0.0
+        self._h = 0.0
 
     def charge(self, category: str, amount: float) -> None:
-        """Add ``amount`` (>= 0) time units under ``category``.
+        """Add ``amount`` (finite, >= 0) time units under ``category``.
 
         Categories must carry one of the ``f.``/``g.``/``h.`` prefixes so
-        every charge rolls up into exactly one of F, G, H.
+        every charge rolls up into exactly one of F, G, H.  Non-finite
+        amounts (NaN, ±inf) are rejected: a NaN would silently poison
+        every aggregate downstream (NaN fails every comparison, so it
+        sails through a plain ``amount < 0`` guard).
         """
-        if amount < 0.0:
+        if not (amount >= 0.0) or amount == math.inf:
+            if math.isnan(amount) or amount in (math.inf, -math.inf):
+                raise ValueError(f"non-finite charge {amount!r} for {category!r}")
             raise ValueError(f"negative charge {amount} for {category!r}")
-        if not category.startswith(("f.", "g.", "h.")):
+        prefix = category[:2]
+        if prefix == "f.":
+            self._f += amount
+        elif prefix == "g.":
+            self._g += amount
+        elif prefix == "h.":
+            self._h += amount
+        else:
             raise ValueError(f"category {category!r} lacks an f./g./h. prefix")
         self._totals[category] = self._totals.get(category, 0.0) + amount
 
@@ -81,28 +100,25 @@ class CostLedger:
         """Total charged under one exact category."""
         return self._totals.get(category, 0.0)
 
-    def _prefix_total(self, prefix: str) -> float:
-        return sum(v for c, v in self._totals.items() if c.startswith(prefix))
-
     @property
     def F(self) -> float:
         """Useful work delivered (sum of ``f.*``)."""
-        return self._prefix_total("f.")
+        return self._f
 
     @property
     def G(self) -> float:
         """RMS overhead (sum of ``g.*``)."""
-        return self._prefix_total("g.")
+        return self._g
 
     @property
     def H(self) -> float:
         """RP overhead (sum of ``h.*``)."""
-        return self._prefix_total("h.")
+        return self._h
 
     @property
     def grand_total(self) -> float:
         """All work: ``F + G + H``."""
-        return sum(self._totals.values())
+        return self._f + self._g + self._h
 
     def breakdown(self) -> Dict[str, float]:
         """Copy of the per-category totals (for reports and tests)."""

@@ -107,15 +107,24 @@ class ScalabilityProcedure:
         The scaling path (defaults to the paper's ``k = 1..6``).
     band:
         The Step-1 efficiency band (paper: [0.38, 0.42]).
+    warm_start:
+        When ``True`` (the default) each scale ``k_i`` of the walk is
+        tuned starting from the tuned settings of ``k_{i-1}`` instead
+        of from the enabler defaults.  The paper's enabler path moves
+        smoothly with scale, so the warm anchor's presweep shrinks to a
+        small window (see :meth:`EnablerTuner.tune`) and the per-scale
+        evaluation count drops sharply.  ``False`` restores the
+        historical cold-start walk (every scale tuned independently
+        from the defaults).
     tuner_kwargs:
         Passed through to :class:`EnablerTuner` (annealing schedule,
         success floor, seed, ...).  In particular ``batch_simulate``
         attaches a batch evaluator (usually backed by a parallel
         :class:`~repro.experiments.parallel.ExperimentEngine`): the
         procedure then submits its independent candidate evaluations —
-        the default-settings reference run at every scale up front, and
-        each scale's pre-sweep scan — as batches instead of one run at
-        a time.
+        reference runs, pre-sweep scans, and (with ``speculation > 1``)
+        the annealer's speculative proposal bursts — as batches instead
+        of one run at a time.
     """
 
     def __init__(
@@ -124,25 +133,32 @@ class ScalabilityProcedure:
         space: EnablerSpace,
         path: Optional[ScalingPath] = None,
         band: Tuple[float, float] = (0.38, 0.42),
+        warm_start: bool = True,
         **tuner_kwargs,
     ) -> None:
         self.path = path or ScalingPath()
         self.band = band
+        self.warm_start = bool(warm_start)
         self.tuner = EnablerTuner(simulate, space, **tuner_kwargs)
 
     def run(self, name: str = "RMS") -> ScalabilityResult:
         """Execute the full procedure and return the measurement."""
         tel = _telemetry()
         with tel.span(
-            "procedure", name=name, scales=list(self.path)
+            "procedure", name=name, scales=list(self.path), warm_start=self.warm_start
         ) as span:
-            # Every scale's search starts from the same default enabler
-            # settings; those reference runs are mutually independent, so
-            # warm the tuner's memo with all of them in a single batch (a
-            # parallel engine executes them concurrently; without one this
-            # is the same serial work the searches would do lazily).
-            defaults = self.tuner.space.default_settings()
-            self.tuner.observe_many([(k, defaults) for k in self.path])
+            if not self.warm_start:
+                # Every cold-started scale's search begins from the same
+                # default enabler settings; those reference runs are
+                # mutually independent, so warm the tuner's memo with all
+                # of them in a single batch (a parallel engine executes
+                # them concurrently; without one this is the same serial
+                # work the searches would do lazily).  Warm-started walks
+                # skip this: only the base anchors at the defaults, and
+                # prepaying the other scales' default runs would be pure
+                # waste.
+                defaults = self.tuner.space.default_settings()
+                self.tuner.observe_many([(k, defaults) for k in self.path])
 
             # Step 1: base configuration and E0.
             base_point = self.tuner.tune_base(self.path.base, band=self.band)
@@ -162,10 +178,12 @@ class ScalabilityProcedure:
                 e0 = 0.5 * (lo + hi)
             self._emit_scale(tel, name, base_point)
 
-            # Steps 2–3: walk the path, tuning at each scale.
+            # Steps 2–3: walk the path, tuning at each scale — each from
+            # its predecessor's tuned settings when warm-starting.
             points: List[TunedPoint] = [base_point]
             for k in list(self.path)[1:]:
-                point = self.tuner.tune(k, e0)
+                warm = points[-1].settings if self.warm_start else None
+                point = self.tuner.tune(k, e0, warm_start=warm)
                 points.append(point)
                 self._emit_scale(tel, name, point)
 

@@ -128,6 +128,17 @@ class EnablerTuner:
         Minimum acceptable success rate.
     seed:
         Seed for the annealer's move/acceptance randomness.
+    speculation:
+        Annealing speculation width ``W`` (default ``1`` = the classic
+        strictly serial walk).  With ``W > 1`` each annealing round
+        proposes ``W`` neighbors and evaluates the uncached ones as one
+        ``batch_simulate`` batch, so an attached parallel engine keeps
+        its workers busy inside the annealer's inner loop — not just
+        during the presweep.  Acceptance stays deterministic
+        (first-accepted-in-proposal-order; see
+        :func:`~repro.core.annealing.anneal`), so tuned points are a
+        pure function of ``(seed, schedule, width)`` and never of the
+        engine's worker count.
     """
 
     def __init__(
@@ -144,11 +155,14 @@ class EnablerTuner:
         batch_simulate: Optional[
             Callable[[Sequence[Tuple[float, Mapping[str, float]]]], Sequence[Observation]]
         ] = None,
+        speculation: int = 1,
     ) -> None:
         if e_tol <= 0:
             raise ValueError("e_tol must be positive")
         if not (0.0 < success_floor <= 1.0):
             raise ValueError("success_floor must be in (0, 1]")
+        if speculation < 1:
+            raise ValueError("speculation width must be >= 1")
         self._simulate = simulate
         self._batch_simulate = batch_simulate
         self.space = space
@@ -158,6 +172,7 @@ class EnablerTuner:
         self.penalty_e = penalty_e
         self.penalty_s = penalty_s
         self.presweep = presweep
+        self.speculation = int(speculation)
         self._rng = np.random.default_rng(seed)
         self._cache: Dict[Tuple[float, Tuple[Tuple[str, float], ...]], Observation] = {}
 
@@ -188,11 +203,15 @@ class EnablerTuner:
             for k, settings in pairs
         ]
         todo: List[Tuple[float, Mapping[str, float]]] = []
+        # Ordered list for result zipping; membership is answered by the
+        # set (the list scan made large batches O(n^2)).
         todo_keys: List[Tuple[float, Tuple[Tuple[str, float], ...]]] = []
+        seen = set()
         for k, settings, key in keyed:
-            if key not in self._cache and key not in todo_keys:
+            if key not in self._cache and key not in seen:
                 todo.append((k, dict(settings)))
                 todo_keys.append(key)
+                seen.add(key)
         if todo:
             if self._batch_simulate is not None:
                 observations = list(self._batch_simulate(todo))
@@ -255,46 +274,132 @@ class EnablerTuner:
 
         return observer
 
-    def _search(self, k: float, e_target: float) -> TunedPoint:
+    def _presweep(
+        self,
+        k: float,
+        e_target: float,
+        anchor: Dict[str, float],
+        defaults: Dict[str, float],
+        objective: Callable[[Dict[str, float]], float],
+        tel,
+    ) -> Dict[str, float]:
+        """Scan the primary enabler and return the annealer's start point.
+
+        The first enabler (the status-update interval in both of the
+        paper's enabler sets) moves the operating point across orders of
+        magnitude; single-step annealing moves cannot traverse its grid
+        within the budget, so it is scanned outright and the anneal
+        starts from the best scan point.  The scan points are mutually
+        independent, so they are submitted as one batch (a parallel
+        engine evaluates them concurrently).
+
+        Cold starts (``anchor is defaults``) scan the full grid.  Warm
+        starts scan a one-step window around the previous scale's tuned
+        value and expand it outward only while the minimum keeps landing
+        on the window's edge — the enabler path moves smoothly with
+        scale, so this usually resolves in three or four evaluations
+        instead of the full grid — with the defaults seeded alongside as
+        a safety candidate.
+        """
+        warm = anchor is not defaults
+        primary = self.space.enablers[0]
+        values = primary.values
+
+        def candidate_at(i: int) -> Dict[str, float]:
+            candidate = dict(anchor)
+            candidate[primary.name] = values[i]
+            return candidate
+
+        if warm:
+            try:
+                wi = values.index(anchor[primary.name])
+            except (KeyError, ValueError):
+                wi = primary.default_index
+            lo, hi = max(0, wi - 1), min(len(values) - 1, wi + 1)
+        else:
+            lo, hi = 0, len(values) - 1
+        candidates = [candidate_at(i) for i in range(lo, hi + 1)]
+        extras = [dict(defaults)] if warm else []
+        self.observe_many([(k, c) for c in candidates + extras])
+        evaluated = len(candidates) + len(extras)
+
+        initial = anchor
+        best_val = objective(initial)
+        best_idx = None
+        for i, candidate in enumerate(candidates, start=lo):
+            val = objective(candidate)
+            if val < best_val:
+                best_val, initial, best_idx = val, candidate, i
+        if warm:
+            # Expand the window one grid step at a time while the
+            # minimum sits on its edge (stopping at the first probe
+            # that fails to improve).
+            while best_idx is not None and best_idx == lo and lo > 0:
+                lo -= 1
+                candidate = candidate_at(lo)
+                evaluated += 1
+                val = objective(candidate)
+                if val >= best_val:
+                    break
+                best_val, initial, best_idx = val, candidate, lo
+            while best_idx is not None and best_idx == hi and hi < len(values) - 1:
+                hi += 1
+                candidate = candidate_at(hi)
+                evaluated += 1
+                val = objective(candidate)
+                if val >= best_val:
+                    break
+                best_val, initial, best_idx = val, candidate, hi
+            for extra in extras:
+                val = objective(extra)
+                if val < best_val:
+                    best_val, initial = val, extra
+        tel.event(
+            "tuner.presweep",
+            scale=k,
+            enabler=primary.name,
+            candidates=evaluated,
+            initial=dict(initial),
+            mode="warm" if warm else "full",
+        )
+        return initial
+
+    def _search(
+        self,
+        k: float,
+        e_target: float,
+        warm_start: Optional[Mapping[str, float]] = None,
+    ) -> TunedPoint:
         tel = _telemetry()
-        with tel.span("tuner.search", scale=k, e_target=e_target) as span:
+        with tel.span(
+            "tuner.search", scale=k, e_target=e_target, warm=warm_start is not None
+        ) as span:
             defaults = self.space.default_settings()
-            ref = self._observe(k, defaults)
+            # The reference point that normalizes the objective: the
+            # previous scale's tuned settings when warm-starting (the
+            # paper's enabler path moves smoothly with k, so they are a
+            # far better anchor than the defaults), else the defaults.
+            anchor = dict(warm_start) if warm_start is not None else defaults
+            ref = self._observe(k, anchor)
             g_ref = max(ref.record.G, 1e-9)
 
-            def objective(settings: Dict[str, float]) -> float:
-                obs = self._observe(k, settings)
+            def value_of(obs: Observation) -> float:
                 return obs.record.G / g_ref + self._penalties(obs, e_target)
 
-            initial = defaults
+            def objective(settings: Dict[str, float]) -> float:
+                return value_of(self._observe(k, settings))
+
+            objective_many = None
+            if self.speculation > 1:
+                def objective_many(batch: List[Dict[str, float]]) -> List[float]:
+                    return [
+                        value_of(obs)
+                        for obs in self.observe_many([(k, s) for s in batch])
+                    ]
+
+            initial = anchor
             if self.presweep:
-                # The first enabler (the status-update interval in both of
-                # the paper's enabler sets) moves the operating point across
-                # orders of magnitude; single-step annealing moves cannot
-                # traverse its grid within the budget, so scan it outright
-                # and anneal from the best scan point.  The scan points are
-                # mutually independent, so they are submitted as one batch
-                # (a parallel engine evaluates them concurrently).
-                primary = self.space.enablers[0]
-                candidates = []
-                for v in primary.values:
-                    candidate = dict(defaults)
-                    candidate[primary.name] = v
-                    candidates.append(candidate)
-                self.observe_many([(k, c) for c in candidates])
-                best_val = objective(initial)
-                for candidate in candidates:
-                    val = objective(candidate)
-                    if val < best_val:
-                        best_val = val
-                        initial = candidate
-                tel.event(
-                    "tuner.presweep",
-                    scale=k,
-                    enabler=primary.name,
-                    candidates=len(candidates),
-                    initial=dict(initial),
-                )
+                initial = self._presweep(k, e_target, anchor, defaults, objective, tel)
 
             result = anneal(
                 initial=initial,
@@ -303,6 +408,8 @@ class EnablerTuner:
                 rng=self._rng,
                 schedule=self.schedule,
                 observer=self._observer_for(k),
+                width=self.speculation,
+                objective_many=objective_many,
             )
             best_obs = self._observe(k, result.best)
             point = TunedPoint(
@@ -347,13 +454,37 @@ class EnablerTuner:
         point = self._search(k0, center)
         return point
 
-    def tune(self, k: float, e0: float) -> TunedPoint:
-        """Step 3 at scale ``k``: minimum-G settings holding ``E ≈ e0``."""
+    def tune(
+        self,
+        k: float,
+        e0: float,
+        warm_start: Optional[Mapping[str, float]] = None,
+    ) -> TunedPoint:
+        """Step 3 at scale ``k``: minimum-G settings holding ``E ≈ e0``.
+
+        ``warm_start`` (usually the previous scale's tuned settings)
+        anchors the search there instead of at the enabler defaults:
+        the presweep shrinks to a window around it and the anneal walks
+        from its neighborhood.  The tuned result is still a function of
+        the anchor, the seed, and the schedule only.
+        """
         if not (0.0 < e0 < 1.0):
             raise ValueError("e0 must be in (0, 1)")
-        return self._search(k, e0)
+        return self._search(k, e0, warm_start=warm_start)
 
     @property
     def evaluations(self) -> int:
         """Distinct simulations performed so far (cache size)."""
         return len(self._cache)
+
+    def evaluations_by_scale(self) -> Dict[float, int]:
+        """Distinct simulations performed so far, per scale factor.
+
+        The per-scale search cost the perf benchmark tracks: warm
+        starts and speculation change *these* counts, never the tuned
+        points' values.
+        """
+        counts: Dict[float, int] = {}
+        for k, _ in self._cache:
+            counts[k] = counts.get(k, 0) + 1
+        return counts

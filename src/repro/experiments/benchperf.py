@@ -1,0 +1,292 @@
+"""The tracked performance benchmark: ``repro bench-perf``.
+
+Measures the three layers this codebase optimizes and writes them to
+``BENCH_perf.json`` so the perf trajectory is recorded alongside the
+code:
+
+* **kernel** — raw event dispatch throughput (events/sec) of the DES
+  kernel on a synthetic self-scheduling storm: no protocol logic, pure
+  ``schedule``/``pop``/dispatch cost.
+* **sims** — end-to-end simulation throughput (sims/sec) on a
+  representative configuration, through the same
+  :func:`~repro.experiments.runner.run_simulation` every experiment
+  uses.
+* **study** — wall clock and per-scale tuner evaluation counts for a
+  full isoefficiency measurement (one experiment case across the
+  requested RMS designs), in three arms: the *baseline* serial tuner
+  (cold-start walk, no speculation — the historical configuration), and
+  the warm-started speculative tuner at ``jobs=1`` and ``jobs=N``.
+  The arms run cache-free so the wall clocks are honest; the tuned
+  points of the two speculative arms are compared and the report
+  records whether they were identical (they must be — worker count may
+  never change results).
+
+The JSON is a *measurement record*, not a golden file: timings vary
+with the machine, while every recorded tuned point and evaluation count
+is deterministic for a fixed seed and flag set.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.annealing import AnnealingSchedule
+from ..core.procedure import ScalabilityProcedure
+from ..rms.registry import rms_names
+from .cases import get_case, make_batch_simulate, make_simulate
+from .config import PROFILES, ScaleProfile, SimulationConfig
+from .parallel import ExperimentEngine
+from .reproduce import DEFAULT_SPECULATION_WIDTH
+from .runner import run_simulation
+
+__all__ = [
+    "bench_kernel",
+    "bench_sims",
+    "bench_study_arm",
+    "run_bench",
+    "render_report",
+    "write_bench",
+]
+
+#: path the benchmark writes unless told otherwise
+DEFAULT_OUTPUT = "BENCH_perf.json"
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: kernel dispatch throughput
+# ---------------------------------------------------------------------------
+
+def bench_kernel(events: int = 200_000, fanout: int = 4) -> Dict:
+    """Dispatch throughput of the bare DES kernel (events/sec).
+
+    Runs a self-scheduling storm of ``fanout`` interleaved periodic
+    chains plus a cancellation stream (so the heap sees pushes, pops,
+    and lazy-cancel discards — the mix the real protocols produce), and
+    reports how many events per wall-clock second the kernel retires.
+    """
+    from ..sim.kernel import Simulator
+
+    sim = Simulator()
+    state = {"left": events, "victim": None}
+
+    def tick(lane: int) -> None:
+        if state["left"] <= 0:
+            return
+        state["left"] -= 1
+        # One cancellation per dispatched event on lane 0: schedule a
+        # decoy and kill the previous one, exercising the lazy-cancel
+        # path the protocols (timeouts, suppressed updates) lean on.
+        if lane == 0:
+            if state["victim"] is not None:
+                sim.cancel(state["victim"])
+            state["victim"] = sim.schedule(5.0, _noop)
+        sim.schedule(1.0 + 0.1 * lane, tick, lane)
+
+    def _noop() -> None:  # pragma: no cover - decoys never fire in-budget
+        pass
+
+    for lane in range(fanout):
+        sim.schedule(0.1 * lane, tick, lane)
+    t0 = time.perf_counter()
+    sim.run(max_events=events)
+    seconds = time.perf_counter() - t0
+    return {
+        "events": sim.events_executed,
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(sim.events_executed / seconds) if seconds > 0 else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: end-to-end simulation throughput
+# ---------------------------------------------------------------------------
+
+def bench_sims(profile: ScaleProfile, rms: str = "LOWEST", runs: int = 3, seed: int = 7) -> Dict:
+    """End-to-end simulation throughput (sims/sec) on one base config."""
+    configs = [
+        SimulationConfig(
+            rms=rms,
+            n_schedulers=profile.base_schedulers,
+            n_resources=profile.base_resources,
+            workload_rate=profile.base_rate_per_resource * profile.base_resources,
+            horizon=profile.horizon,
+            drain=profile.drain,
+            seed=seed + i,
+        )
+        for i in range(runs)
+    ]
+    t0 = time.perf_counter()
+    for config in configs:
+        run_simulation(config)
+    seconds = time.perf_counter() - t0
+    return {
+        "rms": rms,
+        "runs": runs,
+        "seconds": round(seconds, 6),
+        "sims_per_sec": round(runs / seconds, 4) if seconds > 0 else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: the isoefficiency study, per arm
+# ---------------------------------------------------------------------------
+
+def bench_study_arm(
+    profile: ScaleProfile,
+    rms_list: Sequence[str],
+    case_id: int,
+    seed: int,
+    sa_iterations: int,
+    jobs: int,
+    warm_start: bool,
+    speculation: int,
+) -> Dict:
+    """One full study measurement under one (jobs, flags) combination.
+
+    Every arm runs cache-free (fresh engine, no :class:`RunCache`), so
+    its wall clock reflects real simulation work, and records the tuned
+    settings per scale — the cross-arm identity check the determinism
+    contract demands.
+    """
+    case = get_case(case_id)
+    evaluations_by_scale: Dict[float, int] = {}
+    tuned: Dict[str, List[Dict[str, float]]] = {}
+    total_evaluations = 0
+    t0 = time.perf_counter()
+    with ExperimentEngine(jobs=jobs, cache=None) as engine:
+        for rms in rms_list:
+            memo: Dict = {}
+            simulate = make_simulate(case, rms, profile, seed=seed, memo=memo, engine=engine)
+            batch = make_batch_simulate(case, rms, profile, seed=seed, memo=memo, engine=engine)
+            procedure = ScalabilityProcedure(
+                simulate,
+                case.enabler_space(),
+                path=case.path(profile),
+                warm_start=warm_start,
+                schedule=AnnealingSchedule(iterations=sa_iterations, t0=0.5),
+                seed=seed,
+                batch_simulate=batch,
+                speculation=speculation,
+            )
+            result = procedure.run(name=rms)
+            tuned[rms] = [dict(p.settings) for p in result.points]
+            for k, n in procedure.tuner.evaluations_by_scale().items():
+                evaluations_by_scale[k] = evaluations_by_scale.get(k, 0) + n
+            total_evaluations += procedure.tuner.evaluations
+    seconds = time.perf_counter() - t0
+    return {
+        "jobs": jobs,
+        "warm_start": warm_start,
+        "speculation": speculation,
+        "seconds": round(seconds, 3),
+        "simulations": total_evaluations,
+        "evaluations_by_scale": {str(k): n for k, n in sorted(evaluations_by_scale.items())},
+        "tuned": tuned,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The whole benchmark
+# ---------------------------------------------------------------------------
+
+def run_bench(
+    profile: "str | ScaleProfile" = "ci",
+    rms: Optional[Sequence[str]] = None,
+    case_id: int = 1,
+    seed: int = 7,
+    sa_iterations: Optional[int] = None,
+    jobs: int = 4,
+    speculation: int = DEFAULT_SPECULATION_WIDTH,
+    kernel_events: int = 200_000,
+) -> Dict:
+    """Run every layer and return the ``BENCH_perf.json`` payload."""
+    prof = profile if isinstance(profile, ScaleProfile) else PROFILES[profile]
+    rms_list = list(rms) if rms is not None else rms_names()
+    iters = sa_iterations if sa_iterations is not None else prof.sa_iterations
+
+    kernel = bench_kernel(events=kernel_events)
+    sims = bench_sims(prof, rms=rms_list[0], seed=seed)
+
+    baseline = bench_study_arm(
+        prof, rms_list, case_id, seed, iters,
+        jobs=1, warm_start=False, speculation=1,
+    )
+    arms = [
+        bench_study_arm(
+            prof, rms_list, case_id, seed, iters,
+            jobs=j, warm_start=True, speculation=speculation,
+        )
+        for j in ([1, jobs] if jobs != 1 else [1])
+    ]
+    identical = all(arm["tuned"] == arms[0]["tuned"] for arm in arms[1:])
+    speedups = {
+        f"jobs={arm['jobs']}": (
+            round(baseline["seconds"] / arm["seconds"], 3) if arm["seconds"] > 0 else None
+        )
+        for arm in arms
+    }
+    return {
+        "schema": 1,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": _cpu_count(),
+        },
+        "profile": prof.name,
+        "case": case_id,
+        "seed": seed,
+        "sa_iterations": iters,
+        "rms": rms_list,
+        "kernel": kernel,
+        "sims": sims,
+        "study": {
+            "baseline": baseline,
+            "arms": arms,
+            "speedup_vs_baseline": speedups,
+            "tuned_points_identical_across_jobs": identical,
+        },
+    }
+
+
+def _cpu_count() -> Optional[int]:
+    import os
+
+    return os.cpu_count()
+
+
+def render_report(payload: Dict) -> str:
+    """A short human-readable summary of one benchmark payload."""
+    study = payload["study"]
+    base = study["baseline"]
+    lines = [
+        f"perf benchmark — profile={payload['profile']} case={payload['case']} "
+        f"seed={payload['seed']} rms={','.join(payload['rms'])}",
+        f"kernel: {payload['kernel']['events_per_sec']:,} events/sec "
+        f"({payload['kernel']['events']:,} events in {payload['kernel']['seconds']:.3f}s)",
+        f"sims:   {payload['sims']['sims_per_sec']} sims/sec ({payload['sims']['rms']} base config)",
+        f"study baseline (serial tuner, cold start): {base['seconds']:.2f}s, "
+        f"{base['simulations']} simulations",
+    ]
+    for arm in study["arms"]:
+        speedup = study["speedup_vs_baseline"][f"jobs={arm['jobs']}"]
+        lines.append(
+            f"study warm+speculative W={arm['speculation']} jobs={arm['jobs']}: "
+            f"{arm['seconds']:.2f}s, {arm['simulations']} simulations "
+            f"({speedup}x vs baseline)"
+        )
+    lines.append(
+        "tuned points identical across jobs: "
+        + ("yes" if study["tuned_points_identical_across_jobs"] else "NO — BUG")
+    )
+    return "\n".join(lines)
+
+
+def write_bench(payload: Dict, output: "str | Path" = DEFAULT_OUTPUT) -> Path:
+    """Write the payload to ``output`` (pretty-printed, trailing newline)."""
+    path = Path(output)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path

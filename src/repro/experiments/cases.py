@@ -253,8 +253,10 @@ def make_batch_simulate(
         keys = [(k, tuple(sorted(dict(s).items()))) for k, s in pairs]
         todo_keys = []
         todo_configs = []
+        seen = set()
         for (k, settings), key in zip(pairs, keys):
-            if key not in cache and key not in todo_keys:
+            if key not in cache and key not in seen:
+                seen.add(key)
                 todo_keys.append(key)
                 todo_configs.append(
                     case.config_for(rms, k, profile, seed=seed).with_enablers(

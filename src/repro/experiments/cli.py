@@ -8,7 +8,10 @@ Usage::
     python -m repro figure 2 --resume         # restart a killed sweep
     python -m repro figure 2 --telemetry      # record spans/metrics
     python -m repro figure 6 --csv out.csv    # also dump the series
+    python -m repro figure 2 --speculate 4    # speculative batched annealing
+    python -m repro figure 2 --no-warm-start  # cold-start every scale walk
     python -m repro compare                   # quick 7-design comparison
+    python -m repro bench-perf                # perf record -> BENCH_perf.json
     python -m repro telemetry summary         # inspect the latest run
     python -m repro telemetry tuner           # annealing convergence
     python -m repro list                      # what can be regenerated
@@ -46,7 +49,7 @@ from ..telemetry import Telemetry, activate
 from .config import PROFILES, SimulationConfig
 from .parallel import ExperimentEngine, RunCache
 from .reporting import figure_report, format_table, write_csv
-from .reproduce import Study
+from .reproduce import DEFAULT_SPECULATION_WIDTH, Study
 from .runner import run_simulation
 
 __all__ = ["main"]
@@ -122,6 +125,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             sa_iterations=args.sa_iterations,
             engine=engine,
             resume=args.resume,
+            speculate=args.speculate,
+            warm_start=False if args.no_warm_start else None,
         )
         fig = study.figure(args.number)
     quantity = args.quantity or _FIGURE_QUANTITY[args.number]
@@ -156,6 +161,25 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for rms, m in zip(names, metrics)
     ]
     print(format_table(["RMS", "mechanism", "E", "G", "success"], rows, precision=3))
+    return 0
+
+
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    from .benchperf import render_report, run_bench, write_bench
+
+    payload = run_bench(
+        profile=args.profile,
+        rms=args.rms.split(",") if args.rms else None,
+        case_id=args.case,
+        seed=args.seed,
+        sa_iterations=args.sa_iterations,
+        jobs=args.jobs,
+        speculation=args.speculate,
+        kernel_events=args.kernel_events,
+    )
+    print(render_report(payload))
+    path = write_bench(payload, args.output)
+    print(f"benchmark record written to {path}")
     return 0
 
 
@@ -215,7 +239,59 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="checkpoint completed (case, RMS) points and skip them on restart",
     )
+    fig.add_argument(
+        "--speculate",
+        type=int,
+        nargs="?",
+        const=DEFAULT_SPECULATION_WIDTH,
+        default=None,
+        metavar="W",
+        help="speculative annealing width: propose W neighbors per round and "
+        f"evaluate them as one engine batch (bare flag: {DEFAULT_SPECULATION_WIDTH}; "
+        "also $REPRO_SPECULATE)",
+    )
+    fig.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="tune every scale from the enabler defaults instead of the "
+        "previous scale's tuned settings (also $REPRO_WARM_START=0)",
+    )
     fig.set_defaults(fn=_cmd_figure)
+
+    bench = sub.add_parser(
+        "bench-perf",
+        help="measure kernel/sim/study performance and write BENCH_perf.json",
+    )
+    bench.add_argument("--profile", default="ci", choices=sorted(PROFILES))
+    bench.add_argument("--rms", default=None, help="comma-separated subset of designs")
+    bench.add_argument("--case", type=int, default=1, help="experiment case (1-4)")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--sa-iterations", type=int, default=None)
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker count of the parallel study arm (default 4)",
+    )
+    bench.add_argument(
+        "--speculate",
+        type=int,
+        default=DEFAULT_SPECULATION_WIDTH,
+        metavar="W",
+        help=f"speculation width of the tuned arms (default {DEFAULT_SPECULATION_WIDTH})",
+    )
+    bench.add_argument(
+        "--kernel-events",
+        type=int,
+        default=200_000,
+        help="event count of the kernel dispatch micro-benchmark",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_perf.json",
+        help="where to write the benchmark record (default BENCH_perf.json)",
+    )
+    bench.set_defaults(fn=_cmd_bench_perf)
 
     cmp_ = sub.add_parser("compare", help="quick 7-design comparison run")
     cmp_.add_argument("--seed", type=int, default=7)

@@ -136,11 +136,14 @@ class ExperimentEngine:
             cache_hits = len(results)
 
             # 2) unique misses, in first-appearance order (determinism of
-            #    execution order for the serial path)
+            #    execution order for the serial path); set-backed
+            #    membership keeps large batches out of O(n^2)
             miss_keys: List[str] = []
             miss_configs: List[SimulationConfig] = []
+            missed = set()
             for key, config in zip(keys, configs):
-                if key not in results and key not in miss_keys:
+                if key not in results and key not in missed:
+                    missed.add(key)
                     miss_keys.append(key)
                     miss_configs.append(config)
 

@@ -25,7 +25,55 @@ from .parallel.cache import DEFAULT_CACHE_DIR, metrics_from_jsonable, metrics_to
 from .parallel.manifest import StudyManifest, result_from_jsonable, result_to_jsonable
 from .runner import RunMetrics
 
-__all__ = ["RMSSeries", "FigureData", "Study", "figure2", "figure3", "figure4", "figure5", "figure6", "figure7"]
+__all__ = [
+    "DEFAULT_SPECULATION_WIDTH",
+    "RMSSeries",
+    "FigureData",
+    "Study",
+    "resolve_speculation",
+    "resolve_warm_start",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+]
+
+#: annealing speculation width used when speculation is switched on
+#: without an explicit width (``--speculate`` bare, ``REPRO_SPECULATE=1``)
+DEFAULT_SPECULATION_WIDTH = 4
+
+
+def resolve_speculation(speculate: "bool | int | None" = None) -> int:
+    """Resolve the annealing speculation width: argument > env > off.
+
+    ``None`` defers to ``$REPRO_SPECULATE``; ``False``/``0`` (and an
+    unset/falsy environment) mean no speculation (width 1, the classic
+    serial walk); ``True`` (or ``REPRO_SPECULATE=1``/``true``) selects
+    :data:`DEFAULT_SPECULATION_WIDTH`; any larger integer is used as
+    the width directly.
+    """
+    if speculate is None:
+        env = os.environ.get("REPRO_SPECULATE", "").strip().lower()
+        if env in ("", "0", "false", "no", "off"):
+            return 1
+        if env in ("1", "true", "yes", "on"):
+            return DEFAULT_SPECULATION_WIDTH
+        speculate = int(env)
+    if speculate is True:
+        return DEFAULT_SPECULATION_WIDTH
+    if not speculate:
+        return 1
+    return max(1, int(speculate))
+
+
+def resolve_warm_start(warm_start: "bool | None" = None) -> bool:
+    """Resolve the warm-start flag: argument > ``$REPRO_WARM_START`` > on."""
+    if warm_start is None:
+        env = os.environ.get("REPRO_WARM_START", "").strip().lower()
+        return env not in ("0", "false", "no", "off")
+    return bool(warm_start)
 
 
 @dataclass
@@ -130,6 +178,17 @@ class Study:
     manifest_path:
         Manifest file location (implies ``resume``); defaults to
         ``<cache-dir>/manifests/study.json``.
+    speculate:
+        Speculative-annealing width (see :func:`resolve_speculation`;
+        default: ``$REPRO_SPECULATE`` or off).  With a width ``W > 1``
+        every annealing round evaluates up to ``W`` proposed neighbors
+        as one engine batch.  Tuned points stay identical across worker
+        counts — only wall-clock changes.
+    warm_start:
+        Warm-start each scale of the walk from the previous scale's
+        tuned settings (see :func:`resolve_warm_start`; default:
+        ``$REPRO_WARM_START`` or on).  ``False`` restores the
+        historical cold-start walk.
     """
 
     def __init__(
@@ -141,6 +200,8 @@ class Study:
         engine=None,
         resume: bool = False,
         manifest_path: "str | Path | None" = None,
+        speculate: "bool | int | None" = None,
+        warm_start: "bool | None" = None,
     ) -> None:
         if isinstance(profile, ScaleProfile):
             self.profile = profile
@@ -154,6 +215,8 @@ class Study:
             sa_iterations if sa_iterations is not None else self.profile.sa_iterations
         )
         self.engine = engine
+        self.speculation = resolve_speculation(speculate)
+        self.warm_start = resolve_warm_start(warm_start)
         self._manifest: Optional[StudyManifest] = None
         if resume or manifest_path is not None:
             if manifest_path is None:
@@ -190,11 +253,18 @@ class Study:
         return out
 
     def _point_key(self, case_id: int, rms: str) -> str:
-        """Identity of one study point: everything that shapes its result."""
+        """Identity of one study point: everything that shapes its result.
+
+        Warm-start and speculation change which candidates the search
+        examines (and therefore the tuned points), so they are part of
+        the identity — a manifest written under one flag set is never
+        replayed under another.
+        """
         scales = ",".join(str(s) for s in self.profile.scales)
         return (
             f"{self.profile.name}:seed{self.seed}:sa{self.sa_iterations}"
-            f":scales[{scales}]:case{case_id}:{rms}"
+            f":scales[{scales}]:warm{int(self.warm_start)}"
+            f":spec{self.speculation}:case{case_id}:{rms}"
         )
 
     @staticmethod
@@ -229,9 +299,11 @@ class Study:
             simulate,
             case.enabler_space(),
             path=case.path(self.profile),
+            warm_start=self.warm_start,
             schedule=AnnealingSchedule(iterations=self.sa_iterations, t0=0.5),
             seed=self.seed,
             batch_simulate=batch,
+            speculation=self.speculation,
         )
         # The study.measure span labels everything nested under it —
         # tuner iterations, engine batches, ledger snapshots — with the

@@ -112,12 +112,19 @@ class Estimator(MessageServer):
             self._forward(cluster_id, entries)
 
     def _forward(self, cluster_id: int, entries: Dict[int, float]) -> None:
+        # Takes ownership of `entries` — both call sites hand over a
+        # dict they never touch again (handle() builds a fresh literal,
+        # _flush() swaps the pending map out first), so the forward
+        # message carries it without a defensive copy.  This is the
+        # status plane's hottest allocation site: one forward per
+        # covered cluster per batch window, usually to a co-located
+        # scheduler.
         scheduler = self.schedulers.get(cluster_id)
         if scheduler is None:  # pragma: no cover - guarded in handle()
             return
         fwd = Message(
             MessageKind.STATUS_FORWARD,
-            payload={"cluster_id": cluster_id, "entries": dict(entries)},
+            payload={"cluster_id": cluster_id, "entries": entries},
             size=max(1.0, float(len(entries))),
         )
         self.forwarded += 1

@@ -116,9 +116,12 @@ class Message:
         self.kind = kind
         self.sender = sender
         self.payload = payload if payload is not None else {}
+        # Only explicitly passed sizes need validating; the defaults
+        # table is known-positive, and message construction is hot
+        # (every status update, poll, and dispatch allocates one).
         if size is None:
             size = DEFAULT_SIZES.get(kind, 1.0)
-        if size <= 0.0:
+        elif size <= 0.0:
             raise ValueError("message size must be positive")
         self.size = size
         self.created_at: Optional[float] = None

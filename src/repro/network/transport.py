@@ -113,9 +113,16 @@ class Network:
         message.created_at = self.sim.now
         self.messages_sent += 1
         self.payload_sent += message.size
-        delay = self.delay_scale * self.router.transit_delay(
-            src_node, recipient.node, message.size
-        )
+        if src_node == recipient.node:
+            # Co-located handoff: transit over a zero-length path is
+            # exactly 0.0 (`Router.path_info` returns zeros for
+            # src == dst), so skip the router call on this hot path.
+            # Loss injection below still applies, as it always did.
+            delay = 0.0
+        else:
+            delay = self.delay_scale * self.router.transit_delay(
+                src_node, recipient.node, message.size
+            )
         if (
             self.loss_probability > 0.0
             and _effective_kind(message) not in RELIABLE_KINDS

@@ -137,6 +137,29 @@ class EventQueue:
                 return ev
         raise IndexError("pop from empty EventQueue")
 
+    def pop_until(self, limit: Optional[float]) -> Optional[Event]:
+        """Pop the earliest live event firing at or before ``limit``.
+
+        Returns ``None`` — leaving the event queued — when the earliest
+        live event fires after ``limit``, or when no live event remains.
+        ``limit=None`` means "no horizon" (pop unconditionally).  This
+        is the kernel's dispatch-loop primitive: it replaces the
+        ``peek_time()`` + ``pop()`` pair, touching the heap once per
+        event instead of twice.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].fn is None:  # cancelled: discard and keep looking
+                heapq.heappop(heap)
+                continue
+            if limit is not None and entry[0] > limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return entry[2]
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, or ``None``.
 

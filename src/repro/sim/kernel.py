@@ -150,7 +150,8 @@ class Simulator:
             ev = self._queue.pop()
         except IndexError:
             return False
-        self._now = ev.time
+        if ev.time > self._now:  # clock never runs backwards (see run())
+            self._now = ev.time
         if self.trace is not None:
             self.trace(ev.time, ev.fn, ev.args)  # type: ignore[arg-type]
         fn, args = ev.fn, ev.args
@@ -168,23 +169,38 @@ class Simulator:
         until:
             If given, execute only events with ``time <= until`` and then
             advance the clock *to* ``until`` (even if the queue still holds
-            later events).  Must not be earlier than the current clock.
+            later events, and even when ``max_events`` stopped the run
+            first — the clock lands on ``until`` whenever it is given).
+            Must not be earlier than the current clock.  Events left
+            behind the advanced clock still fire, in order, on a later
+            ``run()``/``step()``; the clock simply does not move backwards
+            for them.
         max_events:
-            If given, stop after dispatching this many additional events.
-            Mainly a safety valve for runaway protocol loops in tests.
+            If given, stop after dispatching this many additional events
+            (``0`` dispatches none).  Mainly a safety valve for runaway
+            protocol loops in tests.
         """
         if until is not None and until < self._now:
             raise SimulationError(f"horizon {until} is before current time {self._now}")
+        # The dispatch loop is the simulation's hottest path (millions of
+        # events per run): it pops each event straight off the heap with a
+        # single combined pop-within-horizon call (instead of a peek/pop
+        # pair) and dispatches inline (instead of a step() call per event).
         budget = max_events if max_events is not None else -1
-        queue = self._queue
-        while queue:
-            if until is not None:
-                t = queue.peek_time()
-                if t is None or t > until:
-                    break
-            if budget == 0:
-                return
-            self.step()
+        pop_until = self._queue.pop_until
+        while budget != 0:
+            ev = pop_until(until)
+            if ev is None:
+                break
+            if ev.time > self._now:  # clock never runs backwards
+                self._now = ev.time
+            if self.trace is not None:
+                self.trace(ev.time, ev.fn, ev.args)  # type: ignore[arg-type]
+            fn, args = ev.fn, ev.args
+            ev.fn = None  # release references promptly
+            ev.args = ()
+            self._events_executed += 1
+            fn(*args)  # type: ignore[misc]
             if budget > 0:
                 budget -= 1
         if until is not None and until > self._now:
