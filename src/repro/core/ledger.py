@@ -13,19 +13,53 @@ into three buckets (§2.2–2.3):
 * ``H(k)`` — **RP overhead**: job control and data management overheads
   at the resources; the paper treats it as small but non-zero.
 
-:class:`CostLedger` is a category → amount accumulator.  Category names
-are namespaced with ``f.``/``g.``/``h.`` prefixes so the three aggregate
-totals are recoverable while subcategory detail (how much of G was
-polling vs. update processing) remains available for the ablation
-benches and for debugging protocol behaviour.
+:class:`CostLedger` accumulates charges in cells keyed by
+``(category, source)``.  Category names are namespaced with
+``f.``/``g.``/``h.`` prefixes so the three aggregate totals are
+recoverable while subcategory detail (how much of G was polling vs.
+update processing) remains available for the ablation benches and for
+debugging protocol behaviour.  The optional *source* tag
+``(component kind, entity id, message class)`` attributes each charge to
+the system component that incurred it, which is what lets a study
+decompose the growth of G(k) by component.
+
+Conservation contract: the cells are the *only* store — F, G, H and the
+per-category totals are all derived from the same cells with
+:func:`math.fsum`, which returns the correctly-rounded sum of its inputs
+and is therefore independent of summation order.  Any grouping of the
+cells (by prefix, by category, by component) re-summed with ``fsum``
+reproduces the ledger totals bit-for-bit, so the attribution export can
+be checked against F/G/H with exact ``==`` — floating point
+non-associativity never drives the decomposition out of sync with the
+totals.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Callable, Dict, Optional, Tuple
 
-__all__ = ["Category", "CostLedger"]
+__all__ = ["Category", "CostLedger", "Source", "flatten_source", "SOURCE_SEP"]
+
+#: A structured charge origin: (component kind, entity id, message class).
+Source = Tuple[str, str, str]
+
+#: Separator used in flattened attribution keys; never appears in
+#: category names, component kinds, entity ids, or message kinds.
+SOURCE_SEP = "|"
+
+_PREFIXES = ("f.", "g.", "h.")
+
+
+def flatten_source(category: str, source: Optional[Source]) -> str:
+    """Flat string key for one attribution cell.
+
+    Tagged cells render as ``category|component|entity|message_class``;
+    untagged cells (source ``None``) render as the bare category.
+    """
+    if source is None:
+        return category
+    return SOURCE_SEP.join((category,) + source)
 
 
 class Category:
@@ -55,24 +89,22 @@ class Category:
 
 
 class CostLedger:
-    """Accumulates time-unit charges by category.
+    """Accumulates time-unit charges by category and source.
 
     Implements the ``ChargeSink`` protocol expected by
-    :class:`repro.sim.entity.MessageServer`.
+    :class:`repro.sim.entity.MessageServer`.  The optional ``observer``
+    attribute (a callable ``(category, amount, source)``) sees every
+    accepted charge; the flight recorder uses it to keep a rolling
+    window of recent ledger activity.
     """
 
-    __slots__ = ("_totals", "_f", "_g", "_h")
+    __slots__ = ("_cells", "observer")
 
     def __init__(self) -> None:
-        self._totals: Dict[str, float] = {}
-        # Running per-prefix aggregates, maintained charge by charge so
-        # the F/G/H reads the efficiency layer performs after every run
-        # are O(1) instead of a scan over all categories.
-        self._f = 0.0
-        self._g = 0.0
-        self._h = 0.0
+        self._cells: Dict[Tuple[str, Optional[Source]], float] = {}
+        self.observer: Optional[Callable[[str, float, Optional[Source]], None]] = None
 
-    def charge(self, category: str, amount: float) -> None:
+    def charge(self, category: str, amount: float, source: Optional[Source] = None) -> None:
         """Add ``amount`` (finite, >= 0) time units under ``category``.
 
         Categories must carry one of the ``f.``/``g.``/``h.`` prefixes so
@@ -80,49 +112,94 @@ class CostLedger:
         amounts (NaN, ±inf) are rejected: a NaN would silently poison
         every aggregate downstream (NaN fails every comparison, so it
         sails through a plain ``amount < 0`` guard).
+
+        ``source``, when given, is a ``(component kind, entity id,
+        message class)`` tuple attributing the charge; callers on hot
+        paths should pass a cached tuple rather than rebuilding it per
+        charge.
         """
         if not (amount >= 0.0) or amount == math.inf:
             if math.isnan(amount) or amount in (math.inf, -math.inf):
                 raise ValueError(f"non-finite charge {amount!r} for {category!r}")
             raise ValueError(f"negative charge {amount} for {category!r}")
-        prefix = category[:2]
-        if prefix == "f.":
-            self._f += amount
-        elif prefix == "g.":
-            self._g += amount
-        elif prefix == "h.":
-            self._h += amount
-        else:
+        if category[:2] not in _PREFIXES:
             raise ValueError(f"category {category!r} lacks an f./g./h. prefix")
-        self._totals[category] = self._totals.get(category, 0.0) + amount
+        cells = self._cells
+        key = (category, source)
+        cells[key] = cells.get(key, 0.0) + amount
+        if self.observer is not None:
+            self.observer(category, amount, source)
 
     def total(self, category: str) -> float:
-        """Total charged under one exact category."""
-        return self._totals.get(category, 0.0)
+        """Total charged under one exact category (all sources)."""
+        return math.fsum(v for (cat, _), v in self._cells.items() if cat == category)
+
+    def _prefix_total(self, prefix: str) -> float:
+        return math.fsum(v for (cat, _), v in self._cells.items() if cat[:2] == prefix)
 
     @property
     def F(self) -> float:
         """Useful work delivered (sum of ``f.*``)."""
-        return self._f
+        return self._prefix_total("f.")
 
     @property
     def G(self) -> float:
         """RMS overhead (sum of ``g.*``)."""
-        return self._g
+        return self._prefix_total("g.")
 
     @property
     def H(self) -> float:
         """RP overhead (sum of ``h.*``)."""
-        return self._h
+        return self._prefix_total("h.")
 
     @property
     def grand_total(self) -> float:
         """All work: ``F + G + H``."""
-        return self._f + self._g + self._h
+        return math.fsum(self._cells.values())
 
     def breakdown(self) -> Dict[str, float]:
-        """Copy of the per-category totals (for reports and tests)."""
-        return dict(self._totals)
+        """Per-category totals rolled up across sources (reports, tests)."""
+        out: Dict[str, float] = {}
+        for category in sorted({cat for cat, _ in self._cells}):
+            out[category] = self.total(category)
+        return out
+
+    def attribution(self) -> Dict[str, float]:
+        """The full decomposition as a flat, sorted ``{key: amount}`` dict.
+
+        Keys are ``category|component|entity|message_class`` (or the
+        bare category for untagged charges).  Because every cell appears
+        exactly once and ``fsum`` is order-independent, re-summing any
+        prefix's values with ``math.fsum`` reproduces F, G, or H
+        *exactly* — the conservation invariant the attribution reports
+        and tests rely on.  JSON round-trips Python floats losslessly,
+        so the invariant survives caches, manifests, and telemetry.
+        """
+        items = [
+            (flatten_source(cat, src), value)
+            for (cat, src), value in self._cells.items()
+        ]
+        items.sort()
+        return dict(items)
+
+    def check_conservation(self) -> None:
+        """Raise ``RuntimeError`` if the attribution export disagrees
+        with the ledger's F/G/H totals under exact comparison.
+
+        By construction (single cell store + order-independent ``fsum``)
+        this cannot trip; it runs after every simulation as cheap
+        insurance that no future change quietly breaks the contract.
+        """
+        parts: Dict[str, list] = {"f.": [], "g.": [], "h.": []}
+        for key, value in self.attribution().items():
+            parts[key[:2]].append(value)
+        for prefix, total in (("f.", self.F), ("g.", self.G), ("h.", self.H)):
+            attributed = math.fsum(parts[prefix])
+            if attributed != total:
+                raise RuntimeError(
+                    f"attribution conservation violated for {prefix}*: "
+                    f"attributed {attributed!r} != ledger {total!r}"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CostLedger(F={self.F:.4g}, G={self.G:.4g}, H={self.H:.4g})"

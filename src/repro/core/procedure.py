@@ -205,9 +205,13 @@ class ScalabilityProcedure:
 
     @staticmethod
     def _emit_scale(tel, name: str, point: TunedPoint) -> None:
-        """One scale's F/G/H ledger snapshot, as a telemetry event."""
-        tel.event(
-            "procedure.scale",
+        """One scale's F/G/H ledger snapshot, as a telemetry event.
+
+        Carries the tuned run's full attribution decomposition when the
+        observation recorded one, so ``repro attrib`` can rebuild the
+        per-component G(k) curves from the telemetry JSONL alone.
+        """
+        attrs = dict(
             name=name,
             scale=point.scale,
             F=point.record.F,
@@ -217,3 +221,6 @@ class ScalabilityProcedure:
             success=point.success_rate,
             feasible=point.feasible,
         )
+        if point.attribution is not None:
+            attrs["attribution"] = point.attribution
+        tel.event("procedure.scale", **attrs)

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, 
 
 import numpy as np
 
+from ..telemetry import flightrec as _flightrec
 from ..telemetry.spans import current as _telemetry
 from .annealing import AnnealingSchedule, AnnealingStep, anneal
 from .efficiency import EfficiencyRecord
@@ -78,6 +79,12 @@ class TunedPoint:
         Whether the efficiency tolerance *and* the success floor were
         both met — ``False`` marks the scales at which the RMS "is no
         longer scalable" in the paper's language.
+    attribution:
+        The winning run's exact F/G/H decomposition by
+        ``category|component|entity|message class`` (see
+        :meth:`repro.core.ledger.CostLedger.attribution`), when the
+        observation carried one — ``math.fsum`` over a prefix's values
+        reproduces the recorded F/G/H bit-for-bit.
     """
 
     scale: float
@@ -86,6 +93,7 @@ class TunedPoint:
     success_rate: float
     objective: float
     feasible: bool
+    attribution: Optional[Dict[str, float]] = None
 
     @property
     def efficiency(self) -> float:
@@ -243,15 +251,17 @@ class EnablerTuner:
         )
 
     def _observer_for(self, k: float):
-        """An annealing observer emitting the telemetry convergence trace.
+        """An annealing observer feeding the telemetry convergence trace
+        and the flight recorder's tuner-move ring.
 
         Every iteration's candidate was just evaluated through the memo,
         so the achieved efficiency/overhead are read back without any
-        extra simulation.  Returns ``None`` when telemetry is disabled —
+        extra simulation.  Returns ``None`` when both sinks are off —
         the annealer then skips observer calls entirely.
         """
         tel = _telemetry()
-        if not tel.enabled:
+        rec = _flightrec.current()
+        if not tel.enabled and rec is None:
             return None
 
         def observer(step: AnnealingStep) -> None:
@@ -270,7 +280,10 @@ class EnablerTuner:
                 attrs["efficiency"] = obs.record.efficiency
                 attrs["G"] = obs.record.G
                 attrs["success"] = obs.success_rate
-            tel.event("tuner.iteration", **attrs)
+            if tel.enabled:
+                tel.event("tuner.iteration", **attrs)
+            if rec is not None:
+                rec.tuner_move("iteration", **attrs)
 
         return observer
 
@@ -419,6 +432,7 @@ class EnablerTuner:
                 success_rate=best_obs.success_rate,
                 objective=result.best_value,
                 feasible=self._is_feasible(best_obs, e_target),
+                attribution=getattr(best_obs, "attribution", None),
             )
             span.set(
                 evaluations=result.evaluations,
@@ -435,6 +449,15 @@ class EnablerTuner:
                 objective=point.objective,
                 feasible=point.feasible,
             )
+            rec = _flightrec.current()
+            if rec is not None:
+                rec.tuner_move(
+                    "result",
+                    scale=k,
+                    settings=point.settings,
+                    objective=point.objective,
+                    feasible=point.feasible,
+                )
             return point
 
     # ------------------------------------------------------------------

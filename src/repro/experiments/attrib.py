@@ -1,0 +1,286 @@
+"""Overhead attribution reports: ``repro attrib``.
+
+The paper's scalability verdict is the slope of ``G(k)``; this module
+answers the operator's follow-up question — *which component makes G
+grow* — from the attribution decomposition every tuned point now
+carries (see :meth:`repro.core.ledger.CostLedger.attribution`).
+
+Sources
+-------
+Reports read either
+
+* a **study manifest** (``.repro-cache/manifests/study.json`` by
+  default) — the checkpoint file a resumable study writes, whose tuned
+  points embed their attribution; or
+* a **telemetry run directory** — the ``procedure.scale`` events in
+  ``spans.jsonl`` carry the same decomposition.
+
+Conservation
+------------
+Every report re-checks the invariant before rendering: for each point,
+``math.fsum`` over the attributed parts of a prefix must equal the
+recorded F/G/H **exactly** (``==``, not approximately).  ``fsum``
+returns the correctly-rounded sum of its inputs regardless of order and
+JSON round-trips floats losslessly, so the equality survives the cache,
+the manifest, and the telemetry file; a mismatch means the decomposition
+can no longer be trusted and the report says so loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.ledger import SOURCE_SEP
+from ..core.slope import slopes
+from ..telemetry.report import _table, load_run, resolve_run_dir
+
+__all__ = [
+    "AttribPoint",
+    "attrib_report",
+    "check_conservation",
+    "component_of",
+    "load_points",
+    "points_from_manifest",
+    "points_from_telemetry",
+    "rollup_components",
+]
+
+
+@dataclass
+class AttribPoint:
+    """One per-scale measurement with its attribution decomposition."""
+
+    label: str                 # grouping label, e.g. "case1:LOWEST"
+    rms: str
+    scale: float
+    F: float
+    G: float
+    H: float
+    #: flattened ``category|component|entity|message class`` -> amount
+    attribution: Dict[str, float] = field(default_factory=dict)
+
+
+def component_of(key: str) -> str:
+    """The component kind of a flattened attribution key.
+
+    ``g.schedule|scheduler|sched0|job_submit`` → ``scheduler``; bare
+    category keys (untagged charges) → ``untagged``.
+    """
+    parts = key.split(SOURCE_SEP)
+    return parts[1] if len(parts) > 1 else "untagged"
+
+
+def check_conservation(point: AttribPoint) -> List[str]:
+    """Exact-equality conservation check of one point.
+
+    Returns human-readable violation descriptions (empty = conserved).
+    """
+    sums: Dict[str, List[float]] = {"f.": [], "g.": [], "h.": []}
+    for key, value in point.attribution.items():
+        prefix = key[:2]
+        if prefix in sums:
+            sums[prefix].append(value)
+    violations = []
+    for prefix, total in (("f.", point.F), ("g.", point.G), ("h.", point.H)):
+        attributed = math.fsum(sums[prefix])
+        if attributed != total:
+            violations.append(
+                f"{point.label} k={point.scale:g}: {prefix}* attributed "
+                f"{attributed!r} != recorded {total!r}"
+            )
+    return violations
+
+
+def rollup_components(
+    attribution: Dict[str, float], prefix: str = "g."
+) -> Dict[str, float]:
+    """Per-component totals of one prefix (``fsum`` per component)."""
+    groups: Dict[str, List[float]] = {}
+    for key, value in attribution.items():
+        if key[:2] == prefix:
+            groups.setdefault(component_of(key), []).append(value)
+    return {comp: math.fsum(vals) for comp, vals in sorted(groups.items())}
+
+
+# ---------------------------------------------------------------------------
+# Loaders
+# ---------------------------------------------------------------------------
+
+def _parse_manifest_key(key: str) -> Tuple[str, str]:
+    """(case label, rms) from a study point key.
+
+    Keys look like ``ci:seed7:sa12:scales[...]:warm1:spec4:case1:LOWEST``
+    (see ``Study._point_key``); unknown shapes degrade to the whole key
+    as the case label and its last segment as the RMS.
+    """
+    segments = key.split(":")
+    rms = segments[-1] if segments else key
+    case = next((s for s in segments if s.startswith("case")), key)
+    return case, rms
+
+
+def points_from_manifest(path: "str | Path") -> List[AttribPoint]:
+    """Attribution points of every completed study point in a manifest."""
+    payload = json.loads(Path(path).read_text("utf-8"))
+    completed = payload.get("completed")
+    if not isinstance(completed, dict):
+        raise ValueError(f"{path} is not a study manifest (no 'completed' map)")
+    points: List[AttribPoint] = []
+    for key, entry in completed.items():
+        case, rms = _parse_manifest_key(key)
+        result = (entry or {}).get("result") or {}
+        for p in result.get("points", []):
+            record = p.get("record", {})
+            points.append(
+                AttribPoint(
+                    label=f"{case}:{rms}",
+                    rms=rms,
+                    scale=float(p.get("scale", math.nan)),
+                    F=record.get("F", math.nan),
+                    G=record.get("G", math.nan),
+                    H=record.get("H", math.nan),
+                    attribution=p.get("attribution") or {},
+                )
+            )
+    return points
+
+
+def points_from_telemetry(run_dir: "str | Path") -> List[AttribPoint]:
+    """Attribution points from a telemetry run's ``procedure.scale`` events."""
+    run = load_run(resolve_run_dir(run_dir))
+    points: List[AttribPoint] = []
+    for event in run.events_named("procedure.scale"):
+        attrs = event.get("attrs") or {}
+        rms = str(run.ancestor_attr(event, "rms") or attrs.get("name", "?"))
+        case = run.ancestor_attr(event, "case")
+        label = f"case{case}:{rms}" if case is not None else rms
+        points.append(
+            AttribPoint(
+                label=label,
+                rms=rms,
+                scale=float(attrs.get("scale", math.nan)),
+                F=attrs.get("F", math.nan),
+                G=attrs.get("G", math.nan),
+                H=attrs.get("H", math.nan),
+                attribution=attrs.get("attribution") or {},
+            )
+        )
+    return points
+
+
+def load_points(source: "str | Path") -> List[AttribPoint]:
+    """Load attribution points from a manifest file or telemetry dir."""
+    path = Path(source)
+    if path.is_file():
+        return points_from_manifest(path)
+    if path.is_dir():
+        return points_from_telemetry(path)
+    raise FileNotFoundError(f"attribution source {path} does not exist")
+
+
+# ---------------------------------------------------------------------------
+# The report
+# ---------------------------------------------------------------------------
+
+def _group(points: Sequence[AttribPoint]) -> Dict[str, List[AttribPoint]]:
+    groups: Dict[str, List[AttribPoint]] = {}
+    for p in points:
+        groups.setdefault(p.label, []).append(p)
+    for series in groups.values():
+        series.sort(key=lambda p: p.scale)
+    return groups
+
+
+def _component_slopes(series: List[AttribPoint]) -> Dict[str, float]:
+    """Mean finite-difference slope of each component's G share.
+
+    Absolute units (time units of overhead per unit of scale factor):
+    the component whose slope dominates is the one making G(k) grow.
+    """
+    if len(series) < 2:
+        return {}
+    scales = [p.scale for p in series]
+    components = sorted(
+        {c for p in series for c in rollup_components(p.attribution)}
+    )
+    out: Dict[str, float] = {}
+    for comp in components:
+        values = [rollup_components(p.attribution).get(comp, 0.0) for p in series]
+        try:
+            segs = slopes(scales, values)
+        except ValueError:
+            continue
+        out[comp] = sum(segs) / len(segs)
+    return out
+
+
+def attrib_report(
+    points: Sequence[AttribPoint],
+    top: int = 10,
+    rms: Optional[str] = None,
+) -> str:
+    """Render the full attribution report.
+
+    Per series (case × RMS): the per-scale F/G/H table with G broken
+    down by component, the steepest per-component G(k) slopes, and the
+    top-``top`` finest-grained contributors at the largest scale.
+    Conservation is re-verified for every point first.
+    """
+    if rms is not None:
+        points = [p for p in points if p.rms == rms]
+    points = [p for p in points if p.attribution]
+    if not points:
+        return "(no attribution data found — re-run the study to record it)"
+
+    parts: List[str] = []
+    violations: List[str] = []
+    for p in points:
+        violations.extend(check_conservation(p))
+    if violations:
+        parts.append("CONSERVATION VIOLATED — decomposition is NOT trustworthy:")
+        parts.extend(f"  {v}" for v in violations)
+    else:
+        parts.append(
+            f"conservation: exact for all {len(points)} points "
+            "(fsum of parts == F/G/H bit-for-bit)"
+        )
+
+    for label, series in sorted(_group(points).items()):
+        parts.append(f"\n{label} — G(k) by component:")
+        components = sorted(
+            {c for p in series for c in rollup_components(p.attribution)}
+        )
+        rows = []
+        for p in series:
+            comp_totals = rollup_components(p.attribution)
+            rows.append(
+                [p.scale, p.F, p.G, p.H]
+                + [comp_totals.get(c, 0.0) for c in components]
+            )
+        parts.append(
+            _table(["k", "F", "G", "H"] + [f"G:{c}" for c in components], rows,
+                   precision=1)
+        )
+
+        comp_slopes = _component_slopes(series)
+        if comp_slopes:
+            ranked = sorted(comp_slopes.items(), key=lambda kv: -kv[1])
+            slope_text = ", ".join(f"{c}={s:+.2f}" for c, s in ranked)
+            parts.append(f"  slope of G(k) by component (time units / k): {slope_text}")
+
+        last = series[-1]
+        contributors = sorted(
+            ((k, v) for k, v in last.attribution.items() if k[:2] != "f."),
+            key=lambda kv: -kv[1],
+        )[:top]
+        if contributors:
+            total_overhead = last.G + last.H
+            parts.append(f"  top {len(contributors)} overhead contributors at k={last.scale:g}:")
+            for key, value in contributors:
+                share = value / total_overhead if total_overhead > 0 else math.nan
+                parts.append(f"    {key}: {value:.1f} ({share:.1%} of G+H)")
+    return "\n".join(parts)

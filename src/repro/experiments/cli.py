@@ -10,8 +10,11 @@ Usage::
     python -m repro figure 6 --csv out.csv    # also dump the series
     python -m repro figure 2 --speculate 4    # speculative batched annealing
     python -m repro figure 2 --no-warm-start  # cold-start every scale walk
+    python -m repro figure 2 --flight-recorder # forensic rings + crash bundles
     python -m repro compare                   # quick 7-design comparison
     python -m repro bench-perf                # perf record -> BENCH_perf.json
+    python -m repro bench-check               # perf watchdog vs the record
+    python -m repro attrib                    # which component makes G(k) grow
     python -m repro telemetry summary         # inspect the latest run
     python -m repro telemetry tuner           # annealing convergence
     python -m repro list                      # what can be regenerated
@@ -30,6 +33,12 @@ points so a killed sweep restarts where it left off.
 events, and metrics for the whole invocation into a fresh directory
 under ``telemetry/`` (``--telemetry-dir`` to relocate); ``repro
 telemetry {summary,spans,tuner}`` renders those files afterwards.
+``--flight-recorder`` (or ``REPRO_FLIGHT_RECORDER=1``) additionally
+keeps rolling forensic ring buffers and dumps a post-mortem JSON
+bundle under ``flight-recorder/`` when a run crashes, is cancelled, or
+trips an invariant.  ``repro attrib`` renders the per-component F/G/H
+overhead decomposition a study records; ``repro bench-check`` is the
+perf-regression watchdog against the tracked ``BENCH_perf.json``.
 Logging verbosity is ``--log-level`` / ``REPRO_LOG_LEVEL`` (default
 ``warning``).
 """
@@ -46,6 +55,8 @@ from pathlib import Path
 from typing import Iterator, List, Optional
 
 from ..telemetry import Telemetry, activate
+from ..telemetry import flightrec
+from .benchcheck import DEFAULT_FAIL_TOLERANCE, DEFAULT_WARN_TOLERANCE
 from .config import PROFILES, SimulationConfig
 from .parallel import ExperimentEngine, RunCache
 from .reporting import figure_report, format_table, write_csv
@@ -75,10 +86,19 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_root(args: argparse.Namespace) -> str:
+    """The run-cache directory this invocation uses (flag > env > default)."""
+    from .parallel.cache import DEFAULT_CACHE_DIR
+
+    return getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR", DEFAULT_CACHE_DIR
+    )
+
+
 def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
     """Build the experiment engine an invocation asked for."""
     cache = RunCache(
-        root=getattr(args, "cache_dir", None),
+        root=_cache_root(args),
         read=not getattr(args, "no_cache", False),
     )
     return ExperimentEngine(jobs=args.jobs, cache=cache)
@@ -113,11 +133,46 @@ def _telemetry_scope(args: argparse.Namespace) -> Iterator[Optional[Telemetry]]:
         print(f"telemetry written to {run_dir}", file=sys.stderr)
 
 
+@contextmanager
+def _flight_scope(args: argparse.Namespace) -> Iterator[Optional[flightrec.FlightRecorder]]:
+    """Enable the flight recorder when requested (flag or env).
+
+    Enablement deliberately goes through the environment:
+    ``ExperimentEngine`` pool workers inherit ``REPRO_FLIGHT_RECORDER``
+    and record/dump independently (bundles are PID-stamped), while the
+    parent process records its own inline window.  A cancellation that
+    no run-level handler already bundled is dumped here.  Yields
+    ``None`` when recording is off.
+    """
+    requested = getattr(args, "flight_recorder", False)
+    env_on = os.environ.get(flightrec.ENV_ENABLE, "") not in ("", "0")
+    if not requested and not env_on:
+        yield None
+        return
+    flight_dir = getattr(args, "flight_dir", None)
+    if flight_dir:
+        os.environ[flightrec.ENV_DIR] = flight_dir
+    os.environ[flightrec.ENV_ENABLE] = "1"
+    rec = flightrec.enable(flight_dir)
+    try:
+        yield rec
+    except KeyboardInterrupt as exc:
+        if not getattr(exc, "_flightrec_dumped", False):
+            rec.dump("run.cancelled", error=exc, context={"where": "cli"})
+            exc._flightrec_dumped = True
+        raise
+    finally:
+        if rec.bundles:
+            for path in rec.bundles:
+                print(f"flight-recorder bundle written: {path}", file=sys.stderr)
+        flightrec.disable()
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.number not in _FIGURE_QUANTITY:
         print(f"error: the paper has figures 2-7, not {args.number}", file=sys.stderr)
         return 2
-    with _telemetry_scope(args), _make_engine(args) as engine:
+    with _telemetry_scope(args), _flight_scope(args), _make_engine(args) as engine:
         study = Study(
             profile=args.profile,
             rms=args.rms.split(",") if args.rms else None,
@@ -125,6 +180,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             sa_iterations=args.sa_iterations,
             engine=engine,
             resume=args.resume,
+            # keep the manifest inside the cache dir actually in use, so
+            # `repro attrib` finds it there by default
+            manifest_path=(
+                Path(_cache_root(args)) / "manifests" / "study.json"
+                if args.resume
+                else None
+            ),
             speculate=args.speculate,
             warm_start=False if args.no_warm_start else None,
         )
@@ -154,7 +216,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for rms in names
     ]
     # The seven designs are independent runs: one engine batch.
-    with _telemetry_scope(args), _make_engine(args) as engine:
+    with _telemetry_scope(args), _flight_scope(args), _make_engine(args) as engine:
         metrics = engine.run_many(configs)
     rows = [
         [rms, get_rms(rms).mechanism, m.efficiency, m.record.G, m.success_rate]
@@ -183,6 +245,83 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from .benchcheck import (
+        compare_bench,
+        load_baseline,
+        render_checks,
+        run_current_bench,
+        worst_status,
+    )
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"error: baseline {args.baseline} not found — run "
+            "`repro bench-perf` first to record one",
+            file=sys.stderr,
+        )
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    if args.current:
+        try:
+            current = load_baseline(args.current)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.current}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        current = run_current_bench(
+            baseline,
+            jobs=args.jobs,
+            rms=args.rms.split(",") if args.rms else None,
+        )
+    try:
+        checks = compare_bench(
+            baseline, current, args.warn_tolerance, args.fail_tolerance
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_checks(checks, args.warn_tolerance, args.fail_tolerance,
+                        warn_only=args.warn_only))
+    return 1 if (worst_status(checks) == "fail" and not args.warn_only) else 0
+
+
+def _cmd_attrib(args: argparse.Namespace) -> int:
+    from .attrib import attrib_report, check_conservation, load_points
+
+    source = args.source
+    if source is None:
+        candidates = [
+            Path(_cache_root(args)) / "manifests" / "study.json",
+            Path(DEFAULT_TELEMETRY_DIR),
+        ]
+        source = next((c for c in candidates if c.exists()), None)
+        if source is None:
+            print(
+                "error: no attribution source found — run a study with "
+                "--resume (for a manifest) or --telemetry first, or pass "
+                "a manifest file / telemetry run directory",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        points = load_points(source)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot read {source}: {exc}", file=sys.stderr)
+        return 2
+    print(attrib_report(points, top=args.top, rms=args.rms))
+    # a conservation violation is a red verdict for scripts/CI too
+    violated = any(check_conservation(p) for p in points if p.attribution)
+    return 1 if violated else 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from ..telemetry.report import (
         load_run,
@@ -194,10 +333,26 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
     try:
         run_dir = resolve_run_dir(args.dir)
+        run = load_run(run_dir)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    run = load_run(run_dir)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        # unreadable/garbled records (e.g. a run killed mid-write):
+        # a one-line diagnosis, not a traceback
+        print(
+            f"error: cannot read telemetry under {run_dir}: "
+            f"{type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not run.records:
+        print(
+            f"error: {run_dir} contains no telemetry records — "
+            "the run recorded nothing (or only unparseable lines)",
+            file=sys.stderr,
+        )
+        return 2
     if args.view == "summary":
         print(summary_report(run))
     elif args.view == "spans":
@@ -293,6 +448,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(fn=_cmd_bench_perf)
 
+    check = sub.add_parser(
+        "bench-check",
+        help="perf-regression watchdog: fresh bench-perf vs the tracked record",
+    )
+    check.add_argument(
+        "--baseline",
+        default="BENCH_perf.json",
+        help="tracked benchmark record to compare against (default BENCH_perf.json)",
+    )
+    check.add_argument(
+        "--current",
+        default=None,
+        metavar="PATH",
+        help="compare an existing bench-perf record instead of running a fresh one",
+    )
+    check.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="override the fresh run's worker count (incompatible study "
+        "arms are skipped, not failed)",
+    )
+    check.add_argument(
+        "--rms",
+        default=None,
+        help="comma-separated subset of designs for the fresh run "
+        "(param-incompatible sections are skipped)",
+    )
+    check.add_argument(
+        "--warn-tolerance",
+        type=float,
+        default=DEFAULT_WARN_TOLERANCE,
+        metavar="FRAC",
+        help="timing regression fraction that warns "
+        f"(default {DEFAULT_WARN_TOLERANCE:g})",
+    )
+    check.add_argument(
+        "--fail-tolerance",
+        "--tolerance",
+        type=float,
+        default=DEFAULT_FAIL_TOLERANCE,
+        metavar="FRAC",
+        help="timing regression fraction that fails "
+        f"(default {DEFAULT_FAIL_TOLERANCE:g})",
+    )
+    check.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report failures but exit 0 (CI advisory mode)",
+    )
+    check.set_defaults(fn=_cmd_bench_check)
+
+    att = sub.add_parser(
+        "attrib",
+        help="overhead attribution: which component makes G(k) grow",
+    )
+    att.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="a study manifest JSON or a telemetry run directory "
+        "(default: <cache-dir>/manifests/study.json, then telemetry/)",
+    )
+    att.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root holding manifests/study.json "
+        "(default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    att.add_argument("--top", type=int, default=10,
+                     help="finest-grained contributors shown per series")
+    att.add_argument("--rms", default=None, help="filter by RMS design")
+    att.set_defaults(fn=_cmd_attrib)
+
     cmp_ = sub.add_parser("compare", help="quick 7-design comparison run")
     cmp_.add_argument("--seed", type=int, default=7)
     _add_engine_args(cmp_)
@@ -356,6 +585,19 @@ def _add_engine_args(sub: argparse.ArgumentParser) -> None:
         help="root for per-run telemetry directories "
         f"(default: $REPRO_TELEMETRY_DIR or {DEFAULT_TELEMETRY_DIR}/)",
     )
+    sub.add_argument(
+        "--flight-recorder",
+        action="store_true",
+        help="keep rolling forensic ring buffers (kernel events, ledger "
+        "charges, tuner moves) and dump a JSON bundle on crash, cancel, "
+        "or invariant trip (also: REPRO_FLIGHT_RECORDER=1)",
+    )
+    sub.add_argument(
+        "--flight-dir",
+        default=None,
+        help="flight-recorder bundle directory "
+        f"(default: $REPRO_FLIGHT_DIR or {flightrec.DEFAULT_DIR}/)",
+    )
 
 
 _logging_configured = False
@@ -383,6 +625,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     _configure_logging(args.log_level)
     try:
         return args.fn(args)
+    except KeyboardInterrupt:
+        # the flight recorder (when on) has already bundled the window;
+        # exit with the conventional SIGINT status
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # stdout went away (`repro telemetry summary | head`); exit
         # quietly like any unix filter instead of tracebacking.

@@ -62,12 +62,22 @@ _METRIC_FIELDS = (
 
 
 def metrics_to_jsonable(metrics: RunMetrics) -> Dict[str, Any]:
-    """Flatten a :class:`RunMetrics` into plain JSON types."""
+    """Flatten a :class:`RunMetrics` into plain JSON types.
+
+    The attribution decomposition and traffic summary ride along
+    verbatim: JSON round-trips Python floats losslessly, so the
+    conservation invariant (``fsum`` of attributed parts equals F/G/H
+    exactly) survives the cache.
+    """
     out: Dict[str, Any] = {
         "record": {"F": metrics.record.F, "G": metrics.record.G, "H": metrics.record.H}
     }
     for name in _METRIC_FIELDS:
         out[name] = getattr(metrics, name)
+    if metrics.attribution is not None:
+        out["attribution"] = metrics.attribution
+    if metrics.traffic is not None:
+        out["traffic"] = metrics.traffic
     return out
 
 
@@ -92,6 +102,8 @@ def metrics_from_jsonable(payload: Dict[str, Any]) -> RunMetrics:
         messages_sent=int(payload["messages_sent"]),
         scheduler_busy=float(payload["scheduler_busy"]),
         horizon=float(payload["horizon"]),
+        attribution=payload.get("attribution"),
+        traffic=payload.get("traffic"),
     )
 
 

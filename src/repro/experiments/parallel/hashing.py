@@ -32,7 +32,11 @@ from ..config import SimulationConfig
 __all__ = ["CACHE_SCHEMA_VERSION", "canonical_config", "config_key", "canonical_json"]
 
 #: bump when the cache record format or config semantics change
-CACHE_SCHEMA_VERSION = 1
+#: (v2: RunMetrics carries the attribution decomposition and traffic
+#: summary, and F/G/H are correctly-rounded ``fsum`` totals — pre-v2
+#: entries hold last-ulp-different sequential sums and must not mix
+#: with fresh runs)
+CACHE_SCHEMA_VERSION = 2
 
 
 def _plain(value: Any) -> Any:

@@ -38,7 +38,10 @@ __all__ = [
 ]
 
 #: bump when the manifest payload format changes
-MANIFEST_VERSION = 1
+#: (v2: tuned points carry the attribution decomposition, and F/G/H are
+#: correctly-rounded ``fsum`` totals — v1 manifests hold sequential sums
+#: and are discarded on load rather than resumed into mixed results)
+MANIFEST_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -46,7 +49,7 @@ MANIFEST_VERSION = 1
 # ---------------------------------------------------------------------------
 
 def _point_to_jsonable(point: TunedPoint) -> Dict[str, Any]:
-    return {
+    out = {
         "scale": point.scale,
         "settings": {str(k): float(v) for k, v in point.settings.items()},
         "record": {"F": point.record.F, "G": point.record.G, "H": point.record.H},
@@ -54,6 +57,11 @@ def _point_to_jsonable(point: TunedPoint) -> Dict[str, Any]:
         "objective": point.objective,
         "feasible": bool(point.feasible),
     }
+    if point.attribution is not None:
+        # JSON round-trips floats losslessly, so the conservation
+        # invariant (fsum of parts == F/G/H exactly) survives resume.
+        out["attribution"] = point.attribution
+    return out
 
 
 def _point_from_jsonable(payload: Dict[str, Any]) -> TunedPoint:
@@ -67,6 +75,7 @@ def _point_from_jsonable(payload: Dict[str, Any]) -> TunedPoint:
         success_rate=float(payload["success_rate"]),
         objective=float(payload["objective"]),
         feasible=bool(payload["feasible"]),
+        attribution=payload.get("attribution"),
     )
 
 

@@ -34,6 +34,7 @@ from ..rms.registry import get_rms
 from ..sim.kernel import Simulator
 from ..sim.monitor import Tally
 from ..sim.rng import RngHub
+from ..telemetry import flightrec as _flightrec
 from ..telemetry.spans import current as _telemetry
 from ..topology.generator import TopologyParams, generate_topology
 from ..topology.grid_map import map_grid
@@ -74,6 +75,8 @@ class DependencyCoordinator:
         self._arrived = set()
         #: cross-cluster staging edges charged (diagnostics)
         self.staged_edges = 0
+        # attribution tag for cross-cluster staging charges
+        self._src_staging = ("coordinator", "dag", "staging")
 
     def job_arrived(self, job: Job) -> None:
         """The job's own arrival instant passed; release if unblocked."""
@@ -98,7 +101,7 @@ class DependencyCoordinator:
             parent = self._jobs_by_id[parent_id]
             if parent.executed_cluster is not None and parent.executed_cluster != cluster:
                 self.staged_edges += 1
-                self._ledger.charge(Category.DATA_MGMT, self._costs.data_mgmt)
+                self._ledger.charge(Category.DATA_MGMT, self._costs.data_mgmt, self._src_staging)
         scheduler = self._schedulers[cluster]
         scheduler.deliver(Message(MessageKind.JOB_SUBMIT, payload={"job": job}))
 
@@ -137,6 +140,15 @@ class RunMetrics:
     messages_sent: int
     scheduler_busy: float
     horizon: float
+    #: exact F/G/H decomposition by (category, component, entity,
+    #: message class) — flattened keys, see ``CostLedger.attribution``.
+    #: ``math.fsum`` over any prefix's values reproduces the recorded
+    #: F/G/H bit-for-bit (conservation invariant).
+    attribution: Optional[Dict[str, float]] = None
+    #: per-message-kind network traffic (messages, payload, link_payload,
+    #: hops) — the network's axis of the attribution report; transit time
+    #: is latency, not RMS cost, so it never appears in G.
+    traffic: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def success_rate(self) -> float:
@@ -338,24 +350,55 @@ def run_simulation(config: SimulationConfig) -> RunMetrics:
     ``sim.run`` span carrying the kernel's dispatch totals (events
     executed, events/sec) — the kernel itself stays untouched; only
     its existing counters are read after the fact.
+
+    With the ambient flight recorder on (``--flight-recorder`` /
+    ``REPRO_FLIGHT_RECORDER=1``; pool workers inherit the env), the
+    run's kernel dispatches and ledger charges feed the rolling rings,
+    and any exception or cancellation dumps a post-mortem bundle before
+    propagating — which is what makes a crash inside an
+    ``ExperimentEngine`` worker diagnosable from artifacts alone.
     """
     tel = _telemetry()
+    rec = _flightrec.current()
     with tel.span(
         "sim.run", rms=config.rms, seed=config.seed, horizon=config.horizon
     ) as span:
         t0 = time.monotonic()
-        system = build_system(config)
-        sim = system.sim
-        sim.run(until=config.horizon)
+        try:
+            system = build_system(config)
+            sim = system.sim
+            if rec is not None:
+                rec.note(
+                    "sim.run start",
+                    rms=config.rms,
+                    seed=config.seed,
+                    horizon=config.horizon,
+                    n_schedulers=config.n_schedulers,
+                    n_resources=config.n_resources,
+                )
+                sim.trace = rec.chain_kernel_trace(sim.trace)
+                rec.observe_ledger(system.ledger)
+            sim.run(until=config.horizon)
 
-        deadline = config.horizon + config.drain
-        step = max(200.0, config.horizon / 10.0)
-        while sim.now < deadline and any(
-            j.state != JobState.COMPLETED for j in system.jobs
-        ):
-            sim.run(until=min(deadline, sim.now + step))
+            deadline = config.horizon + config.drain
+            step = max(200.0, config.horizon / 10.0)
+            while sim.now < deadline and any(
+                j.state != JobState.COMPLETED for j in system.jobs
+            ):
+                sim.run(until=min(deadline, sim.now + step))
 
-        metrics = summarize(system)
+            metrics = summarize(system)
+        except BaseException as exc:
+            already_dumped = getattr(exc, "_flightrec_dumped", False)
+            if rec is not None and not already_dumped and not isinstance(exc, GeneratorExit):
+                reason = (
+                    "run.cancelled"
+                    if isinstance(exc, KeyboardInterrupt)
+                    else "sim.exception"
+                )
+                rec.dump(reason, error=exc, context={"rms": config.rms, "seed": config.seed})
+                exc._flightrec_dumped = True
+            raise
         if tel.enabled:
             wall = time.monotonic() - t0
             rate = sim.events_executed / wall if wall > 0 else 0.0
@@ -386,6 +429,22 @@ def summarize(system: System) -> RunMetrics:
                 successful += 1
     horizon = system.config.horizon
     busy = sum(s.busy_time for s in system.schedulers)
+    # Conservation insurance: the attribution cells are the only store
+    # the F/G/H totals derive from, so this cannot trip unless the
+    # ledger contract is broken — in which case the run must not be
+    # silently trusted (the flight recorder, if on, bundles the window).
+    try:
+        system.ledger.check_conservation()
+    except RuntimeError as exc:
+        rec = _flightrec.current()
+        if rec is not None:
+            rec.dump(
+                "invariant.conservation",
+                error=exc,
+                context={"rms": system.config.rms, "seed": system.config.seed},
+            )
+            exc._flightrec_dumped = True
+        raise
     return RunMetrics(
         record=EfficiencyRecord.from_ledger(system.ledger),
         jobs_submitted=len(jobs),
@@ -396,4 +455,6 @@ def summarize(system: System) -> RunMetrics:
         messages_sent=system.network.messages_sent,
         scheduler_busy=busy,
         horizon=horizon,
+        attribution=system.ledger.attribution(),
+        traffic=system.network.traffic_summary(),
     )

@@ -53,6 +53,8 @@ class Estimator(MessageServer):
         Aggregation period; ``0`` forwards every update immediately.
     """
 
+    component = "estimator"
+
     def __init__(
         self,
         sim: Simulator,

@@ -37,6 +37,8 @@ class Middleware(MessageServer):
         ``g.middleware``.
     """
 
+    component = "middleware"
+
     def __init__(
         self,
         sim: Simulator,

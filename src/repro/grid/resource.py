@@ -89,6 +89,13 @@ class Resource(Entity):
         #: ``p**speedup_exponent`` times faster (sublinear, Amdahl-ish).
         self.speedup_exponent = speedup_exponent
 
+        # Attribution source tags, built once (the charge sites below
+        # run per job): job control/staging are tied to the dispatch and
+        # transfer messages; useful work is the execution itself.
+        self._src_job_control = ("resource", name, MessageKind.JOB_DISPATCH)
+        self._src_data_mgmt = ("resource", name, MessageKind.JOB_TRANSFER)
+        self._src_useful = ("resource", name, "execution")
+
         self._queue: Deque[Job] = deque()
         self._running: set = set()
         self._busy_procs = 0
@@ -150,10 +157,10 @@ class Resource(Entity):
         """Enqueue ``job`` for execution (entry point for dispatches)."""
         self.jobs_received += 1
         # Per-job control overhead at the RP (paper: H(k); kept small).
-        self.ledger.charge(Category.JOB_CONTROL, self.costs.job_control)
+        self.ledger.charge(Category.JOB_CONTROL, self.costs.job_control, self._src_job_control)
         if job.transfers > 0:
             # Transferred jobs incur data staging at the receiving side.
-            self.ledger.charge(Category.DATA_MGMT, self.costs.data_mgmt)
+            self.ledger.charge(Category.DATA_MGMT, self.costs.data_mgmt, self._src_data_mgmt)
         self._queue.append(job)
         self._maybe_start()
         self._load_changed()
@@ -190,7 +197,7 @@ class Resource(Entity):
         if job.successful:
             self.jobs_successful += 1
             # Useful work = the service demand delivered to the client.
-            self.ledger.charge(Category.USEFUL, job.spec.execution_time)
+            self.ledger.charge(Category.USEFUL, job.spec.execution_time, self._src_useful)
         if self.network is not None and self.scheduler is not None:
             self.network.send_from(
                 Message(MessageKind.JOB_COMPLETE, payload={"job": job}),

@@ -61,6 +61,9 @@ class SchedulerBase(MessageServer):
     #: middleware (True for the superscheduler RMSs: S-I, R-I, Sy-I)
     use_middleware: bool = False
 
+    #: component kind in attribution source tags
+    component = "scheduler"
+
     def __init__(
         self,
         sim: Simulator,

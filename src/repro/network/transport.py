@@ -19,7 +19,7 @@ progress); the integration tests exercise it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -100,6 +100,13 @@ class Network:
         self.messages_dropped = 0
         #: total payload units accepted for transmission
         self.payload_sent = 0.0
+        #: per-kind traffic accounting: kind -> [messages, payload,
+        #: link_payload, hops].  ``link_payload`` is payload × hop count
+        #: — the volume the message actually pushed across links under
+        #: store-and-forward — so it is the network-load axis of the
+        #: attribution report (transit time is latency, not RMS cost,
+        #: hence the network never charges the ledger).
+        self._traffic: Dict[str, List[float]] = {}
 
     def send(self, message: Message, src_node: int, recipient: Entity) -> float:
         """Send ``message`` from ``src_node`` to ``recipient``.
@@ -119,10 +126,17 @@ class Network:
             # src == dst), so skip the router call on this hot path.
             # Loss injection below still applies, as it always did.
             delay = 0.0
+            hops = 0
         else:
-            delay = self.delay_scale * self.router.transit_delay(
-                src_node, recipient.node, message.size
-            )
+            latency, hops, factor = self.router.path_info(src_node, recipient.node)
+            delay = self.delay_scale * (latency + message.size * factor)
+        cell = self._traffic.get(message.kind)
+        if cell is None:
+            cell = self._traffic[message.kind] = [0, 0.0, 0.0, 0]
+        cell[0] += 1
+        cell[1] += message.size
+        cell[2] += message.size * hops
+        cell[3] += hops
         if (
             self.loss_probability > 0.0
             and _effective_kind(message) not in RELIABLE_KINDS
@@ -142,3 +156,20 @@ class Network:
     def _deliver(self, recipient: Entity, message: Message) -> None:
         self.messages_delivered += 1
         recipient.deliver(message)
+
+    def traffic_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-message-kind traffic totals, sorted by kind.
+
+        Keys per kind: ``messages`` (count), ``payload`` (size units
+        accepted), ``link_payload`` (payload × hops — bytes pushed
+        across links), ``hops`` (total link traversals).
+        """
+        return {
+            kind: {
+                "messages": cell[0],
+                "payload": cell[1],
+                "link_payload": cell[2],
+                "hops": cell[3],
+            }
+            for kind, cell in sorted(self._traffic.items())
+        }

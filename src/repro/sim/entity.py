@@ -19,14 +19,18 @@ bottlenecks exactly the way the paper describes in its Figure-3
 discussion.
 
 Busy time is charged to a *ledger*: any object exposing
-``charge(category: str, amount: float)``.  The concrete ledger lives in
-:mod:`repro.core.ledger`; the kernel layer stays independent of it.
+``charge(category: str, amount: float, source=None)``.  The concrete
+ledger lives in :mod:`repro.core.ledger`; the kernel layer stays
+independent of it.  ``source`` is an opaque attribution tag — here a
+``(component kind, entity id, message class)`` tuple built once per
+message kind and cached, so the overhead-attribution machinery costs the
+hot path one cached dict lookup.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, Protocol, runtime_checkable
+from typing import Any, Deque, Dict, Optional, Protocol, Tuple, runtime_checkable
 
 from .kernel import Simulator
 from .monitor import TimeWeighted
@@ -38,7 +42,9 @@ __all__ = ["Entity", "MessageServer", "ChargeSink"]
 class ChargeSink(Protocol):
     """Anything that can absorb a cost charge (see ``core.ledger``)."""
 
-    def charge(self, category: str, amount: float) -> None:
+    def charge(
+        self, category: str, amount: float, source: Optional[Tuple[str, str, str]] = None
+    ) -> None:
         """Record ``amount`` time units of cost under ``category``."""
         ...  # pragma: no cover - protocol definition
 
@@ -95,9 +101,23 @@ class MessageServer(Entity):
       number of resources it manages);
     * :meth:`cost_category` — ledger category for that cost;
     * :meth:`handle` — the protocol logic.
+
+    ``component`` names the component kind in attribution source tags;
+    concrete server types (scheduler, estimator, middleware) override it.
     """
 
-    __slots__ = ("ledger", "_queue", "_busy", "queue_stat", "busy_time", "served")
+    #: component kind used in attribution source tags
+    component = "server"
+
+    __slots__ = (
+        "ledger",
+        "_queue",
+        "_busy",
+        "queue_stat",
+        "busy_time",
+        "served",
+        "_source_cache",
+    )
 
     def __init__(
         self,
@@ -116,6 +136,8 @@ class MessageServer(Entity):
         self.busy_time = 0.0
         #: number of messages fully served
         self.served = 0
+        #: message-kind → cached attribution tuple (see :meth:`cost_source`)
+        self._source_cache: Dict[Any, Tuple[str, str, str]] = {}
 
     # -- interface for subclasses ---------------------------------------
     def service_time(self, message: Any) -> float:
@@ -125,6 +147,22 @@ class MessageServer(Entity):
     def cost_category(self, message: Any) -> str:
         """Ledger category the processing cost is charged to.  Override."""
         raise NotImplementedError
+
+    def cost_source(self, message: Any) -> Optional[Tuple[str, str, str]]:
+        """Attribution tag ``(component, entity, message class)`` for the
+        processing cost of ``message``.
+
+        Tuples are interned per message kind so repeated charges reuse
+        one object; messages without a ``kind`` stay untagged.
+        """
+        kind = getattr(message, "kind", None)
+        if kind is None:
+            return None
+        source = self._source_cache.get(kind)
+        if source is None:
+            source = (self.component, self.name, str(kind))
+            self._source_cache[kind] = source
+        return source
 
     # -- queueing machinery ----------------------------------------------
     @property
@@ -156,7 +194,7 @@ class MessageServer(Entity):
         self.busy_time += st
         self.served += 1
         if self.ledger is not None and st > 0.0:
-            self.ledger.charge(self.cost_category(message), st)
+            self.ledger.charge(self.cost_category(message), st, self.cost_source(message))
         # React *before* pulling the next message so handlers observe a
         # consistent "just finished" state; any messages the handler sends
         # to self are queued behind already-waiting ones.

@@ -1,0 +1,269 @@
+"""Overhead attribution: the ledger decomposition, its conservation
+invariant, round trips through cache/manifest, and the report."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import CostLedger
+from repro.core.ledger import Category, flatten_source
+from repro.experiments import SimulationConfig, run_simulation
+from repro.experiments.attrib import (
+    AttribPoint,
+    attrib_report,
+    check_conservation,
+    component_of,
+    load_points,
+    points_from_manifest,
+    rollup_components,
+)
+from repro.experiments.parallel.cache import (
+    metrics_from_jsonable,
+    metrics_to_jsonable,
+)
+
+
+def tiny_config(rms="LOWEST", **kw):
+    kw.setdefault("n_schedulers", 3)
+    kw.setdefault("n_resources", 9)
+    kw.setdefault("workload_rate", 0.004)
+    kw.setdefault("horizon", 2000.0)
+    kw.setdefault("drain", 3000.0)
+    kw.setdefault("update_interval", 20.0)
+    return SimulationConfig(rms=rms, **kw)
+
+
+class TestLedgerAttribution:
+    def test_cells_keyed_by_category_and_source(self):
+        ledger = CostLedger()
+        src = ("scheduler", "sched0", "job_submit")
+        ledger.charge(Category.SCHEDULE, 1.0, src)
+        ledger.charge(Category.SCHEDULE, 2.0, src)
+        ledger.charge(Category.SCHEDULE, 4.0)  # untagged
+        attr = ledger.attribution()
+        assert attr == {
+            "g.schedule": 4.0,
+            "g.schedule|scheduler|sched0|job_submit": 3.0,
+        }
+        assert ledger.total(Category.SCHEDULE) == 7.0
+
+    def test_flatten_source(self):
+        assert flatten_source("g.schedule", None) == "g.schedule"
+        assert (
+            flatten_source("g.schedule", ("scheduler", "s0", "job_submit"))
+            == "g.schedule|scheduler|s0|job_submit"
+        )
+
+    def test_conservation_exact_over_many_small_charges(self):
+        # 0.1 is not representable in binary; thousands of such charges
+        # across interleaved sources is exactly the case where a naive
+        # "running total vs regrouped sum" comparison drifts in the ulps.
+        ledger = CostLedger()
+        for i in range(5000):
+            src = ("scheduler", f"s{i % 7}", "job_submit")
+            ledger.charge(Category.SCHEDULE, 0.1, src)
+            ledger.charge(Category.USEFUL, 0.7, ("resource", f"r{i % 5}", "execution"))
+        ledger.check_conservation()  # must not raise
+        attr = ledger.attribution()
+        assert math.fsum(v for k, v in attr.items() if k.startswith("g.")) == ledger.G
+        assert math.fsum(v for k, v in attr.items() if k.startswith("f.")) == ledger.F
+
+    def test_observer_sees_charges(self):
+        seen = []
+        ledger = CostLedger()
+        ledger.observer = lambda cat, amount, src: seen.append((cat, amount, src))
+        ledger.charge(Category.USEFUL, 5.0, ("resource", "r0", "execution"))
+        assert seen == [("f.useful", 5.0, ("resource", "r0", "execution"))]
+
+    def test_rejected_charge_not_observed(self):
+        seen = []
+        ledger = CostLedger()
+        ledger.observer = lambda *a: seen.append(a)
+        with pytest.raises(ValueError):
+            ledger.charge(Category.USEFUL, -1.0)
+        assert seen == []
+
+
+class TestRunAttribution:
+    def test_run_metrics_carry_conserved_attribution(self):
+        metrics = run_simulation(tiny_config())
+        attr = metrics.attribution
+        assert attr, "runs must record an attribution decomposition"
+        point = AttribPoint(
+            label="t", rms="LOWEST", scale=1.0,
+            F=metrics.record.F, G=metrics.record.G, H=metrics.record.H,
+            attribution=attr,
+        )
+        assert check_conservation(point) == []
+        # every overhead charge is tagged: no bare g./h. keys survive
+        assert all("|" in k for k in attr if not k.startswith("f."))
+
+    def test_attribution_survives_cache_round_trip_exactly(self):
+        metrics = run_simulation(tiny_config(rms="CENTRAL"))
+        back = metrics_from_jsonable(json.loads(json.dumps(metrics_to_jsonable(metrics))))
+        assert back.attribution == metrics.attribution
+        assert back.traffic == metrics.traffic
+        point = AttribPoint(
+            label="t", rms="CENTRAL", scale=1.0,
+            F=back.record.F, G=back.record.G, H=back.record.H,
+            attribution=back.attribution,
+        )
+        assert check_conservation(point) == []
+
+    def test_traffic_summary_recorded(self):
+        metrics = run_simulation(tiny_config())
+        assert metrics.traffic
+        for counters in metrics.traffic.values():
+            assert set(counters) == {"messages", "payload", "link_payload", "hops"}
+            assert counters["messages"] >= 1
+
+
+class TestAttribHelpers:
+    def test_component_of(self):
+        assert component_of("g.schedule|scheduler|s0|job_submit") == "scheduler"
+        assert component_of("g.schedule") == "untagged"
+
+    def test_rollup_components(self):
+        attr = {
+            "g.schedule|scheduler|s0|job_submit": 1.0,
+            "g.schedule|scheduler|s1|job_submit": 2.0,
+            "g.estimator|estimator|e0|status_update": 4.0,
+            "f.useful|resource|r0|execution": 100.0,
+        }
+        assert rollup_components(attr) == {"estimator": 4.0, "scheduler": 3.0}
+        assert rollup_components(attr, prefix="f.") == {"resource": 100.0}
+
+    def test_check_conservation_flags_mismatch(self):
+        point = AttribPoint(
+            label="x", rms="LOWEST", scale=2.0, F=1.0, G=5.0, H=0.0,
+            attribution={"f.useful|r|r0|execution": 1.0, "g.schedule|s|s0|m": 4.0},
+        )
+        violations = check_conservation(point)
+        assert len(violations) == 1
+        assert "g.*" in violations[0] and "k=2" in violations[0]
+
+
+def synthetic_points():
+    def point(scale, sched, est):
+        attr = {
+            "f.useful|resource|r0|execution": 100.0 * scale,
+            "g.schedule|scheduler|s0|job_submit": sched,
+            "g.estimator|estimator|e0|status_update": est,
+            "h.job_control|resource|r0|job_dispatch": 1.0,
+        }
+        return AttribPoint(
+            label="case1:LOWEST", rms="LOWEST", scale=scale,
+            F=100.0 * scale, G=math.fsum([sched, est]), H=1.0,
+            attribution=attr,
+        )
+
+    return [point(1.0, 10.0, 5.0), point(2.0, 30.0, 6.0), point(3.0, 50.0, 7.0)]
+
+
+class TestReport:
+    def test_report_contents(self):
+        out = attrib_report(synthetic_points())
+        assert "conservation: exact for all 3 points" in out
+        assert "case1:LOWEST" in out
+        assert "G:scheduler" in out and "G:estimator" in out
+        # scheduler grows 20/scale step, estimator 1 — ranked first
+        assert "scheduler=+20.00" in out
+        assert "top" in out and "g.schedule|scheduler|s0|job_submit" in out
+
+    def test_report_flags_violation(self):
+        points = synthetic_points()
+        points[1].G += 1.0  # break the middle point
+        out = attrib_report(points)
+        assert "CONSERVATION VIOLATED" in out
+
+    def test_rms_filter_and_empty(self):
+        assert "no attribution data" in attrib_report(synthetic_points(), rms="CENTRAL")
+
+    def test_top_limits_contributors(self):
+        out = attrib_report(synthetic_points(), top=1)
+        assert "top 1 overhead contributors" in out
+
+
+class TestManifestLoader:
+    def test_points_from_manifest(self, tmp_path):
+        manifest = {
+            "version": 2,
+            "completed": {
+                "ci:seed7:sa10:scales[1,2]:warm1:spec0:case1:LOWEST": {
+                    "result": {
+                        "points": [
+                            {
+                                "scale": 1.0,
+                                "record": {"F": 100.0, "G": 15.0, "H": 1.0},
+                                "attribution": {
+                                    "f.useful|resource|r0|execution": 100.0,
+                                    "g.schedule|scheduler|s0|m": 15.0,
+                                    "h.job_control|resource|r0|m": 1.0,
+                                },
+                            }
+                        ]
+                    },
+                    "metrics": [],
+                }
+            },
+        }
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(manifest))
+        points = points_from_manifest(path)
+        assert len(points) == 1
+        assert points[0].label == "case1:LOWEST"
+        assert points[0].rms == "LOWEST"
+        assert check_conservation(points[0]) == []
+
+    def test_not_a_manifest_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            points_from_manifest(path)
+
+    def test_load_points_missing_source(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points(tmp_path / "nope")
+
+
+@pytest.mark.slow
+class TestStudyConservation:
+    """The acceptance criterion: conservation holds exactly for every
+    tuned point of a real (micro) study, through the manifest."""
+
+    def test_every_study_scale_conserves_exactly(self, tmp_path):
+        from repro.experiments import Study
+        from repro.experiments.config import ScaleProfile
+
+        micro = ScaleProfile(
+            name="micro",
+            base_resources=8,
+            base_schedulers=4,
+            fixed_resources=8,
+            fixed_schedulers=4,
+            base_rate_per_resource=0.00028,
+            horizon=3000.0,
+            drain=20000.0,
+            scales=(1, 2),
+            sa_iterations=2,
+        )
+        manifest_path = tmp_path / "manifests" / "study.json"
+        study = Study(
+            profile=micro, rms=["CENTRAL"], seed=5, manifest_path=manifest_path
+        )
+        fig = study.figure(2)
+        series = fig.series["CENTRAL"]
+        for point in series.result.points:
+            assert point.attribution, "tuned points must carry attribution"
+            ap = AttribPoint(
+                label="micro", rms="CENTRAL", scale=point.scale,
+                F=point.record.F, G=point.record.G, H=point.record.H,
+                attribution=point.attribution,
+            )
+            assert check_conservation(ap) == []
+        # and identically so after the manifest round trip
+        loaded = points_from_manifest(manifest_path)
+        assert len(loaded) == len(series.result.points)
+        for ap in loaded:
+            assert check_conservation(ap) == []

@@ -1,0 +1,189 @@
+"""The perf-regression watchdog's comparison logic, on synthetic
+bench records (no simulations run here)."""
+
+import pytest
+
+from repro.experiments.benchcheck import (
+    CheckResult,
+    compare_bench,
+    load_baseline,
+    render_checks,
+    worst_status,
+)
+
+
+def record(**overrides):
+    """A minimal, internally consistent bench-perf payload."""
+    payload = {
+        "schema": 1,
+        "profile": "ci",
+        "case": 1,
+        "seed": 7,
+        "sa_iterations": 10,
+        "rms": ["CENTRAL", "LOWEST"],
+        "kernel": {"events": 200_000, "seconds": 0.5, "events_per_sec": 400_000.0},
+        "sims": {"rms": "CENTRAL", "runs": 3, "seconds": 0.2, "sims_per_sec": 15.0},
+        "study": {
+            "baseline": {
+                "jobs": 1,
+                "warm_start": False,
+                "speculation": 0,
+                "seconds": 100.0,
+                "simulations": 400,
+            },
+            "arms": [
+                {
+                    "jobs": 4,
+                    "warm_start": True,
+                    "speculation": 4,
+                    "seconds": 50.0,
+                    "simulations": 276,
+                    "evaluations_by_scale": {"1": 140, "2": 74},
+                    "tuned": {"CENTRAL": [{"update_interval": 40.0}]},
+                }
+            ],
+            "tuned_points_identical_across_jobs": True,
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+def by_metric(checks):
+    return {c.metric: c for c in checks}
+
+
+class TestCompare:
+    def test_identity_passes_everything(self):
+        checks = compare_bench(record(), record())
+        assert worst_status(checks) == "pass"
+        assert all(c.status == "pass" for c in checks)
+
+    def test_small_timing_regression_passes(self):
+        cur = record()
+        cur["kernel"] = dict(cur["kernel"], events_per_sec=380_000.0)  # -5%
+        checks = compare_bench(record(), cur)
+        assert by_metric(checks)["kernel.events_per_sec"].status == "pass"
+
+    def test_timing_regression_warns_beyond_warn_tolerance(self):
+        cur = record()
+        cur["kernel"] = dict(cur["kernel"], events_per_sec=340_000.0)  # -15%
+        checks = compare_bench(record(), cur)
+        check = by_metric(checks)["kernel.events_per_sec"]
+        assert check.status == "warn"
+        assert "slower" in check.detail
+
+    def test_timing_regression_fails_beyond_fail_tolerance(self):
+        cur = record()
+        cur["kernel"] = dict(cur["kernel"], events_per_sec=280_000.0)  # -30%
+        checks = compare_bench(record(), cur)
+        assert by_metric(checks)["kernel.events_per_sec"].status == "fail"
+        assert worst_status(checks) == "fail"
+
+    def test_improvement_never_warns(self):
+        cur = record()
+        cur["kernel"] = dict(cur["kernel"], events_per_sec=800_000.0)  # 2x faster
+        cur["study"] = dict(cur["study"])
+        cur["study"]["baseline"] = dict(cur["study"]["baseline"], seconds=10.0)
+        checks = compare_bench(record(), cur)
+        assert worst_status(checks) == "pass"
+
+    def test_wall_clock_direction_is_lower_is_better(self):
+        cur = record()
+        cur["study"] = dict(cur["study"])
+        cur["study"]["baseline"] = dict(cur["study"]["baseline"], seconds=140.0)  # +40%
+        checks = compare_bench(record(), cur)
+        assert by_metric(checks)["study.baseline.seconds"].status == "fail"
+
+    def test_count_drift_always_fails(self):
+        cur = record()
+        cur["study"] = dict(cur["study"])
+        cur["study"]["baseline"] = dict(cur["study"]["baseline"], simulations=401)
+        checks = compare_bench(record(), cur)
+        check = by_metric(checks)["study.baseline.simulations"]
+        assert check.status == "fail"
+        assert "behavior changed" in check.detail
+
+    def test_tuned_drift_fails(self):
+        cur = record()
+        cur["study"] = dict(cur["study"])
+        cur["study"]["arms"] = [
+            dict(cur["study"]["arms"][0], tuned={"CENTRAL": [{"update_interval": 80.0}]})
+        ]
+        checks = compare_bench(record(), cur)
+        assert by_metric(checks)["study.arm[jobs=4].tuned"].status == "fail"
+
+    def test_cross_worker_identity_flag_checked(self):
+        cur = record()
+        cur["study"] = dict(cur["study"], tuned_points_identical_across_jobs=False)
+        checks = compare_bench(record(), cur)
+        assert (
+            by_metric(checks)["study.tuned_points_identical_across_jobs"].status
+            == "fail"
+        )
+
+    def test_different_kernel_budget_skips(self):
+        cur = record()
+        cur["kernel"] = {"events": 50_000, "events_per_sec": 100_000.0}
+        checks = compare_bench(record(), cur)
+        assert by_metric(checks)["kernel.events_per_sec"].status == "skip"
+
+    def test_different_study_params_skip_study_sections(self):
+        cur = record(rms=["LOWEST"])
+        cur["sims"] = dict(cur["sims"])
+        checks = compare_bench(record(), cur)
+        metrics = by_metric(checks)
+        assert metrics["study"].status == "skip"
+        assert "study.baseline.seconds" not in metrics
+
+    def test_missing_arm_skips(self):
+        cur = record()
+        cur["study"] = dict(cur["study"], arms=[])
+        checks = compare_bench(record(), cur)
+        assert by_metric(checks)["study.arm[jobs=4]"].status == "skip"
+
+    def test_degenerate_timing_skips(self):
+        cur = record()
+        cur["kernel"] = dict(cur["kernel"], events_per_sec=0.0)
+        checks = compare_bench(record(), cur)
+        assert by_metric(checks)["kernel.events_per_sec"].status == "skip"
+
+    def test_tolerances_validated(self):
+        with pytest.raises(ValueError):
+            compare_bench(record(), record(), warn_tolerance=0.3, fail_tolerance=0.1)
+        with pytest.raises(ValueError):
+            compare_bench(record(), record(), warn_tolerance=0.0)
+
+
+class TestRender:
+    def test_report_lines_and_verdict(self):
+        cur = record()
+        cur["kernel"] = dict(cur["kernel"], events_per_sec=280_000.0)
+        checks = compare_bench(record(), cur)
+        out = render_checks(checks, 0.10, 0.25)
+        assert "[FAIL] kernel.events_per_sec" in out
+        assert out.endswith("verdict: FAIL")
+
+    def test_warn_only_notes_unenforced_exit(self):
+        checks = [CheckResult("x", "fail", "d")]
+        out = render_checks(checks, 0.10, 0.25, warn_only=True)
+        assert "--warn-only" in out
+
+    def test_skips_do_not_worsen_verdict(self):
+        checks = [CheckResult("a", "pass", "d"), CheckResult("b", "skip", "d")]
+        assert worst_status(checks) == "pass"
+
+
+class TestLoadBaseline:
+    def test_rejects_non_bench_payload(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_loads_valid_payload(self, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(record()))
+        assert load_baseline(path)["profile"] == "ci"

@@ -239,6 +239,246 @@ class TestTelemetryCommand:
         assert cli.main(["telemetry", "summary", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_empty_run_errors_one_line(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        run.mkdir()
+        (run / "spans.jsonl").write_text("")
+        for view in ("summary", "spans", "tuner"):
+            assert cli.main(["telemetry", view, str(run)]) == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error:")
+            assert "no telemetry records" in err
+            assert "Traceback" not in err
+
+    def test_garbled_records_error_not_traceback(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        run.mkdir()
+        # a parseable line that is not a valid record (killed mid-write
+        # leaves exactly this shape) used to raise KeyError
+        (run / "spans.jsonl").write_text('{"type":"span"}\n')
+        assert cli.main(["telemetry", "summary", str(run)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
     def test_view_required(self):
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["telemetry"])
+
+
+class TestFlightRecorderFlags:
+    def test_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["figure", "2", "--flight-recorder", "--flight-dir", "/tmp/fr"]
+        )
+        assert args.flight_recorder is True
+        assert args.flight_dir == "/tmp/fr"
+        args = cli.build_parser().parse_args(["figure", "2"])
+        assert args.flight_recorder is False
+
+    def test_flag_sets_env_and_enables(self, tmp_path, monkeypatch):
+        from repro.telemetry import flightrec
+
+        monkeypatch.delenv(flightrec.ENV_ENABLE, raising=False)
+        monkeypatch.delenv(flightrec.ENV_DIR, raising=False)
+        flightrec.disable()
+        seen = {}
+
+        class StubStudy:
+            def __init__(self, **kw):
+                pass
+
+            def figure(self, number):
+                # workers inherit the env; the parent records inline
+                seen["env"] = cli.os.environ.get(flightrec.ENV_ENABLE)
+                seen["rec"] = flightrec.current()
+                return fake_figure()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        rc = cli.main(
+            ["figure", "2", "--flight-recorder", "--flight-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert seen["env"] == "1"
+        assert seen["rec"] is not None
+        assert seen["rec"].directory == tmp_path
+        # the scope tears the recorder down afterwards
+        flightrec.disable()
+
+    def test_cancelled_study_dumps_bundle(self, tmp_path, monkeypatch, capsys):
+        from repro.telemetry import flightrec
+
+        monkeypatch.delenv(flightrec.ENV_ENABLE, raising=False)
+        monkeypatch.delenv(flightrec.ENV_DIR, raising=False)
+        flightrec.disable()
+
+        class StubStudy:
+            def __init__(self, **kw):
+                pass
+
+            def figure(self, number):
+                raise KeyboardInterrupt()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        rc = cli.main(
+            ["figure", "2", "--flight-recorder", "--flight-dir", str(tmp_path)]
+        )
+        assert rc == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "flight-recorder bundle written" in err
+        (bundle,) = list(tmp_path.glob("bundle-*.json"))
+        import json
+
+        assert json.loads(bundle.read_text())["reason"] == "run.cancelled"
+        flightrec.disable()
+
+    def test_off_without_flag_or_env(self, tmp_path, monkeypatch):
+        from repro.telemetry import flightrec
+
+        monkeypatch.delenv(flightrec.ENV_ENABLE, raising=False)
+        flightrec.disable()
+        seen = {}
+
+        class StubStudy:
+            def __init__(self, **kw):
+                pass
+
+            def figure(self, number):
+                seen["rec"] = flightrec.current()
+                return fake_figure()
+
+        monkeypatch.setattr(cli, "Study", StubStudy)
+        assert cli.main(["figure", "2"]) == 0
+        assert seen["rec"] is None
+
+
+class TestAttribCommand:
+    def _write_manifest(self, path):
+        import json
+
+        manifest = {
+            "version": 2,
+            "completed": {
+                "ci:seed7:sa10:scales[1,2]:warm1:spec0:case1:LOWEST": {
+                    "result": {
+                        "points": [
+                            {
+                                "scale": 1.0,
+                                "record": {"F": 100.0, "G": 15.0, "H": 1.0},
+                                "attribution": {
+                                    "f.useful|resource|r0|execution": 100.0,
+                                    "g.schedule|scheduler|s0|m": 15.0,
+                                    "h.job_control|resource|r0|m": 1.0,
+                                },
+                            }
+                        ]
+                    },
+                    "metrics": [],
+                }
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest))
+
+    def test_reads_explicit_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "study.json"
+        self._write_manifest(manifest)
+        assert cli.main(["attrib", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "conservation: exact" in out
+        assert "case1:LOWEST" in out
+
+    def test_default_source_is_cache_manifest(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        self._write_manifest(cache / "manifests" / "study.json")
+        assert cli.main(["attrib", "--cache-dir", str(cache)]) == 0
+        assert "conservation: exact" in capsys.readouterr().out
+
+    def test_no_source_errors(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cli.main(["attrib"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_violated_conservation_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "study.json"
+        self._write_manifest(manifest)
+        payload = json.loads(manifest.read_text())
+        point = payload["completed"][next(iter(payload["completed"]))]["result"][
+            "points"
+        ][0]
+        point["record"]["G"] = 999.0  # breaks fsum(parts) == G
+        manifest.write_text(json.dumps(payload))
+        assert cli.main(["attrib", str(manifest)]) == 1
+        assert "CONSERVATION VIOLATED" in capsys.readouterr().out
+
+
+class TestBenchCheckCommand:
+    def _baseline(self, tmp_path, name="BENCH_perf.json", **overrides):
+        import json
+
+        from test_benchcheck import record
+
+        path = tmp_path / name
+        path.write_text(json.dumps(record(**overrides)))
+        return path
+
+    def test_identity_passes(self, tmp_path, capsys):
+        base = self._baseline(tmp_path)
+        rc = cli.main(
+            ["bench-check", "--baseline", str(base), "--current", str(base)]
+        )
+        assert rc == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_missing_baseline_errors(self, tmp_path, capsys):
+        rc = cli.main(["bench-check", "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "bench-perf" in capsys.readouterr().err
+
+    def test_count_drift_fails_and_warn_only_downgrades(self, tmp_path, capsys):
+        import json
+
+        base = self._baseline(tmp_path)
+        current = json.loads(base.read_text())
+        current["study"]["baseline"]["simulations"] += 1
+        cur_path = tmp_path / "current.json"
+        cur_path.write_text(json.dumps(current))
+        rc = cli.main(
+            ["bench-check", "--baseline", str(base), "--current", str(cur_path)]
+        )
+        assert rc == 1
+        assert "verdict: FAIL" in capsys.readouterr().out
+        rc = cli.main(
+            [
+                "bench-check",
+                "--baseline",
+                str(base),
+                "--current",
+                str(cur_path),
+                "--warn-only",
+            ]
+        )
+        assert rc == 0
+        assert "--warn-only" in capsys.readouterr().out
+
+    def test_bad_tolerances_error(self, tmp_path, capsys):
+        base = self._baseline(tmp_path)
+        rc = cli.main(
+            [
+                "bench-check",
+                "--baseline",
+                str(base),
+                "--current",
+                str(base),
+                "--warn-tolerance",
+                "0.5",
+                "--fail-tolerance",
+                "0.1",
+            ]
+        )
+        assert rc == 2
+        assert "tolerances" in capsys.readouterr().err

@@ -10,9 +10,11 @@ class RecordingLedger:
 
     def __init__(self):
         self.charges = []
+        self.sources = []
 
-    def charge(self, category, amount):
+    def charge(self, category, amount, source=None):
         self.charges.append((category, amount))
+        self.sources.append(source)
 
     def total(self, category=None):
         return sum(a for c, a in self.charges if category is None or c == category)

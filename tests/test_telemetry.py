@@ -291,6 +291,82 @@ class TestTelemetrySession:
         assert read_records(tmp_path / "run") == records
 
 
+class TestSpanLifecycleUnderExceptions:
+    """The JSONL file must never end mid-record, whatever propagates."""
+
+    @staticmethod
+    def assert_file_intact(run_dir):
+        """Every line (including the last) is one complete JSON record."""
+        text = (run_dir / SPANS_FILENAME).read_text()
+        assert text.endswith("\n"), "file must end on a record boundary"
+        for line in text.splitlines():
+            json.loads(line)  # raises if any record is truncated
+
+    def test_exception_through_nested_spans_closes_all(self, tmp_path):
+        with Telemetry(tmp_path / "run") as session:
+            with pytest.raises(RuntimeError):
+                with session.span("outer"):
+                    with session.span("middle"):
+                        session.event("tick")
+                        with session.span("inner"):
+                            raise RuntimeError("boom")
+        self.assert_file_intact(tmp_path / "run")
+        spans = {
+            r["name"]: r
+            for r in read_records(tmp_path / "run")
+            if r["type"] == "span"
+        }
+        assert set(spans) == {"outer", "middle", "inner"}
+        # every span on the propagation path records the error and a
+        # well-formed closing time
+        for rec in spans.values():
+            assert rec["attrs"]["error"] == "RuntimeError"
+            assert rec["t1"] >= rec["t0"]
+        assert spans["inner"]["parent"] == spans["middle"]["id"]
+
+    def test_keyboard_interrupt_still_writes_span(self, tmp_path):
+        session = Telemetry(tmp_path / "run")
+        with pytest.raises(KeyboardInterrupt):
+            with session.span("cancelled-work"):
+                raise KeyboardInterrupt()
+        session.close()
+        self.assert_file_intact(tmp_path / "run")
+        (rec,) = [
+            r for r in read_records(tmp_path / "run") if r["type"] == "span"
+        ]
+        assert rec["name"] == "cancelled-work"
+        assert rec["attrs"]["error"] == "KeyboardInterrupt"
+
+    def test_exception_then_more_spans_keeps_file_parseable(self, tmp_path):
+        with Telemetry(tmp_path / "run") as session:
+            for i in range(20):
+                try:
+                    with session.span("flaky", i=i):
+                        if i % 3 == 0:
+                            raise ValueError("intermittent")
+                except ValueError:
+                    pass
+        self.assert_file_intact(tmp_path / "run")
+        spans = [r for r in read_records(tmp_path / "run") if r["type"] == "span"]
+        assert len(spans) == 20
+        assert sum("error" in s["attrs"] for s in spans) == 7
+
+    def test_exception_before_close_still_snapshots_metrics(self, tmp_path):
+        session = Telemetry(tmp_path / "run")
+        try:
+            with session.span("doomed"):
+                session.metrics.counter("partial").increment()
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        finally:
+            session.close()
+        self.assert_file_intact(tmp_path / "run")
+        records = read_records(tmp_path / "run")
+        assert records[-1]["type"] == "metrics"
+        assert records[-1]["snapshot"]["partial"]["value"] == 1
+
+
 class TestAmbientSession:
     def test_default_is_null(self):
         assert current() is NULL_TELEMETRY
