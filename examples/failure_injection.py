@@ -18,6 +18,7 @@ Run:  python examples/failure_injection.py
 
 from repro.experiments import SimulationConfig, build_system, summarize
 from repro.experiments.reporting import format_table
+from repro.faults import FaultPlan
 from repro.grid import JobState
 
 
@@ -37,7 +38,7 @@ def main() -> None:
                     update_interval=8.5,
                     horizon=12000.0,
                     drain=60000.0,
-                    loss_probability=loss,
+                    faults=FaultPlan(link_loss=loss),
                     seed=13,
                 )
             )

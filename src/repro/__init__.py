@@ -15,17 +15,35 @@ over the whole stack (:mod:`repro.telemetry`).
 
 Quickstart::
 
-    from repro.experiments import SimulationConfig, run_simulation
+    from repro import FaultPlan, SimulationConfig, run_simulation
     metrics = run_simulation(SimulationConfig(
         rms="LOWEST", n_schedulers=8, n_resources=24, workload_rate=0.007))
     print(metrics.efficiency, metrics.success_rate)
+
+The names a typical caller needs — configuring a run, executing it,
+injecting faults, measuring scalability, looking up an RMS design —
+are re-exported here; everything else stays importable from its
+subpackage.
 """
+
+from .core import CostLedger, ScalabilityProcedure
+from .experiments import (
+    RunMetrics,
+    SimulationConfig,
+    Study,
+    build_system,
+    run_simulation,
+)
+from .faults import FaultPlan
+from .rms import ALL_RMS, get_rms, rms_names
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # subpackages
     "core",
     "experiments",
+    "faults",
     "grid",
     "network",
     "rms",
@@ -33,4 +51,16 @@ __all__ = [
     "telemetry",
     "topology",
     "workload",
+    # stable top-level API
+    "ALL_RMS",
+    "CostLedger",
+    "FaultPlan",
+    "RunMetrics",
+    "ScalabilityProcedure",
+    "SimulationConfig",
+    "Study",
+    "build_system",
+    "get_rms",
+    "rms_names",
+    "run_simulation",
 ]

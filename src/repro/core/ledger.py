@@ -82,6 +82,9 @@ class Category:
     AUCTION = "g.auction"            # auction invitations/bids/awards
     MIDDLEWARE = "g.middleware"      # Grid middleware relay service
     COMPLETION = "g.completion"      # processing job-completion notifications
+    FAULTS = "g.faults"              # failure detection + recovery (heartbeat
+                                     # sweeps, dead-resource processing,
+                                     # job re-dispatch)
 
     # H — RP overhead
     JOB_CONTROL = "h.job_control"    # per-job dispatch/teardown at resources

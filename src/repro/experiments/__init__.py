@@ -15,6 +15,13 @@ from .reproduce import (
     figure6,
     figure7,
 )
+from .faultstudy import (
+    FaultStudyPoint,
+    FaultStudyResult,
+    default_churn_plan,
+    fault_report,
+    run_fault_study,
+)
 from .inspect import inspection_report
 from .parallel import ExperimentEngine, RunCache, StudyManifest, config_key
 from .summary import CaseSummary, study_report, summarize_case
@@ -37,10 +44,14 @@ __all__ = [
     "ScaleProfile",
     "SimulationConfig",
     "CaseSummary",
+    "FaultStudyPoint",
+    "FaultStudyResult",
     "Study",
     "System",
     "ascii_plot",
     "build_system",
+    "default_churn_plan",
+    "fault_report",
     "figure2",
     "figure3",
     "figure4",
@@ -54,6 +65,7 @@ __all__ = [
     "make_batch_simulate",
     "make_simulate",
     "replicate",
+    "run_fault_study",
     "run_simulation",
     "study_report",
     "summarize",

@@ -73,19 +73,20 @@ def run_current_bench(
     baseline: Dict[str, Any],
     jobs: Optional[int] = None,
     rms: Optional[List[str]] = None,
+    profile: Optional[str] = None,
 ) -> Dict[str, Any]:
     """A fresh benchmark under the baseline's recorded parameters.
 
-    ``jobs`` / ``rms`` override the baseline's values (a CI runner may
-    have fewer cores than the machine that wrote the baseline); the
-    comparison then skips the sections that are no longer parameter-
-    compatible instead of comparing apples to oranges.
+    ``jobs`` / ``rms`` / ``profile`` override the baseline's values (a
+    CI runner may have fewer cores than the machine that wrote the
+    baseline); the comparison then skips the sections that are no
+    longer parameter-compatible instead of comparing apples to oranges.
     """
     from .benchperf import run_bench
 
     arm_jobs = [a.get("jobs", 1) for a in baseline.get("study", {}).get("arms", [])]
     return run_bench(
-        profile=baseline.get("profile", "ci"),
+        profile=profile if profile is not None else baseline.get("profile", "ci"),
         rms=rms if rms is not None else baseline.get("rms"),
         case_id=baseline.get("case", 1),
         seed=baseline.get("seed", 7),

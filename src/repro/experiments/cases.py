@@ -19,7 +19,7 @@ the core measurement procedure consumes.  All four scale the workload
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.scaling import (
@@ -101,12 +101,23 @@ class ExperimentCase:
         k: float,
         profile: ScaleProfile,
         seed: int = 7,
+        faults=None,
     ) -> SimulationConfig:
         """The simulation configuration at scale ``k`` (default enablers).
 
         Applies the case's scaling variables; the tuner layers enabler
-        settings on top via ``SimulationConfig.with_enablers``.
+        settings on top via ``SimulationConfig.with_enablers``.  An
+        optional :class:`~repro.faults.plan.FaultPlan` rides along
+        verbatim (``None`` keeps the inert default).
         """
+        config = self._base_config(rms, k, profile, seed)
+        if faults is not None:
+            config = replace(config, faults=faults)
+        return config
+
+    def _base_config(
+        self, rms: str, k: float, profile: ScaleProfile, seed: int
+    ) -> SimulationConfig:
         if self.case_id == 1:
             n_res = int(round(profile.base_resources * k))
             n_sched = max(1, int(round(profile.base_schedulers * k)))

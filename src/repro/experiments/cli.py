@@ -12,6 +12,9 @@ Usage::
     python -m repro figure 2 --no-warm-start  # cold-start every scale walk
     python -m repro figure 2 --flight-recorder # forensic rings + crash bundles
     python -m repro compare                   # quick 7-design comparison
+    python -m repro faults                    # churn study: G(k) under faults
+    python -m repro faults --mttf 3000        # tune the crash rate
+    python -m repro faults --fault-plan p.json --events-out ev.jsonl
     python -m repro bench-perf                # perf record -> BENCH_perf.json
     python -m repro bench-check               # perf watchdog vs the record
     python -m repro attrib                    # which component makes G(k) grow
@@ -46,6 +49,7 @@ Logging verbosity is ``--log-level`` / ``REPRO_LOG_LEVEL`` (default
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import sys
@@ -72,7 +76,7 @@ DEFAULT_TELEMETRY_DIR = "telemetry"
 _FIGURE_QUANTITY = {2: "G", 3: "G", 4: "G", 5: "G", 6: "throughput", 7: "response"}
 
 
-def _cmd_list(_: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     rows = [
         [2, "Case 1", "G(k), RP scaled by network size"],
         [3, "Case 2", "G(k), RP scaled by service rate"],
@@ -82,8 +86,31 @@ def _cmd_list(_: argparse.Namespace) -> int:
         [7, "Case 3", "response times under estimator scaling"],
     ]
     print(format_table(["figure", "experiment", "series"], rows))
+    print("\n(`repro faults` runs the Case-1 churn study — G(k) under resource faults)")
     print(f"\nprofiles: {', '.join(sorted(PROFILES))}")
+    profile = PROFILES[args.profile]
+    print(
+        f"{profile.name}: {profile.base_resources} resources x "
+        f"{profile.base_schedulers} schedulers at k=1, "
+        f"scales {list(profile.scales)}, horizon {profile.horizon:g}"
+    )
     return 0
+
+
+def _load_fault_plan(path: str):
+    """Parse a ``FaultPlan`` JSON file (``plan_to_jsonable`` shape).
+
+    Returns ``None`` (after printing a one-line error) when the file is
+    missing or malformed; callers turn that into exit code 2.
+    """
+    from ..faults import plan_from_jsonable
+
+    try:
+        payload = json.loads(Path(path).read_text("utf-8"))
+        return plan_from_jsonable(payload)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot read fault plan {path}: {exc}", file=sys.stderr)
+        return None
 
 
 def _cache_root(args: argparse.Namespace) -> str:
@@ -202,16 +229,26 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from ..rms.registry import get_rms, rms_names
 
+    plan = None
+    if args.fault_plan:
+        plan = _load_fault_plan(args.fault_plan)
+        if plan is None:
+            return 2
+    extra = {} if plan is None else {"faults": plan}
+    # the ci profile reproduces the historical quick-comparison shape
+    # exactly; full scales the same recipe up to the paper's base pool
+    profile = PROFILES[args.profile]
     names = rms_names()
     configs = [
         SimulationConfig(
             rms=rms,
-            n_schedulers=8,
-            n_resources=24,
-            workload_rate=0.0067,
+            n_schedulers=profile.base_schedulers,
+            n_resources=profile.base_resources,
+            workload_rate=0.0067 * profile.base_resources / 24.0,
             update_interval=40.0 if rms == "CENTRAL" else 8.5,
-            horizon=12000.0,
+            horizon=profile.horizon,
             seed=args.seed,
+            **extra,
         )
         for rms in names
     ]
@@ -224,6 +261,56 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ]
     print(format_table(["RMS", "mechanism", "E", "G", "success"], rows, precision=3))
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faultstudy import fault_report, run_fault_study
+
+    plan = None
+    if args.fault_plan:
+        plan = _load_fault_plan(args.fault_plan)
+        if plan is None:
+            return 2
+    manifest_path = Path(_cache_root(args)) / "manifests" / "faults.json"
+    with _telemetry_scope(args), _flight_scope(args), _make_engine(args) as engine:
+        result = run_fault_study(
+            profile=args.profile,
+            rms=args.rms.split(",") if args.rms else None,
+            seed=args.seed,
+            plan=plan,
+            mttf=args.mttf,
+            mttr=args.mttr,
+            engine=engine,
+            manifest_path=manifest_path,
+        )
+    print(fault_report(result, precision=args.precision))
+    print(
+        f"\nmanifest written to {manifest_path} "
+        f"(decompose with `repro attrib {manifest_path}`)"
+    )
+    if args.events_out:
+        _dump_fault_events(result, args.events_out)
+    return 0
+
+
+def _dump_fault_events(result, path: str) -> None:
+    """Re-run the study's smallest config in-process and dump the
+    injector's fault-event timeline as JSONL (one event per line)."""
+    from .cases import get_case
+    from .runner import build_system
+
+    name = next(iter(result.series))
+    profile = PROFILES[result.profile]
+    config = get_case(1).config_for(
+        name, profile.scales[0], profile, seed=result.seed, faults=result.plan
+    )
+    system = build_system(config)
+    system.sim.run(until=config.horizon + config.drain)
+    events = [] if system.injector is None else system.injector.events
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    print(f"{len(events)} fault events ({name}, k={profile.scales[0]:g}) written to {path}")
 
 
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
@@ -277,6 +364,7 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
             baseline,
             jobs=args.jobs,
             rms=args.rms.split(",") if args.rms else None,
+            profile=args.profile,
         )
     try:
         checks = compare_bench(
@@ -297,6 +385,7 @@ def _cmd_attrib(args: argparse.Namespace) -> int:
     if source is None:
         candidates = [
             Path(_cache_root(args)) / "manifests" / "study.json",
+            Path(_cache_root(args)) / "manifests" / "faults.json",
             Path(DEFAULT_TELEMETRY_DIR),
         ]
         source = next((c for c in candidates if c.exists()), None)
@@ -362,12 +451,41 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+#: one place documenting the flag conventions shared across subcommands
+_EPILOG = """\
+flag conventions (uniform across subcommands):
+  --profile {ci,full}  scale profile; every subcommand accepts it
+                       (report-only subcommands take it for interface
+                       uniformity and profile-dependent defaults)
+  --fault-plan FILE    JSON FaultPlan (the repro.faults plan_to_jsonable
+                       shape) applied to every run of the invocation
+                       (accepted by: faults, compare)
+  --cache-dir DIR      run-cache root ($REPRO_CACHE_DIR, default
+                       .repro-cache/); study manifests live under
+                       <cache-dir>/manifests/
+  --telemetry-dir DIR  root for per-run telemetry directories
+                       ($REPRO_TELEMETRY_DIR, default telemetry/)
+"""
+
+
+def _add_profile_arg(sub: argparse.ArgumentParser, default: "str | None" = "ci") -> None:
+    """The uniform ``--profile`` flag (every subcommand takes it)."""
+    sub.add_argument(
+        "--profile",
+        default=default,
+        choices=sorted(PROFILES),
+        help="scale profile" + ("" if default else " (default: the source's own)"),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from 'Measuring Scalability of "
         "Resource Management Systems' (IPDPS 2005).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument(
         "--log-level",
@@ -377,11 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list regenerable figures").set_defaults(fn=_cmd_list)
+    lst = sub.add_parser("list", help="list regenerable figures")
+    _add_profile_arg(lst)
+    lst.set_defaults(fn=_cmd_list)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("number", type=int, help="figure number (2-7)")
-    fig.add_argument("--profile", default="ci", choices=sorted(PROFILES))
+    _add_profile_arg(fig)
     fig.add_argument("--rms", default=None, help="comma-separated subset of designs")
     fig.add_argument("--seed", type=int, default=7)
     fig.add_argument("--sa-iterations", type=int, default=None)
@@ -413,11 +533,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig.set_defaults(fn=_cmd_figure)
 
+    faults = sub.add_parser(
+        "faults",
+        help="churn study: Case-1 G(k) under a fault-injection plan",
+    )
+    _add_profile_arg(faults)
+    faults.add_argument("--rms", default=None, help="comma-separated subset of designs")
+    faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument(
+        "--mttf",
+        type=float,
+        default=None,
+        help="resource mean time to failure (default: horizon / 4)",
+    )
+    faults.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        help="resource mean time to recovery (default: MTTF / 10)",
+    )
+    faults.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON FaultPlan to inject instead of the default churn plan",
+    )
+    faults.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="also dump the smallest config's fault-event timeline as JSONL",
+    )
+    faults.add_argument("--precision", type=int, default=1)
+    _add_engine_args(faults)
+    faults.set_defaults(fn=_cmd_faults)
+
     bench = sub.add_parser(
         "bench-perf",
         help="measure kernel/sim/study performance and write BENCH_perf.json",
     )
-    bench.add_argument("--profile", default="ci", choices=sorted(PROFILES))
+    _add_profile_arg(bench)
     bench.add_argument("--rms", default=None, help="comma-separated subset of designs")
     bench.add_argument("--case", type=int, default=1, help="experiment case (1-4)")
     bench.add_argument("--seed", type=int, default=7)
@@ -452,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-check",
         help="perf-regression watchdog: fresh bench-perf vs the tracked record",
     )
+    _add_profile_arg(check, default=None)
     check.add_argument(
         "--baseline",
         default="BENCH_perf.json",
@@ -509,8 +665,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="a study manifest JSON or a telemetry run directory "
-        "(default: <cache-dir>/manifests/study.json, then telemetry/)",
+        "(default: <cache-dir>/manifests/{study,faults}.json, then telemetry/)",
     )
+    _add_profile_arg(att)
     att.add_argument(
         "--cache-dir",
         default=None,
@@ -523,7 +680,14 @@ def build_parser() -> argparse.ArgumentParser:
     att.set_defaults(fn=_cmd_attrib)
 
     cmp_ = sub.add_parser("compare", help="quick 7-design comparison run")
+    _add_profile_arg(cmp_)
     cmp_.add_argument("--seed", type=int, default=7)
+    cmp_.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON FaultPlan applied to every design's run",
+    )
     _add_engine_args(cmp_)
     cmp_.set_defaults(fn=_cmd_compare)
 
@@ -538,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     }
     for view, help_text in views.items():
         v = tel_sub.add_parser(view, help=help_text)
+        _add_profile_arg(v)
         v.add_argument(
             "dir",
             nargs="?",

@@ -21,9 +21,11 @@ consume work comparable to the delivered computation.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+from ..faults.plan import FaultPlan
 from ..grid.costs import CostModel
 
 __all__ = ["CommonParameters", "ScaleProfile", "SimulationConfig", "PROFILES"]
@@ -161,8 +163,15 @@ class SimulationConfig:
         Table-1 constants.
     costs:
         Processing-cost model.
+    faults:
+        The run's :class:`~repro.faults.plan.FaultPlan` (inert by
+        default).  Hashed into the run-cache key like every other
+        field.
     loss_probability:
-        Message-loss injection (0 for paper experiments).
+        Deprecated: use ``faults.link_loss``.  A nonzero value emits a
+        ``DeprecationWarning`` and is canonicalized onto the fault plan
+        (the field itself is reset to 0), so equivalent configs hash to
+        the same cache key regardless of which spelling was used.
     """
 
     rms: str
@@ -181,6 +190,7 @@ class SimulationConfig:
     seed: int = 7
     common: CommonParameters = field(default_factory=CommonParameters)
     costs: CostModel = field(default_factory=CostModel)
+    faults: FaultPlan = field(default_factory=FaultPlan)
     loss_probability: float = 0.0
     #: estimator aggregation period; ``None`` derives it as half the
     #: update interval, ``0`` disables batching (ablation).
@@ -215,6 +225,38 @@ class SimulationConfig:
             raise ValueError("horizon must be positive, drain nonnegative")
         if not (0.0 <= self.dependency_prob <= 1.0):
             raise ValueError("dependency_prob must be in [0, 1]")
+        if self.loss_probability:
+            warnings.warn(
+                "SimulationConfig.loss_probability is deprecated; "
+                "use faults=FaultPlan(link_loss=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self.faults.link_loss:
+                raise ValueError(
+                    "loss_probability (deprecated) and faults.link_loss "
+                    "both set; use only faults.link_loss"
+                )
+            if not (0.0 <= self.loss_probability < 1.0):
+                raise ValueError("loss_probability must be in [0, 1)")
+            # Canonicalize onto the plan: equivalent configs become
+            # *literally* equal, so they hash to the same cache key.
+            object.__setattr__(
+                self,
+                "faults",
+                replace(self.faults, link_loss=self.loss_probability),
+            )
+            object.__setattr__(self, "loss_probability", 0.0)
+
+    @property
+    def heartbeat_timeout(self) -> float:
+        """Dead-declaration silence span (plan override or derived)."""
+        return self.faults.effective_heartbeat_timeout(self.update_interval)
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """Estimator liveness-sweep period (plan override or derived)."""
+        return self.faults.effective_heartbeat_interval(self.update_interval)
 
     def with_enablers(self, settings: Dict[str, float]) -> "SimulationConfig":
         """A copy with enabler settings applied (unknown keys rejected)."""

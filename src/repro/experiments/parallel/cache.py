@@ -78,6 +78,8 @@ def metrics_to_jsonable(metrics: RunMetrics) -> Dict[str, Any]:
         out["attribution"] = metrics.attribution
     if metrics.traffic is not None:
         out["traffic"] = metrics.traffic
+    if metrics.fault_stats is not None:
+        out["fault_stats"] = metrics.fault_stats
     return out
 
 
@@ -104,6 +106,7 @@ def metrics_from_jsonable(payload: Dict[str, Any]) -> RunMetrics:
         horizon=float(payload["horizon"]),
         attribution=payload.get("attribution"),
         traffic=payload.get("traffic"),
+        fault_stats=payload.get("fault_stats"),
     )
 
 

@@ -36,7 +36,11 @@ __all__ = ["CACHE_SCHEMA_VERSION", "canonical_config", "config_key", "canonical_
 #: summary, and F/G/H are correctly-rounded ``fsum`` totals — pre-v2
 #: entries hold last-ulp-different sequential sums and must not mix
 #: with fresh runs)
-CACHE_SCHEMA_VERSION = 2
+#: (v3: SimulationConfig carries a FaultPlan — nested dataclasses
+#: canonicalize recursively, so it hashes automatically — the
+#: deprecated loss_probability knob canonicalizes onto the plan, and
+#: RunMetrics may carry fault_stats)
+CACHE_SCHEMA_VERSION = 3
 
 
 def _plain(value: Any) -> Any:

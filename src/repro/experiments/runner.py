@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.efficiency import EfficiencyRecord
 from ..core.ledger import Category, CostLedger
+from ..faults.injector import FaultInjector
 from ..grid.estimator import Estimator
 from ..grid.jobs import Job, JobState
 from ..grid.middleware import Middleware
@@ -121,6 +122,8 @@ class System:
     jobs: List[Job]
     #: present only for dependency-constrained workloads
     coordinator: Optional[DependencyCoordinator] = None
+    #: present only when the config's FaultPlan injects faults
+    injector: Optional[FaultInjector] = None
 
 
 @dataclass(frozen=True)
@@ -149,6 +152,10 @@ class RunMetrics:
     #: hops) — the network's axis of the attribution report; transit time
     #: is latency, not RMS cost, so it never appears in G.
     traffic: Optional[Dict[str, Dict[str, float]]] = None
+    #: fault-injection and recovery counters (crashes, jobs killed,
+    #: re-dispatches, ...); ``None`` for fault-free runs so zero-fault
+    #: metrics stay byte-identical to pre-faults builds.
+    fault_stats: Optional[Dict[str, int]] = None
 
     @property
     def success_rate(self) -> float:
@@ -187,12 +194,17 @@ def build_system(config: SimulationConfig) -> System:
         n_estimators=n_est,
     )
     router = Router(topo)
+    # The plan's link_loss subsumes the deprecated loss_probability
+    # knob (__post_init__ canonicalizes it onto the plan); the rng
+    # stream name is unchanged so the deprecated spelling reproduces
+    # the same loss decisions bit-for-bit.
+    plan = config.faults
     network = Network(
         sim,
         router,
         delay_scale=config.link_delay_scale,
-        loss_probability=config.loss_probability,
-        rng=hub.stream("loss") if config.loss_probability > 0 else None,
+        loss_probability=plan.link_loss,
+        rng=hub.stream("loss") if plan.any_link_loss else None,
     )
 
     # --- resources -------------------------------------------------------
@@ -226,6 +238,8 @@ def build_system(config: SimulationConfig) -> System:
         sched.rng = hub.stream(f"sched{s}")
         sched.l_p = config.l_p
         sched.t_l = config.common.t_l
+        sched.redispatch_backoff = plan.redispatch_backoff
+        sched.redispatch_cap = plan.redispatch_cap
         if hasattr(sched, "volunteer_interval"):
             sched.volunteer_interval = config.volunteer_interval
         schedulers.append(sched)
@@ -283,6 +297,43 @@ def build_system(config: SimulationConfig) -> System:
                 phase=float(phase_rng.random() * config.volunteer_interval)
             )
 
+    # --- fault injection -------------------------------------------------
+    # Everything here is gated on the plan actually injecting something,
+    # so an inert FaultPlan() adds no events, draws no RNG streams, and
+    # leaves zero-fault runs byte-identical to a build without the
+    # subsystem.
+    injector = None
+    if plan.has_resource_faults:
+        # Failure detection: each estimator watches the resources that
+        # report to it.  Sweeps are phase-staggered deterministically so
+        # the estimators do not all sweep at the same instant.
+        hb_timeout = config.heartbeat_timeout
+        hb_interval = config.heartbeat_interval
+        watched: Dict[int, Dict[int, int]] = {}
+        for r in range(config.n_resources):
+            e = gm.estimator_of_resource[r]
+            watched.setdefault(e, {})[r] = gm.cluster_of_resource[r]
+        for e, est in enumerate(estimators):
+            if e in watched:
+                est.start_watch(
+                    watched[e],
+                    timeout=hb_timeout,
+                    interval=hb_interval,
+                    phase=hb_interval * e / max(1, n_est),
+                )
+    if not plan.is_inert and (
+        plan.has_resource_faults or plan.blackouts or plan.degradations
+    ):
+        injector = FaultInjector(sim, plan, resources, schedulers, network)
+        # Fault onsets stop with the workload at the horizon; recoveries
+        # keep landing through the drain so killed jobs can still be
+        # detected and re-dispatched before the run ends.
+        injector.arm(
+            end=config.horizon,
+            rng=hub.stream("faults") if plan.has_churn else None,
+            recover_until=config.horizon + config.drain,
+        )
+
     # --- workload -------------------------------------------------------------
     generator = WorkloadGenerator(
         rate=config.workload_rate,
@@ -335,6 +386,7 @@ def build_system(config: SimulationConfig) -> System:
         middleware=middleware,
         jobs=jobs,
         coordinator=coordinator,
+        injector=injector,
     )
 
 
@@ -445,6 +497,33 @@ def summarize(system: System) -> RunMetrics:
             )
             exc._flightrec_dumped = True
         raise
+    fault_stats = None
+    plan = system.config.faults
+    if system.injector is not None or plan.has_resource_faults:
+        fault_stats = {
+            "crashes": 0,
+            "recoveries": 0,
+            "blackouts": 0,
+            "degradations": 0,
+        }
+        if system.injector is not None:
+            fault_stats.update(system.injector.stats())
+        fault_stats["jobs_killed"] = sum(r.jobs_killed for r in system.resources)
+        fault_stats["stale_dispatches"] = sum(
+            r.stale_dispatches for r in system.resources
+        )
+        fault_stats["dead_reported"] = sum(
+            e.dead_reported for e in system.estimators
+        )
+        fault_stats["dead_notices"] = sum(
+            s.dead_notices for s in system.schedulers
+        )
+        fault_stats["redispatches"] = sum(
+            s.redispatches for s in system.schedulers
+        )
+        fault_stats["jobs_unrecovered"] = sum(
+            1 for j in jobs if j.state == JobState.FAILED
+        )
     return RunMetrics(
         record=EfficiencyRecord.from_ledger(system.ledger),
         jobs_submitted=len(jobs),
@@ -457,4 +536,5 @@ def summarize(system: System) -> RunMetrics:
         horizon=horizon,
         attribution=system.ledger.attribution(),
         traffic=system.network.traffic_summary(),
+        fault_stats=fault_stats,
     )

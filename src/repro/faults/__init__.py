@@ -1,0 +1,32 @@
+"""Fault injection and recovery: the :class:`FaultPlan` public API.
+
+``repro.faults`` makes resource churn, scheduler blackouts, and link
+degradation first-class, deterministic experiment inputs.  A
+:class:`FaultPlan` rides on
+:class:`~repro.experiments.config.SimulationConfig` (and therefore on
+the run-cache key); :class:`FaultInjector` compiles it into timed
+simulator events at build time.  Recovery costs — heartbeat sweeps,
+dead-resource processing, job re-dispatch — are charged to ``G`` under
+the ``g.faults`` attribution category, so churn shows up directly in
+``repro attrib`` and the isoefficiency procedure.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    Blackout,
+    CrashEvent,
+    DegradationWindow,
+    FaultPlan,
+    plan_from_jsonable,
+    plan_to_jsonable,
+)
+
+__all__ = [
+    "Blackout",
+    "CrashEvent",
+    "DegradationWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "plan_from_jsonable",
+    "plan_to_jsonable",
+]

@@ -1,0 +1,209 @@
+"""Deterministic fault injector: turns a :class:`FaultPlan` into timed
+simulator events.
+
+The injector is pure orchestration — it owns no failure semantics.  It
+schedules calls into the substrate (``Resource.fail``/``repair``,
+``MessageServer.pause``/``resume`` on schedulers,
+``Network.push_degradation``/``pop_degradation``) at instants computed
+up front in :meth:`FaultInjector.arm`:
+
+* explicit :class:`~repro.faults.plan.CrashEvent` /
+  :class:`~repro.faults.plan.Blackout` /
+  :class:`~repro.faults.plan.DegradationWindow` timelines verbatim
+  (entity ids taken modulo the pool size so plans survive scale walks);
+* stochastic churn as alternating exponential up/down spans drawn from
+  the run's dedicated ``"faults"`` RNG stream *before* the run starts,
+  so the draw order is a function of the config alone — never of
+  simulation interleaving.
+
+Every fired fault appends a JSON-ready record to :attr:`events` (the
+CLI's fault-event JSONL export), emits a telemetry event, and feeds the
+flight recorder's fault ring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..telemetry import flightrec as _flightrec
+from ..telemetry.spans import current as _telemetry
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules the faults of one plan onto one built system.
+
+    Parameters
+    ----------
+    sim:
+        The run's simulator.
+    plan:
+        The fault schedule.
+    resources / schedulers:
+        The built pool (crash/blackout subjects, indexed by id).
+    network:
+        The transport degradation windows modulate.
+    """
+
+    def __init__(self, sim, plan: FaultPlan, resources: Sequence, schedulers: Sequence, network) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.resources = list(resources)
+        self.schedulers = list(schedulers)
+        self.network = network
+        #: JSON-ready fired-fault records, in firing order
+        self.events: List[Dict[str, Any]] = []
+        self.crashes = 0
+        self.recoveries = 0
+        self.blackouts = 0
+        self.degradations = 0
+        self._armed = False
+        self._recover_until = float("inf")
+
+    # -- timeline construction ----------------------------------------------
+    def arm(self, end: float, rng=None, recover_until: Optional[float] = None) -> None:
+        """Schedule every fault with an *onset* instant in ``[0, end)``.
+
+        ``recover_until`` bounds recovery instants (crash repairs,
+        blackout ends, degradation ends); it defaults to ``end``.  The
+        runner passes ``end=horizon`` and ``recover_until=horizon+drain``
+        so fault injection stops with the workload while repairs keep
+        landing through the drain — otherwise churn during the drain
+        could strand a re-dispatched job past the end of the run.
+
+        ``rng`` is required iff the plan has stochastic churn
+        (``resource_mttf`` set); explicit timelines are deterministic
+        without it.  Churn draws happen here, eagerly and in resource-id
+        order, so the stream consumption is reproducible.
+        """
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        if recover_until is None:
+            recover_until = end
+        self._recover_until = recover_until
+        plan = self.plan
+
+        for crash in plan.crashes:
+            if not self.resources:
+                break
+            rid = crash.resource % len(self.resources)
+            self._arm_outage(rid, crash.at, crash.duration, end)
+
+        if plan.has_churn:
+            if rng is None:
+                raise ValueError("stochastic churn requires an rng")
+            self._arm_churn(end, rng)
+
+        for blackout in plan.blackouts:
+            if not self.schedulers:
+                break
+            sid = blackout.scheduler % len(self.schedulers)
+            if blackout.at >= end:
+                continue
+            self.sim.schedule_at(blackout.at, self._blackout_start, sid, blackout.duration)
+            self.sim.schedule_at(
+                min(recover_until, blackout.at + blackout.duration),
+                self._blackout_end,
+                sid,
+            )
+
+        for window in plan.degradations:
+            if window.at >= end:
+                continue
+            self.sim.schedule_at(window.at, self._degrade_start, window)
+            self.sim.schedule_at(
+                min(recover_until, window.at + window.duration),
+                self._degrade_end,
+                window,
+            )
+
+    def _arm_churn(self, end: float, rng) -> None:
+        plan = self.plan
+        mttf = plan.resource_mttf
+        mttr = plan.effective_mttr
+        n = len(self.resources)
+        subjects = list(range(n))
+        if plan.churn_fraction < 1.0 and n > 0:
+            count = max(1, int(round(plan.churn_fraction * n)))
+            chosen = rng.choice(n, size=count, replace=False)
+            subjects = sorted(int(r) for r in chosen)
+        for rid in subjects:
+            t = float(rng.exponential(mttf))
+            while t < end:
+                down = float(rng.exponential(mttr))
+                self._arm_outage(rid, t, down, end)
+                t += down + float(rng.exponential(mttf))
+
+    def _arm_outage(self, rid: int, at: float, duration: float, end: float) -> None:
+        if at >= end:
+            return
+        self.sim.schedule_at(at, self._crash, rid)
+        recover_at = at + duration
+        if recover_at < self._recover_until:
+            self.sim.schedule_at(recover_at, self._recover, rid)
+
+    # -- firing callbacks -----------------------------------------------------
+    def _record(self, kind: str, **fields: Any) -> None:
+        entry: Dict[str, Any] = {"t": self.sim.now, "kind": kind}
+        entry.update(fields)
+        self.events.append(entry)
+        _telemetry().event(f"fault.{kind}", t=self.sim.now, **fields)
+        rec = _flightrec.current()
+        if rec is not None:
+            rec.fault_event(kind, t=self.sim.now, **fields)
+
+    def _crash(self, rid: int) -> None:
+        res = self.resources[rid]
+        if res.failed:
+            return
+        killed = res.fail()
+        self.crashes += 1
+        self._record("crash", resource=rid, cluster=res.cluster_id, jobs_killed=killed)
+
+    def _recover(self, rid: int) -> None:
+        res = self.resources[rid]
+        if not res.failed:
+            return
+        res.repair()
+        self.recoveries += 1
+        self._record("recover", resource=rid, cluster=res.cluster_id)
+
+    def _blackout_start(self, sid: int, duration: float) -> None:
+        self.schedulers[sid].pause()
+        self.blackouts += 1
+        self._record("blackout", scheduler=sid, duration=duration)
+
+    def _blackout_end(self, sid: int) -> None:
+        self.schedulers[sid].resume()
+        self._record("blackout_end", scheduler=sid)
+
+    def _degrade_start(self, window) -> None:
+        self.network.push_degradation(
+            extra_loss=window.extra_loss, delay_factor=window.delay_factor
+        )
+        self.degradations += 1
+        self._record(
+            "degrade",
+            extra_loss=window.extra_loss,
+            delay_factor=window.delay_factor,
+            duration=window.duration,
+        )
+
+    def _degrade_end(self, window) -> None:
+        self.network.pop_degradation(
+            extra_loss=window.extra_loss, delay_factor=window.delay_factor
+        )
+        self._record("degrade_end", extra_loss=window.extra_loss, delay_factor=window.delay_factor)
+
+    # -- reporting -------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Injection counters (merged into ``RunMetrics.fault_stats``)."""
+        return {
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "blackouts": self.blackouts,
+            "degradations": self.degradations,
+        }

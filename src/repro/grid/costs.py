@@ -57,6 +57,13 @@ class CostModel:
         RP-side per-job dispatch/teardown overhead (rolls into H).
     data_mgmt:
         RP-side per-transfer data-staging overhead (rolls into H).
+    heartbeat_proc:
+        Estimator cost per watched resource per liveness sweep (rolls
+        into ``g.faults``; zero when fault detection is off).
+    fault_proc:
+        Scheduler cost to process one dead-resource notification.
+    redispatch_proc:
+        Scheduler cost to re-dispatch one job lost to a crash.
     """
 
     decision_base: float = 1.0
@@ -71,6 +78,9 @@ class CostModel:
     middleware_service: float = 1.0
     job_control: float = 0.5
     data_mgmt: float = 0.3
+    heartbeat_proc: float = 0.05
+    fault_proc: float = 2.0
+    redispatch_proc: float = 1.0
 
     def __post_init__(self) -> None:
         for field_name in self.__dataclass_fields__:

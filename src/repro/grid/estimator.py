@@ -27,7 +27,7 @@ forwarding) — used by unit tests and the ablation bench.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Set
 
 from ..core.ledger import Category, CostLedger
 from ..network.messages import Message, MessageKind
@@ -81,6 +81,22 @@ class Estimator(MessageServer):
         # wired by the builder
         self.network = None
 
+        # Liveness watch (armed only when the run's FaultPlan can crash
+        # resources; see start_watch)
+        self._watched: Dict[int, int] = {}
+        self._last_seen: Dict[int, float] = {}
+        self._last_incarnation: Dict[int, int] = {}
+        self._notified: Set[int] = set()
+        self._declared_at: Dict[int, float] = {}
+        self._watch_timeout: Optional[float] = None
+        self._watch_interval: Optional[float] = None
+        #: dead declarations emitted (diagnostics)
+        self.dead_reported = 0
+        # recovery work is attributed to the cross-cutting "faults"
+        # component (the entity segment still names this estimator), so
+        # `repro attrib` shows recovery as its own G column
+        self._src_heartbeat = ("faults", name, "heartbeat")
+
     def service_time(self, message: Message) -> float:
         """Processing cost of one status update."""
         return self.costs.estimator_proc
@@ -89,10 +105,67 @@ class Estimator(MessageServer):
         """Estimator busy time is RMS overhead."""
         return Category.ESTIMATOR
 
+    def _deliver_watched(self, message: Message) -> None:
+        """Liveness bookkeeping at *arrival*, then normal queueing.
+
+        Installed as the instance's ``deliver`` by :meth:`start_watch`
+        (zero overhead on the hot path of watch-free runs).  The watch
+        reads receipt timestamps, not service completions: a saturated
+        estimator (CENTRAL under churn) would otherwise see every
+        healthy report hours late through its own backlog and
+        mass-declare false deaths.  Real failure detectors timestamp at
+        the transport layer for the same reason; the O(1) bookkeeping
+        here is free — detection *work* is charged by the sweep.
+        """
+        if (
+            self._watch_timeout is not None
+            and getattr(message, "kind", None) == MessageKind.STATUS_UPDATE
+        ):
+            rid = message.payload["resource_id"]
+            if rid in self._watched:
+                # A report created before the death was declared is not
+                # evidence of revival — it was in flight when the node
+                # went down.  Ignoring it keeps a genuinely dead
+                # resource declared instead of flapping
+                # re-clear/re-declare/re-sweep on every late pre-crash
+                # update.
+                declared = self._declared_at.get(rid)
+                sent = message.created_at
+                if not (
+                    declared is not None and sent is not None and sent <= declared
+                ):
+                    incarnation = message.payload.get("incarnation", 0)
+                    previous = self._last_incarnation.get(rid)
+                    if (
+                        previous is not None
+                        and incarnation > previous
+                        and rid not in self._notified
+                    ):
+                        # The resource rebooted between two reports: its
+                        # silence never exceeded the timeout, but
+                        # everything it was running is gone.  Declare
+                        # the death retroactively so the scheduler
+                        # re-dispatches.
+                        self._declare_dead(rid)
+                    self._last_incarnation[rid] = incarnation
+                    self._last_seen[rid] = self.sim.now
+                    self._notified.discard(rid)
+        super().deliver(message)
+
     def handle(self, message: Message) -> None:
         """Absorb the update; forward now (unbatched) or at the flush."""
         if message.kind != MessageKind.STATUS_UPDATE:
             raise ValueError(f"estimator {self.name} got unexpected {message.kind}")
+        if self._watch_timeout is not None:
+            rid = message.payload["resource_id"]
+            if rid in self._watched:
+                # Drop pre-declaration reports for state too — a stale
+                # load snapshot must not revive the dead entry in the
+                # scheduler's table and draw placements onto a dead node.
+                declared = self._declared_at.get(rid)
+                sent = message.created_at
+                if declared is not None and sent is not None and sent <= declared:
+                    return
         cluster_id = message.payload["cluster_id"]
         if cluster_id not in self.schedulers:
             return  # estimator covers no resources of that cluster
@@ -137,3 +210,81 @@ class Estimator(MessageServer):
             scheduler.deliver(fwd)
         else:
             self.network.send_from(fwd, self, scheduler)
+
+    # ------------------------------------------------------------------
+    # Liveness watch (failure detection)
+    # ------------------------------------------------------------------
+    def start_watch(
+        self,
+        resources: Dict[int, int],
+        timeout: float,
+        interval: float,
+        phase: float = 0.0,
+    ) -> None:
+        """Watch ``resources`` (``resource_id -> cluster_id``) for
+        silence exceeding ``timeout``.
+
+        A periodic sweep (period ``interval``, offset ``phase``) checks
+        when each watched resource was last heard from; one that stayed
+        silent beyond ``timeout`` is declared dead exactly once — a
+        reliable ``RESOURCE_DEAD`` goes to its cluster's scheduler — and
+        any later update from it clears the declaration.  ``timeout``
+        must exceed the resources' keepalive span, or healthy quiet
+        resources get declared dead.
+
+        Every sweep charges ``heartbeat_proc`` per watched resource to
+        ``g.faults``: failure detection is RMS overhead the efficiency
+        model must see.
+        """
+        if timeout <= 0.0 or interval <= 0.0:
+            raise ValueError("watch timeout and interval must be positive")
+        self._watched = dict(resources)
+        # Baseline: wiring time counts as "heard from" so a resource is
+        # never declared dead before its first report was even due.
+        self._last_seen = {rid: self.sim.now for rid in self._watched}
+        self._last_incarnation = {}
+        self._notified = set()
+        self._declared_at = {}
+        self._watch_timeout = timeout
+        self._watch_interval = interval
+        # Shadow the class method on this instance only: watch-free
+        # runs keep the base deliver() with no extra call layer.
+        self.deliver = self._deliver_watched
+        self.sim.schedule(phase % interval, self._watch_sweep)
+
+    def _watch_sweep(self) -> None:
+        if self._watch_timeout is None or not self._watched:
+            return
+        self.ledger.charge(
+            Category.FAULTS,
+            self.costs.heartbeat_proc * len(self._watched),
+            self._src_heartbeat,
+        )
+        now = self.sim.now
+        for rid in sorted(self._watched):
+            if rid in self._notified:
+                continue
+            if now - self._last_seen[rid] > self._watch_timeout:
+                self._declare_dead(rid)
+        self.sim.schedule(self._watch_interval, self._watch_sweep)
+
+    def _declare_dead(self, rid: int) -> None:
+        """Declare ``rid`` dead once: reliable ``RESOURCE_DEAD`` to its
+        cluster's scheduler.  Reached from the silence sweep and from
+        incarnation jumps (reboot faster than the timeout)."""
+        self._notified.add(rid)
+        self._declared_at[rid] = self.sim.now
+        self.dead_reported += 1
+        scheduler = self.schedulers.get(self._watched[rid])
+        if scheduler is not None and self.network is not None:
+            self.network.send_from(
+                Message(
+                    MessageKind.RESOURCE_DEAD,
+                    payload={
+                        "resource_id": rid,
+                        "cluster_id": self._watched[rid],
+                    },
+                ),
+                self,
+                scheduler,
+            )

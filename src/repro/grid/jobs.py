@@ -10,10 +10,15 @@ Lifecycle::
     SUBMITTED --> WAITING (held in a scheduler wait queue; R-I/Sy-I)
               \\-> PLACED  (dispatched toward a resource)
                    -> RUNNING -> COMPLETED
+                \\        \\-> FAILED (resource crashed; re-dispatched
+                 \\------------/      back to SUBMITTED with backoff)
 
 A completed job is **successful** iff its response time (completion -
 arrival) is within ``U_b = benefit_factor * execution_time`` (Table 1).
-Only successful jobs contribute useful work ``F``.
+Only successful jobs contribute useful work ``F``.  Work a crashed
+resource performed on a job is lost — only the final, completed run
+charges ``F`` — so recovery shows up both as lost time (the response
+clock keeps running) and as ``g.faults`` re-dispatch overhead.
 """
 
 from __future__ import annotations
@@ -33,8 +38,9 @@ class JobState:
     PLACED = "placed"
     RUNNING = "running"
     COMPLETED = "completed"
+    FAILED = "failed"
 
-    ORDER = (SUBMITTED, WAITING, PLACED, RUNNING, COMPLETED)
+    ORDER = (SUBMITTED, WAITING, PLACED, RUNNING, COMPLETED, FAILED)
 
 
 class Job:
@@ -52,6 +58,12 @@ class Job:
         Service start and completion instants at the resource.
     transfers:
         Number of inter-cluster moves the RMS performed on the job.
+    retries:
+        Number of re-dispatches after resource crashes.
+    dispatch_epoch:
+        Monotonic placement counter; every dispatch carries the epoch
+        it was issued under, so a resource can reject a stale dispatch
+        that raced a crash-triggered re-dispatch of the same job.
     """
 
     __slots__ = (
@@ -61,6 +73,8 @@ class Job:
         "start_service",
         "completion_time",
         "transfers",
+        "retries",
+        "dispatch_epoch",
     )
 
     def __init__(self, spec: JobSpec) -> None:
@@ -70,6 +84,8 @@ class Job:
         self.start_service: Optional[float] = None
         self.completion_time: Optional[float] = None
         self.transfers = 0
+        self.retries = 0
+        self.dispatch_epoch = 0
 
     # Convenience passthroughs ------------------------------------------
     @property
@@ -113,6 +129,7 @@ class Job:
             self.transfers += 1
         self.executed_cluster = cluster
         self.state = JobState.PLACED
+        self.dispatch_epoch += 1
 
     def mark_running(self, now: float) -> None:
         """Resource began serving the job."""
@@ -125,6 +142,20 @@ class Job:
         self._require(JobState.RUNNING, JobState.COMPLETED)
         self.completion_time = now
         self.state = JobState.COMPLETED
+
+    def mark_failed(self) -> None:
+        """The resource holding the job crashed; work in progress is lost."""
+        if self.state not in (JobState.PLACED, JobState.RUNNING):
+            raise ValueError(f"cannot fail job in state {self.state}")
+        self.start_service = None
+        self.state = JobState.FAILED
+
+    def mark_requeued(self) -> None:
+        """Scheduler re-dispatches the job after a crash (counts a retry)."""
+        if self.state not in (JobState.FAILED, JobState.PLACED):
+            raise ValueError(f"cannot requeue job in state {self.state}")
+        self.retries += 1
+        self.state = JobState.SUBMITTED
 
     def _require(self, expected: str, target: str) -> None:
         if self.state != expected:

@@ -24,7 +24,7 @@ at load >= 1.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 from ..core.ledger import Category, CostLedger
 from ..network.messages import Message, MessageKind
@@ -32,7 +32,7 @@ from ..sim.entity import Entity
 from ..sim.kernel import Simulator
 from ..sim.monitor import TimeWeighted
 from .costs import CostModel
-from .jobs import Job
+from .jobs import Job, JobState
 
 __all__ = ["Resource"]
 
@@ -96,14 +96,31 @@ class Resource(Entity):
         self._src_data_mgmt = ("resource", name, MessageKind.JOB_TRANSFER)
         self._src_useful = ("resource", name, "execution")
 
-        self._queue: Deque[Job] = deque()
+        #: (job, dispatch epoch at enqueue) — the epoch lets the head
+        #: pop discard dispatches that went stale while queued (the job
+        #: was re-dispatched elsewhere after this resource crashed)
+        self._queue: Deque[Tuple[Job, int]] = deque()
         self._running: set = set()
+        self._finish_events: Dict[Job, object] = {}
         self._busy_procs = 0
         self.online = True
+        #: crashed (fault injection); distinct from a mere `online`
+        #: toggle — a failed resource loses its work and goes silent
+        self.failed = False
+        self._failed_interval: Optional[float] = None
+        #: boot epoch, bumped on every repair and carried in status
+        #: updates — lets the estimator detect a crash-and-reboot that
+        #: completed inside the heartbeat-timeout window (the silence
+        #: never exceeded the timeout, but the jobs are gone anyway)
+        self.incarnation = 0
         #: lifetime counters
         self.jobs_received = 0
         self.jobs_completed = 0
         self.jobs_successful = 0
+        #: jobs lost to crashes at this resource
+        self.jobs_killed = 0
+        #: dispatches discarded because the job had moved on (stale epoch)
+        self.stale_dispatches = 0
         #: time-weighted utilization (1 while serving)
         self.util_stat = TimeWeighted(f"{name}.util", time=sim.now)
 
@@ -151,17 +168,36 @@ class Resource(Entity):
         """Accept a ``JOB_DISPATCH``; anything else is a protocol error."""
         if message.kind != MessageKind.JOB_DISPATCH:
             raise ValueError(f"resource {self.name} got unexpected {message.kind}")
-        self.accept_job(message.payload["job"])
+        self.accept_job(message.payload["job"], message.payload.get("epoch"))
 
-    def accept_job(self, job: Job) -> None:
-        """Enqueue ``job`` for execution (entry point for dispatches)."""
+    def accept_job(self, job: Job, epoch: Optional[int] = None) -> None:
+        """Enqueue ``job`` for execution (entry point for dispatches).
+
+        ``epoch`` is the job's dispatch epoch as stamped by the sender;
+        ``None`` (direct calls, legacy payloads) means "current".  A
+        dispatch whose epoch no longer matches the job's is stale — the
+        scheduler re-dispatched the job elsewhere after this resource
+        crashed — and is discarded.
+        """
+        if epoch is None:
+            epoch = job.dispatch_epoch
+        if self.failed:
+            # The node is down: the dispatch is lost with everything on
+            # it.  The scheduler recovers via the heartbeat-timeout path.
+            self.jobs_killed += 1
+            if epoch == job.dispatch_epoch and job.state == JobState.PLACED:
+                job.mark_failed()
+            return
         self.jobs_received += 1
         # Per-job control overhead at the RP (paper: H(k); kept small).
         self.ledger.charge(Category.JOB_CONTROL, self.costs.job_control, self._src_job_control)
+        if epoch != job.dispatch_epoch:
+            self.stale_dispatches += 1
+            return
         if job.transfers > 0:
             # Transferred jobs incur data staging at the receiving side.
             self.ledger.charge(Category.DATA_MGMT, self.costs.data_mgmt, self._src_data_mgmt)
-        self._queue.append(job)
+        self._queue.append((job, epoch))
         self._maybe_start()
         self._load_changed()
 
@@ -174,7 +210,13 @@ class Resource(Entity):
         # as its partition fits (the paper's single-processor case
         # degenerates to the classic single-server queue).
         while self.online and self._queue:
-            head = self._queue[0]
+            head, epoch = self._queue[0]
+            if epoch != head.dispatch_epoch:
+                # Went stale while queued (crash here + re-dispatch
+                # elsewhere); drop without starting.
+                self._queue.popleft()
+                self.stale_dispatches += 1
+                continue
             p = self._partition_of(head)
             if p > self.free_processors:
                 return
@@ -185,10 +227,11 @@ class Resource(Entity):
             self.util_stat.update(self.sim.now, self._busy_procs / self.n_processors)
             speedup = p ** self.speedup_exponent
             service = head.spec.execution_time / (self.service_rate * speedup)
-            self.sim.schedule(service, self._finish, head)
+            self._finish_events[head] = self.sim.schedule(service, self._finish, head)
 
     def _finish(self, job: Job) -> None:
         assert job in self._running
+        self._finish_events.pop(job, None)
         self._running.discard(job)
         self._busy_procs -= self._partition_of(job)
         self.util_stat.update(self.sim.now, self._busy_procs / self.n_processors)
@@ -219,6 +262,61 @@ class Resource(Entity):
     def set_online(self) -> None:
         """Resume service, immediately starting queued work."""
         self.online = True
+        self._maybe_start()
+
+    def fail(self) -> int:
+        """Crash the resource: every job on it is lost and it goes silent.
+
+        Running jobs are killed mid-service (their completion events are
+        cancelled, their partial work never reaches ``F``), queued jobs
+        are dropped, and status reporting stops — the estimator's
+        heartbeat timeout is the only way the RMS learns about the
+        crash, exactly as with a real silent node failure.
+
+        Returns the number of jobs killed.
+        """
+        if self.failed:
+            return 0
+        self.failed = True
+        self.online = False
+        killed = 0
+        for job in list(self._running):
+            ev = self._finish_events.pop(job, None)
+            if ev is not None:
+                self.sim.cancel(ev)
+            job.mark_failed()
+            killed += 1
+        self._running.clear()
+        self._busy_procs = 0
+        self.util_stat.update(self.sim.now, 0.0)
+        for job, epoch in self._queue:
+            if epoch == job.dispatch_epoch and job.state == JobState.PLACED:
+                job.mark_failed()
+                killed += 1
+        self._queue.clear()
+        self.jobs_killed += killed
+        self._failed_interval = self._report_interval
+        self.stop_reporting()
+        return killed
+
+    def repair(self) -> None:
+        """Recover from a crash: come back empty and announce liveness.
+
+        The first post-repair status report is unconditional (the last
+        reported load is forgotten), which is what revives the entry in
+        every :class:`~repro.grid.status.StatusTable` that aged it out.
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self.online = True
+        self.incarnation += 1
+        if self._failed_interval is not None:
+            self._last_reported_load = None
+            self.start_reporting(
+                self._failed_interval, phase=0.0, max_silence=self._max_silence
+            )
+            self._failed_interval = None
         self._maybe_start()
 
     # ------------------------------------------------------------------
@@ -287,6 +385,7 @@ class Resource(Entity):
                         "resource_id": self.resource_id,
                         "cluster_id": self.cluster_id,
                         "load": load,
+                        "incarnation": self.incarnation,
                     },
                 ),
                 self,

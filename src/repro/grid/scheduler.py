@@ -96,6 +96,10 @@ class SchedulerBase(MessageServer):
         self.t_l: float = 0.5
         #: how long a parked job may wait before forced local dispatch
         self.wait_timeout: float = 300.0
+        #: capped exponential backoff for crash re-dispatch (overridden
+        #: from the run's FaultPlan by the builder)
+        self.redispatch_backoff: float = 20.0
+        self.redispatch_cap: float = 320.0
 
         # Statistics ----------------------------------------------------------
         self.jobs_submitted = 0
@@ -103,6 +107,24 @@ class SchedulerBase(MessageServer):
         self.jobs_sent_remote = 0
         self.jobs_received_remote = 0
         self._wait_queue: Deque[Job] = deque()
+
+        # Failure recovery ----------------------------------------------------
+        #: job_id -> (job, resource_id) for dispatches not yet confirmed
+        #: complete; the re-dispatch set when a resource dies
+        self._inflight: Dict[int, Tuple[Job, int]] = {}
+        self.dead_notices = 0
+        self.redispatches = 0
+        # recovery work is attributed to the cross-cutting "faults"
+        # component (the entity segment still names this scheduler), so
+        # `repro attrib` shows recovery as its own G column; the
+        # pre-seeded cache entry makes RESOURCE_DEAD service time land
+        # there too (cost_source consults the cache first)
+        self._src_redispatch = ("faults", name, "redispatch")
+        self._source_cache[MessageKind.RESOURCE_DEAD] = (
+            "faults",
+            name,
+            str(MessageKind.RESOURCE_DEAD),
+        )
 
     # ------------------------------------------------------------------
     # Message-server costing
@@ -135,6 +157,7 @@ class SchedulerBase(MessageServer):
         MessageKind.AUCTION_AWARD: ("auction_proc", Category.AUCTION),
         MessageKind.JOB_COMPLETE: ("completion_proc", Category.COMPLETION),
         MessageKind.JOB_TRANSFER: ("transfer_proc", Category.SCHEDULE),
+        MessageKind.RESOURCE_DEAD: ("fault_proc", Category.FAULTS),
     }
 
     def service_time(self, message: Message) -> float:
@@ -181,7 +204,10 @@ class SchedulerBase(MessageServer):
             self.after_status_update(p)
         elif kind == MessageKind.JOB_COMPLETE:
             job = message.payload["job"]
+            self._inflight.pop(job.job_id, None)
             self.after_completion(job)
+        elif kind == MessageKind.RESOURCE_DEAD:
+            self.on_resource_dead(message)
         elif kind == MessageKind.POLL_REQUEST:
             self.on_poll_request(message)
         elif kind == MessageKind.POLL_REPLY:
@@ -216,14 +242,24 @@ class SchedulerBase(MessageServer):
         """Place ``job`` on the least-loaded local resource (per the
         table's possibly-stale view) and dispatch it."""
         rid, _ = self.table.least_loaded()
-        if rid is None:  # pragma: no cover - clusters are never empty
-            raise RuntimeError(f"{self.name} has no resources")
+        if rid is None:
+            # Every local resource is currently declared dead (fault
+            # injection): hold the job and retry once something
+            # recovers — mirrors the `_redispatch` whole-cluster hold.
+            self.sim.schedule(self.redispatch_cap, self.schedule_local, job)
+            return
         self.table.bump(rid, +1.0)
         resource = self.resources[rid]
         job.mark_placed(self.scheduler_id)
         self.jobs_dispatched_local += 1
+        self._inflight[job.job_id] = (job, rid)
+        # The epoch stamp lets the resource reject this dispatch if the
+        # job is re-dispatched elsewhere while this message is in flight.
         self.network.send_from(
-            Message(MessageKind.JOB_DISPATCH, payload={"job": job}),
+            Message(
+                MessageKind.JOB_DISPATCH,
+                payload={"job": job, "epoch": job.dispatch_epoch},
+            ),
             self,
             resource,
         )
@@ -289,6 +325,63 @@ class SchedulerBase(MessageServer):
     def _wait_deadline(self, job: Job) -> None:
         if job.state == JobState.WAITING:
             self.schedule_local(job)
+
+    # ------------------------------------------------------------------
+    # Failure recovery
+    # ------------------------------------------------------------------
+    def on_resource_dead(self, message: Message) -> None:
+        """The estimator declared one of this cluster's resources dead.
+
+        The resource is aged out of the status table (placements stop
+        targeting it until it reports again) and every job last
+        dispatched to it is re-dispatched with capped exponential
+        backoff.  Protocols with externally advertised capacity get the
+        :meth:`on_cluster_degraded` hook to retract it.
+        """
+        rid = message.payload["resource_id"]
+        self.dead_notices += 1
+        if self.table is not None and rid in self.table:
+            self.table.mark_dead(rid)
+        victims = [
+            job for jid, (job, r) in list(self._inflight.items()) if r == rid
+        ]
+        for job in victims:
+            del self._inflight[job.job_id]
+            self._schedule_redispatch(job, rid)
+        self.on_cluster_degraded(rid)
+
+    def _schedule_redispatch(self, job: Job, rid: int) -> None:
+        delay = min(
+            self.redispatch_backoff * (2.0 ** min(job.retries, 16)),
+            self.redispatch_cap,
+        )
+        self.sim.schedule(delay, self._redispatch, job, rid)
+
+    def _redispatch(self, job: Job, rid: int) -> None:
+        if job.state in (JobState.COMPLETED, JobState.RUNNING):
+            # The dispatch we thought lost actually landed (the death
+            # was detected between delivery and service start).  A job
+            # still running must go back under ``_inflight`` tracking,
+            # or a *real* crash of that resource later would strand it
+            # — the victim sweep only sees tracked jobs.
+            if job.state == JobState.RUNNING:
+                self._inflight[job.job_id] = (job, rid)
+            return
+        if self.table is not None and self.table.alive_count == 0:
+            # Whole cluster down: hold the job until something recovers.
+            self.sim.schedule(self.redispatch_cap, self._redispatch, job, rid)
+            return
+        self.ledger.charge(
+            Category.FAULTS, self.costs.redispatch_proc, self._src_redispatch
+        )
+        self.redispatches += 1
+        job.mark_requeued()
+        self.schedule_local(job)
+
+    def on_cluster_degraded(self, resource_id: int) -> None:
+        """Hook: a local resource was just declared dead.  Protocols
+        that advertise local capacity to peers (RESERVE) override this
+        to retract what the cluster can no longer honor."""
 
     # ------------------------------------------------------------------
     # Protocol hooks (subclasses override the ones they use)

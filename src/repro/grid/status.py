@@ -8,12 +8,19 @@ resource, the last known load and its timestamp, and supports the
 sends a job to a resource it bumps its own view immediately rather than
 waiting a full update interval (otherwise every scheduler would dump all
 arrivals onto the same momentarily-least-loaded resource).
+
+Failure semantics: a resource the estimator declared dead is *aged out*
+— :meth:`StatusTable.mark_dead` keeps the entry (the table still tracks
+it) but excludes it from every placement view (``least_loaded``,
+``average_load``, ``min_load``) until fresh news arrives.  Any newer
+status update revives the entry automatically, so detection stays purely
+message-driven.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 __all__ = ["StatusTable"]
 
@@ -28,11 +35,12 @@ class StatusTable:
         schedulers, the whole pool for CENTRAL).
     """
 
-    __slots__ = ("_load", "_stamp")
+    __slots__ = ("_load", "_stamp", "_dead")
 
     def __init__(self, resource_ids: Iterable[int]) -> None:
         self._load: Dict[int, float] = {r: 0.0 for r in resource_ids}
         self._stamp: Dict[int, float] = {r: -math.inf for r in self._load}
+        self._dead: Set[int] = set()
 
     def __contains__(self, resource_id: int) -> bool:
         return resource_id in self._load
@@ -51,6 +59,9 @@ class StatusTable:
         if time >= self._stamp[resource_id]:
             self._load[resource_id] = load
             self._stamp[resource_id] = time
+            # Fresh news proves liveness: a recovered resource rejoins
+            # the placement view on its first post-repair report.
+            self._dead.discard(resource_id)
 
     def bump(self, resource_id: int, by: float = 1.0) -> None:
         """Optimistically adjust a tracked load (local dispatch bookkeeping)."""
@@ -62,14 +73,33 @@ class StatusTable:
         """Last known load of one resource."""
         return self._load[resource_id]
 
-    def least_loaded(self) -> Tuple[Optional[int], float]:
-        """Resource with the smallest known load (ties -> lowest id).
+    def mark_dead(self, resource_id: int) -> None:
+        """Age the resource out of every placement view (entry is kept)."""
+        if resource_id not in self._load:
+            raise KeyError(f"resource {resource_id} not tracked by this table")
+        self._dead.add(resource_id)
 
-        Returns ``(None, inf)`` for an empty table.
+    def is_dead(self, resource_id: int) -> bool:
+        """Whether the resource is currently aged out."""
+        return resource_id in self._dead
+
+    @property
+    def alive_count(self) -> int:
+        """Tracked resources not currently aged out."""
+        return len(self._load) - len(self._dead)
+
+    def least_loaded(self) -> Tuple[Optional[int], float]:
+        """Live resource with the smallest known load (ties -> lowest id).
+
+        Returns ``(None, inf)`` for an empty table or when every tracked
+        resource is aged out.
         """
         best_id: Optional[int] = None
         best = math.inf
+        dead = self._dead
         for r in sorted(self._load):
+            if r in dead:
+                continue
             v = self._load[r]
             if v < best:
                 best = v
@@ -77,14 +107,24 @@ class StatusTable:
         return best_id, best
 
     def average_load(self) -> float:
-        """Mean known load over tracked resources (``nan`` if empty)."""
-        if not self._load:
+        """Mean known load over live resources (``nan`` if none)."""
+        n = len(self._load) - len(self._dead)
+        if n == 0:
             return math.nan
-        return sum(self._load.values()) / len(self._load)
+        if not self._dead:
+            return sum(self._load.values()) / n
+        return (
+            sum(v for r, v in self._load.items() if r not in self._dead) / n
+        )
 
     def min_load(self) -> float:
-        """Smallest known load (``inf`` if empty)."""
-        return min(self._load.values(), default=math.inf)
+        """Smallest known live load (``inf`` if none)."""
+        if not self._dead:
+            return min(self._load.values(), default=math.inf)
+        return min(
+            (v for r, v in self._load.items() if r not in self._dead),
+            default=math.inf,
+        )
 
     def loads(self) -> Dict[int, float]:
         """Copy of the full view (diagnostics/tests)."""

@@ -30,6 +30,7 @@ class MessageKind:
     # status plane
     STATUS_UPDATE = "status_update"        # resource -> estimator
     STATUS_FORWARD = "status_forward"      # estimator -> scheduler
+    RESOURCE_DEAD = "resource_dead"        # estimator -> scheduler (liveness)
 
     # scheduling plane (shared)
     POLL_REQUEST = "poll_request"          # scheduler -> scheduler (LOWEST/S-I)
@@ -66,6 +67,7 @@ class MessageKind:
 DEFAULT_SIZES: Dict[str, float] = {
     MessageKind.STATUS_UPDATE: 1.0,
     MessageKind.STATUS_FORWARD: 1.0,
+    MessageKind.RESOURCE_DEAD: 1.0,
     MessageKind.POLL_REQUEST: 1.0,
     MessageKind.POLL_REPLY: 2.0,
     MessageKind.RESERVE_ADVERT: 1.0,

@@ -38,6 +38,10 @@ RELIABLE_KINDS = frozenset(
         MessageKind.JOB_DISPATCH,
         MessageKind.JOB_TRANSFER,
         MessageKind.JOB_COMPLETE,
+        # Losing a dead-resource declaration would strand the victim's
+        # jobs until the next sweep re-fires — model it as the retried
+        # RPC it would be in a real RMS.
+        MessageKind.RESOURCE_DEAD,
     }
 )
 
@@ -92,6 +96,12 @@ class Network:
         self.delay_scale = delay_scale
         self.loss_probability = loss_probability
         self._rng = rng
+        # Degradation windows (FaultPlan) stack extra loss / delay
+        # factors on top of the base knobs; the effective values above
+        # are recomputed on every push/pop.
+        self._base_loss = loss_probability
+        self._base_delay_scale = delay_scale
+        self._degradations: List[tuple] = []
         #: total messages handed to the transport
         self.messages_sent = 0
         #: messages actually delivered (sent - dropped - in flight)
@@ -156,6 +166,46 @@ class Network:
     def _deliver(self, recipient: Entity, message: Message) -> None:
         self.messages_delivered += 1
         recipient.deliver(message)
+
+    # ------------------------------------------------------------------
+    # Degradation windows (fault injection)
+    # ------------------------------------------------------------------
+    def push_degradation(self, extra_loss: float = 0.0, delay_factor: float = 1.0) -> None:
+        """Enter a degradation window: add ``extra_loss`` to the loss
+        probability and multiply transit delays by ``delay_factor``.
+
+        Windows stack (overlaps compose additively for loss and
+        multiplicatively for delay) and are removed with a matching
+        :meth:`pop_degradation`.
+        """
+        if not (0.0 <= extra_loss < 1.0):
+            raise ValueError("extra_loss must be in [0, 1)")
+        if delay_factor <= 0.0:
+            raise ValueError("delay_factor must be positive")
+        if extra_loss > 0.0 and self._rng is None:
+            raise ValueError("loss injection requires an rng")
+        self._degradations.append((extra_loss, delay_factor))
+        self._recompute_degradation()
+
+    def pop_degradation(self, extra_loss: float = 0.0, delay_factor: float = 1.0) -> None:
+        """Leave a degradation window previously pushed with the same
+        parameters."""
+        try:
+            self._degradations.remove((extra_loss, delay_factor))
+        except ValueError:
+            raise ValueError(
+                f"no active degradation window ({extra_loss}, {delay_factor})"
+            ) from None
+        self._recompute_degradation()
+
+    def _recompute_degradation(self) -> None:
+        loss = self._base_loss
+        scale = self._base_delay_scale
+        for extra_loss, delay_factor in self._degradations:
+            loss += extra_loss
+            scale *= delay_factor
+        self.loss_probability = min(0.99, loss)
+        self.delay_scale = scale
 
     def traffic_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-message-kind traffic totals, sorted by kind.

@@ -54,10 +54,15 @@ class ReserveScheduler(SchedulerBase):
         self._reservations: List[Tuple[SchedulerBase, float]] = []
         self._last_advert = -float("inf")
         self._probes = PollBook(self, self.probe_timeout, self._probe_decide)
+        #: peers currently holding a reservation from us (insertion
+        #: ordered — iteration must be deterministic); retracted when a
+        #: local crash invalidates the advertised capacity
+        self._advertised_to: Dict[SchedulerBase, bool] = {}
         #: diagnostics
         self.adverts_sent = 0
         self.probes_sent = 0
         self.cancellations = 0
+        self.retractions = 0
 
     # -- advertisement (push) ---------------------------------------------
     def _maybe_advertise(self) -> None:
@@ -67,6 +72,7 @@ class ReserveScheduler(SchedulerBase):
             self._last_advert = self.sim.now
             for peer in self.pick_peers(self.l_p):
                 self.adverts_sent += 1
+                self._advertised_to[peer] = True
                 self.send_to_peer(
                     Message(
                         MessageKind.RESERVE_ADVERT,
@@ -145,8 +151,39 @@ class ReserveScheduler(SchedulerBase):
         self.schedule_local(job)
 
     def on_reserve_cancel(self, message: Message) -> None:
-        """A holder dropped our reservation; allow a fresh advert soon."""
+        """Two directions share this kind: a holder dropping our
+        reservation (legacy; allow a fresh advert soon), or — with the
+        ``drop`` flag — a reserver retracting the reservation it gave us
+        because a crash invalidated the advertised capacity."""
+        if message.payload.get("drop"):
+            reserver = message.payload["reply_to"]
+            self._reservations = [
+                (s, t) for s, t in self._reservations if s is not reserver
+            ]
+            return
         self._last_advert = -float("inf")
+
+    # -- crash invalidation -----------------------------------------------
+    def on_cluster_degraded(self, resource_id: int) -> None:
+        """A local resource died: if the cluster can no longer honor its
+        advertised reservations (average load back above ``T_l``),
+        retract them at every holder so stale reservations do not route
+        jobs into a degraded cluster."""
+        if not self._advertised_to:
+            return
+        load = self.local_average_load()
+        if load == load and load < self.t_l:  # NaN-safe: all-dead -> retract
+            return
+        for peer in self._advertised_to:
+            self.retractions += 1
+            self.send_to_peer(
+                Message(
+                    MessageKind.RESERVE_CANCEL,
+                    payload={"drop": True, "reply_to": self},
+                ),
+                peer,
+            )
+        self._advertised_to.clear()
 
 
 RESERVE_INFO = RMSInfo(

@@ -113,6 +113,7 @@ class MessageServer(Entity):
         "ledger",
         "_queue",
         "_busy",
+        "_paused",
         "queue_stat",
         "busy_time",
         "served",
@@ -130,6 +131,7 @@ class MessageServer(Entity):
         self.ledger = ledger
         self._queue: Deque[Any] = deque()
         self._busy = False
+        self._paused = False
         #: time-weighted queue-length statistic (diagnostics, saturation tests)
         self.queue_stat = TimeWeighted(f"{name}.queue", time=sim.now)
         #: total busy time accumulated by this server
@@ -175,13 +177,37 @@ class MessageServer(Entity):
         """Number of messages waiting (excluding the one in service)."""
         return len(self._queue)
 
+    @property
+    def paused(self) -> bool:
+        """Whether the server is in a blackout (accepting but not serving)."""
+        return self._paused
+
     def deliver(self, message: Any) -> None:
         """Enqueue ``message``; begin service immediately if idle."""
-        if self._busy:
+        if self._busy or self._paused:
             self._queue.append(message)
             self.queue_stat.update(self.sim.now, len(self._queue))
         else:
             self._begin(message)
+
+    def pause(self) -> None:
+        """Enter a blackout: stop starting service on new messages.
+
+        A message already in service completes normally; everything else
+        (including new arrivals) queues until :meth:`resume` — nothing is
+        lost, mirroring a hung-but-reachable node.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Leave a blackout and drain whatever queued during it."""
+        if not self._paused:
+            return
+        self._paused = False
+        if not self._busy and self._queue:
+            nxt = self._queue.popleft()
+            self.queue_stat.update(self.sim.now, len(self._queue))
+            self._begin(nxt)
 
     def _begin(self, message: Any) -> None:
         self._busy = True
@@ -199,7 +225,7 @@ class MessageServer(Entity):
         # consistent "just finished" state; any messages the handler sends
         # to self are queued behind already-waiting ones.
         self.handle(message)
-        if self._queue:
+        if self._queue and not self._paused:
             nxt = self._queue.popleft()
             self.queue_stat.update(self.sim.now, len(self._queue))
             self._begin(nxt)

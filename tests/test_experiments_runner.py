@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import SimulationConfig, build_system, run_simulation
+from repro.faults import FaultPlan
 from repro.experiments.cases import get_case, make_simulate
 from repro.experiments.config import PROFILES
 from repro.grid import JobState
@@ -97,11 +98,11 @@ class TestRunSimulation:
         """With 10% message loss every protocol must still terminate
         and complete its jobs (timeouts drive progress)."""
         for rms in ("LOWEST", "RESERVE", "S-I"):
-            m = run_simulation(tiny_config(rms, loss_probability=0.1))
+            m = run_simulation(tiny_config(rms, faults=FaultPlan(link_loss=0.1)))
             assert m.jobs_completed == m.jobs_submitted
 
     def test_heavy_loss_still_terminates(self):
-        m = run_simulation(tiny_config("LOWEST", loss_probability=0.4))
+        m = run_simulation(tiny_config("LOWEST", faults=FaultPlan(link_loss=0.4)))
         assert m.jobs_completed == m.jobs_submitted
 
 

@@ -11,6 +11,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.experiments import SimulationConfig, build_system, run_simulation, summarize
+from repro.faults import FaultPlan
 from repro.grid import JobState
 from repro.rms import rms_names
 
@@ -121,7 +122,7 @@ def test_loss_never_strands_jobs(seed, rms):
         update_interval=16.0,
         horizon=1500.0,
         drain=4000.0,
-        loss_probability=0.3,
+        faults=FaultPlan(link_loss=0.3),
         seed=seed,
     )
     system = build_system(cfg)

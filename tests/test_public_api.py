@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.grid",
     "repro.workload",
     "repro.rms",
+    "repro.faults",
     "repro.experiments",
     "repro.experiments.parallel",
     "repro.telemetry",
@@ -37,6 +38,9 @@ MODULES = PACKAGES + [
     "repro.experiments.cases",
     "repro.experiments.cli",
     "repro.experiments.config",
+    "repro.experiments.faultstudy",
+    "repro.faults.injector",
+    "repro.faults.plan",
     "repro.experiments.parallel.cache",
     "repro.experiments.parallel.engine",
     "repro.experiments.parallel.hashing",
@@ -117,6 +121,55 @@ def test_version_string():
 
     assert isinstance(repro.__version__, str)
     assert repro.__version__.count(".") == 2
+
+
+#: the stable top-level surface — additions are deliberate API growth
+#: (extend this list in the same change); removals/renames break
+#: downstream users and fail here first.
+TOP_LEVEL_API = [
+    "ALL_RMS",
+    "CostLedger",
+    "FaultPlan",
+    "RunMetrics",
+    "ScalabilityProcedure",
+    "SimulationConfig",
+    "Study",
+    "build_system",
+    "get_rms",
+    "rms_names",
+    "run_simulation",
+]
+
+
+def test_top_level_reexports():
+    """``import repro`` alone gives the documented entry points, and
+    they are the same objects the subpackages define (no shadow copies)."""
+    import repro
+    from repro.core import CostLedger, ScalabilityProcedure
+    from repro.experiments import RunMetrics, SimulationConfig, run_simulation
+    from repro.faults import FaultPlan
+
+    for name in TOP_LEVEL_API:
+        assert hasattr(repro, name), f"repro.{name} missing"
+        assert name in repro.__all__, f"repro.{name} not in __all__"
+    assert repro.FaultPlan is FaultPlan
+    assert repro.SimulationConfig is SimulationConfig
+    assert repro.RunMetrics is RunMetrics
+    assert repro.run_simulation is run_simulation
+    assert repro.CostLedger is CostLedger
+    assert repro.ScalabilityProcedure is ScalabilityProcedure
+
+
+def test_top_level_surface_snapshot():
+    """The advertised surface is exactly subpackages + TOP_LEVEL_API —
+    any drift (addition or removal) must update this snapshot."""
+    import repro
+
+    subpackages = {
+        "core", "experiments", "faults", "grid", "network", "rms",
+        "sim", "telemetry", "topology", "workload",
+    }
+    assert set(repro.__all__) == subpackages | set(TOP_LEVEL_API)
 
 
 def test_public_methods_documented_on_core_classes():

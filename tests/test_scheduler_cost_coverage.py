@@ -32,6 +32,7 @@ KIND_TO_CATEGORY = {
     MessageKind.AUCTION_BID: Category.AUCTION,
     MessageKind.AUCTION_AWARD: Category.AUCTION,
     MessageKind.JOB_COMPLETE: Category.COMPLETION,
+    MessageKind.RESOURCE_DEAD: Category.FAULTS,
 }
 
 

@@ -94,4 +94,38 @@ class TestReliability:
             MessageKind.JOB_DISPATCH,
             MessageKind.JOB_TRANSFER,
             MessageKind.JOB_COMPLETE,
+            # losing a dead-resource declaration would strand the
+            # victim's jobs forever, so it rides the reliable plane too
+            MessageKind.RESOURCE_DEAD,
         }
+
+
+class TestNoStrandedJobs:
+    """No protocol may strand a job under heavy link loss.
+
+    The job plane is reliable by construction, so even at 25-50% loss
+    every submitted job must eventually complete.  This promotes the
+    assertion from ``examples/failure_injection.py`` into the suite.
+    """
+
+    @pytest.mark.parametrize("loss", [0.25, 0.5])
+    @pytest.mark.parametrize(
+        "rms", ["CENTRAL", "LOWEST", "RESERVE", "AUCTION", "S-I", "R-I", "Sy-I"]
+    )
+    def test_all_jobs_complete_under_loss(self, rms, loss):
+        from repro.experiments import SimulationConfig, run_simulation
+        from repro.faults import FaultPlan
+
+        config = SimulationConfig(
+            rms=rms,
+            n_schedulers=2,
+            n_resources=6,
+            workload_rate=0.004,
+            horizon=1500.0,
+            drain=8000.0,
+            seed=11,
+            faults=FaultPlan(link_loss=loss),
+        )
+        metrics = run_simulation(config)
+        assert metrics.jobs_submitted > 0
+        assert metrics.jobs_completed == metrics.jobs_submitted
