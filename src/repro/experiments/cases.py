@@ -102,17 +102,21 @@ class ExperimentCase:
         profile: ScaleProfile,
         seed: int = 7,
         faults=None,
+        kernel_backend: Optional[str] = None,
     ) -> SimulationConfig:
         """The simulation configuration at scale ``k`` (default enablers).
 
         Applies the case's scaling variables; the tuner layers enabler
         settings on top via ``SimulationConfig.with_enablers``.  An
         optional :class:`~repro.faults.plan.FaultPlan` rides along
-        verbatim (``None`` keeps the inert default).
+        verbatim (``None`` keeps the inert default), as does an explicit
+        kernel backend name (``None`` defers to the environment).
         """
         config = self._base_config(rms, k, profile, seed)
         if faults is not None:
             config = replace(config, faults=faults)
+        if kernel_backend is not None:
+            config = replace(config, kernel_backend=kernel_backend)
         return config
 
     def _base_config(
@@ -209,6 +213,7 @@ def make_simulate(
     seed: int = 7,
     memo: Optional[Dict] = None,
     engine=None,
+    kernel_backend: Optional[str] = None,
 ) -> Callable[[float, Mapping[str, float]], RunMetrics]:
     """Build the ``simulate(k, settings)`` closure for one (case, RMS).
 
@@ -222,6 +227,10 @@ def make_simulate(
         Optional :class:`~repro.experiments.parallel.ExperimentEngine`;
         when given, runs execute through it (and hit its persistent run
         cache) instead of calling :func:`run_simulation` directly.
+    kernel_backend:
+        Kernel backend for every run of the closure (``None`` defers to
+        the environment).  Carried on the config so engine workers use
+        it too; never part of the run-cache key.
     """
     cache: Dict = memo if memo is not None else {}
 
@@ -230,9 +239,9 @@ def make_simulate(
         hit = cache.get(key)
         if hit is not None:
             return hit
-        config = case.config_for(rms, k, profile, seed=seed).with_enablers(
-            dict(settings)
-        )
+        config = case.config_for(
+            rms, k, profile, seed=seed, kernel_backend=kernel_backend
+        ).with_enablers(dict(settings))
         metrics = engine.run(config) if engine is not None else run_simulation(config)
         cache[key] = metrics
         return metrics
@@ -247,6 +256,7 @@ def make_batch_simulate(
     seed: int = 7,
     memo: Optional[Dict] = None,
     engine=None,
+    kernel_backend: Optional[str] = None,
 ) -> Callable[[Sequence[Tuple[float, Mapping[str, float]]]], List[RunMetrics]]:
     """Build the batch companion of :func:`make_simulate`.
 
@@ -270,9 +280,9 @@ def make_batch_simulate(
                 seen.add(key)
                 todo_keys.append(key)
                 todo_configs.append(
-                    case.config_for(rms, k, profile, seed=seed).with_enablers(
-                        dict(settings)
-                    )
+                    case.config_for(
+                        rms, k, profile, seed=seed, kernel_backend=kernel_backend
+                    ).with_enablers(dict(settings))
                 )
         if todo_configs:
             if engine is not None:

@@ -122,8 +122,25 @@ def _cache_root(args: argparse.Namespace) -> str:
     )
 
 
+def _apply_kernel_backend(args: argparse.Namespace) -> None:
+    """Make ``--kernel-backend`` ambient for this invocation.
+
+    Exported through ``REPRO_KERNEL_BACKEND`` *before* any engine spawns
+    its pool, so worker processes inherit the choice; every config
+    built afterwards resolves to it.  Unknown names exit with the
+    parser's error convention (the flag is validated by ``choices``, so
+    this only trips for programmatic callers).
+    """
+    from ..sim.backend import ENV_BACKEND, resolve_backend
+
+    name = getattr(args, "kernel_backend", None)
+    if name:
+        os.environ[ENV_BACKEND] = resolve_backend(name)
+
+
 def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
     """Build the experiment engine an invocation asked for."""
+    _apply_kernel_backend(args)
     cache = RunCache(
         root=_cache_root(args),
         read=not getattr(args, "no_cache", False),
@@ -216,6 +233,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             ),
             speculate=args.speculate,
             warm_start=False if args.no_warm_start else None,
+            kernel_backend=args.kernel_backend,
         )
         fig = study.figure(args.number)
     quantity = args.quantity or _FIGURE_QUANTITY[args.number]
@@ -325,6 +343,7 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         speculation=args.speculate,
         kernel_events=args.kernel_events,
+        fel_events=args.fel_events,
     )
     print(render_report(payload))
     path = write_bench(payload, args.output)
@@ -594,7 +613,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-events",
         type=int,
         default=200_000,
-        help="event count of the kernel dispatch micro-benchmark",
+        help="event count of the kernel storm micro-benchmark "
+        "(each registered backend runs it)",
+    )
+    bench.add_argument(
+        "--fel-events",
+        type=int,
+        default=1_000_000,
+        help="pending-event count of the kernel future-event-list scaling "
+        "case (each registered backend runs it)",
     )
     bench.add_argument(
         "--output",
@@ -762,6 +789,16 @@ def _add_engine_args(sub: argparse.ArgumentParser) -> None:
         default=None,
         help="flight-recorder bundle directory "
         f"(default: $REPRO_FLIGHT_DIR or {flightrec.DEFAULT_DIR}/)",
+    )
+    from ..sim.backend import backend_names
+
+    sub.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=backend_names(),
+        help="kernel backend for every simulation (default: "
+        "$REPRO_KERNEL_BACKEND or reference); backends are bit-identical "
+        "— the choice affects speed only and is recorded as provenance",
     )
 
 

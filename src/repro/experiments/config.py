@@ -172,6 +172,14 @@ class SimulationConfig:
         ``DeprecationWarning`` and is canonicalized onto the fault plan
         (the field itself is reset to 0), so equivalent configs hash to
         the same cache key regardless of which spelling was used.
+    kernel_backend:
+        Which kernel backend executes the run (``None`` defers to
+        ``$REPRO_KERNEL_BACKEND``, then ``reference`` — see
+        :mod:`repro.sim.backend`).  Backends are bit-identical by
+        contract, so this field is **provenance, not semantics**: it is
+        deliberately excluded from the run-cache key (a cached result
+        is valid for every backend) and recorded as metadata in cache
+        entries, manifests, and bench reports instead.
     """
 
     rms: str
@@ -202,6 +210,8 @@ class SimulationConfig:
     max_parents: int = 2
     #: parents are drawn among this many most recent jobs
     dependency_window: int = 10
+    #: kernel backend name (provenance; excluded from cache keys)
+    kernel_backend: Optional[str] = None
 
     @property
     def effective_batch_window(self) -> float:

@@ -29,7 +29,13 @@ from typing import Any, Dict
 
 from ..config import SimulationConfig
 
-__all__ = ["CACHE_SCHEMA_VERSION", "canonical_config", "config_key", "canonical_json"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "PROVENANCE_FIELDS",
+    "canonical_config",
+    "config_key",
+    "canonical_json",
+]
 
 #: bump when the cache record format or config semantics change
 #: (v2: RunMetrics carries the attribution decomposition and traffic
@@ -41,6 +47,15 @@ __all__ = ["CACHE_SCHEMA_VERSION", "canonical_config", "config_key", "canonical_
 #: deprecated loss_probability knob canonicalizes onto the plan, and
 #: RunMetrics may carry fault_stats)
 CACHE_SCHEMA_VERSION = 3
+
+#: config fields that record *how* a result was produced, not *what* it
+#: is — excluded from canonicalization so they never perturb the key.
+#: ``kernel_backend`` qualifies because backends are bit-identical by
+#: contract (the cross-backend differential suite enforces it): a cached
+#: result is valid under every backend, and keying on the backend would
+#: silently fork the cache.  Keys are therefore unchanged from before
+#: the field existed — no schema bump, old entries stay valid.
+PROVENANCE_FIELDS = frozenset({"kernel_backend"})
 
 
 def _plain(value: Any) -> Any:
@@ -69,9 +84,13 @@ def canonical_config(config: SimulationConfig) -> Dict[str, Any]:
     """The config as a nested dict of plain JSON types.
 
     Field order is irrelevant to the eventual key (serialization sorts
-    keys at every level).
+    keys at every level).  Provenance fields (:data:`PROVENANCE_FIELDS`)
+    are dropped: they describe the execution vehicle, not the result.
     """
-    return _plain(config)
+    plain = _plain(config)
+    for name in PROVENANCE_FIELDS:
+        plain.pop(name, None)
+    return plain
 
 
 def canonical_json(payload: Any) -> bytes:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.annealing import AnnealingSchedule
 from ..core.procedure import ScalabilityProcedure, ScalabilityResult
 from ..rms.registry import rms_names
+from ..sim.backend import resolve_backend
 from ..telemetry.spans import current as _telemetry
 from .cases import ExperimentCase, get_case, make_batch_simulate, make_simulate
 from .config import PROFILES, ScaleProfile
@@ -189,6 +190,12 @@ class Study:
         tuned settings (see :func:`resolve_warm_start`; default:
         ``$REPRO_WARM_START`` or on).  ``False`` restores the
         historical cold-start walk.
+    kernel_backend:
+        Kernel backend for every simulation of the study (default:
+        ``$REPRO_KERNEL_BACKEND`` or ``reference`` — see
+        :mod:`repro.sim.backend`).  Backends are bit-identical, so the
+        choice never enters point identities or cache keys; it is
+        recorded in the manifest payloads as provenance.
     """
 
     def __init__(
@@ -202,6 +209,7 @@ class Study:
         manifest_path: "str | Path | None" = None,
         speculate: "bool | int | None" = None,
         warm_start: "bool | None" = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if isinstance(profile, ScaleProfile):
             self.profile = profile
@@ -217,6 +225,7 @@ class Study:
         self.engine = engine
         self.speculation = resolve_speculation(speculate)
         self.warm_start = resolve_warm_start(warm_start)
+        self.kernel_backend = resolve_backend(kernel_backend)
         self._manifest: Optional[StudyManifest] = None
         if resume or manifest_path is not None:
             if manifest_path is None:
@@ -267,12 +276,17 @@ class Study:
             f":spec{self.speculation}:case{case_id}:{rms}"
         )
 
-    @staticmethod
-    def _series_payload(series: RMSSeries) -> Dict:
-        """Serialize one measured series for the manifest."""
+    def _series_payload(self, series: RMSSeries) -> Dict:
+        """Serialize one measured series for the manifest.
+
+        The kernel backend rides along as provenance only — it is not
+        part of the point key, so a manifest written under one backend
+        resumes cleanly under another (results are bit-identical).
+        """
         return {
             "result": result_to_jsonable(series.result),
             "metrics": [metrics_to_jsonable(m) for m in series.metrics],
+            "kernel_backend": self.kernel_backend,
         }
 
     @staticmethod
@@ -290,10 +304,12 @@ class Study:
     def _measure(self, case: ExperimentCase, rms: str) -> RMSSeries:
         memo: Dict = {}
         simulate = make_simulate(
-            case, rms, self.profile, seed=self.seed, memo=memo, engine=self.engine
+            case, rms, self.profile, seed=self.seed, memo=memo, engine=self.engine,
+            kernel_backend=self.kernel_backend,
         )
         batch = make_batch_simulate(
-            case, rms, self.profile, seed=self.seed, memo=memo, engine=self.engine
+            case, rms, self.profile, seed=self.seed, memo=memo, engine=self.engine,
+            kernel_backend=self.kernel_backend,
         )
         procedure = ScalabilityProcedure(
             simulate,

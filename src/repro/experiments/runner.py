@@ -32,7 +32,7 @@ from ..network.messages import Message, MessageKind
 from ..network.routing import Router
 from ..network.transport import Network
 from ..rms.registry import get_rms
-from ..sim.kernel import Simulator
+from ..sim.backend import KernelBackend, create_kernel
 from ..sim.monitor import Tally
 from ..sim.rng import RngHub
 from ..telemetry import flightrec as _flightrec
@@ -112,7 +112,7 @@ class System:
     """A fully wired managed system, ready to run."""
 
     config: SimulationConfig
-    sim: Simulator
+    sim: KernelBackend
     ledger: CostLedger
     network: Network
     schedulers: List
@@ -175,7 +175,10 @@ def build_system(config: SimulationConfig) -> System:
     """Construct the managed system described by ``config``."""
     info = get_rms(config.rms)
     hub = RngHub(config.seed)
-    sim = Simulator()
+    # Backend selection (config > env > reference) changes only *how*
+    # events are stored — every backend dispatches the identical event
+    # sequence, so results are backend-independent by contract.
+    sim = create_kernel(config.kernel_backend)
     ledger = CostLedger()
 
     n_sched = 1 if info.centralized else config.n_schedulers

@@ -117,9 +117,36 @@ class EventQueue:
         self._live = 0
 
     def push(self, event: Event) -> None:
-        """Insert ``event``; ``O(log n)``."""
+        """Insert ``event``; ``O(log n)``.
+
+        Raises
+        ------
+        ValueError
+            If ``event`` is already cancelled (or already fired, which
+            is indistinguishable).  Re-pushing a dead event used to
+            silently inflate the live count — the queue would report
+            phantom pending events forever — so it is now rejected.
+        """
+        if event.fn is None:
+            raise ValueError(f"cannot push a cancelled or fired event: {event!r}")
         heapq.heappush(self._heap, (event.time, event.seq, event))
         self._live += 1
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel ``event`` if it is still live; returns whether it was.
+
+        Idempotent: repeated calls (and calls for events that already
+        fired) are no-ops and — unlike pairing ``event.cancel()`` with a
+        manual :meth:`note_cancelled` — can never double-decrement the
+        live count.  This is the only cancellation entry point the
+        kernel uses.
+        """
+        if event.fn is None:
+            return False
+        event.cancel()
+        self._live -= 1
+        self._maybe_compact()
+        return True
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
@@ -176,18 +203,35 @@ class EventQueue:
         return None
 
     def note_cancelled(self) -> None:
-        """Account for one event cancelled while still in the heap.
+        """Account for one event cancelled via ``event.cancel()`` directly.
 
-        Called by the simulator's ``cancel``.  When more than half of the
-        heap is dead weight (and the heap is non-trivial), the queue is
-        compacted in ``O(n)`` to keep pop cost bounded.
+        Retained for callers that mark events dead themselves; prefer
+        :meth:`cancel`, which pairs the mark and the accounting
+        atomically and is idempotent.  A double ``note_cancelled`` for
+        one event (or a note without a mark) drifts the live count; the
+        compaction recount below heals such drift the next time the heap
+        is rebuilt.
         """
         self._live -= 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap without dead entries once they dominate.
+
+        Triggered when more than half of a non-trivial heap is dead
+        weight; ``O(n)``.  The live count is *recounted* from the
+        rebuilt heap rather than trusted — under heavy cancel/re-push
+        interleaving the incremental count can drift (historically:
+        double ``note_cancelled`` drove it negative, suppressing
+        compaction forever), and the rebuild is the natural place to
+        resynchronize it with ground truth.
+        """
         heap = self._heap
         if len(heap) > 64 and self._live < len(heap) // 2:
-            alive = [entry for entry in heap if not entry[2].cancelled]
+            alive = [entry for entry in heap if entry[2].fn is not None]
             heapq.heapify(alive)
             self._heap = alive
+            self._live = len(alive)
 
     def __len__(self) -> int:
         return self._live

@@ -130,9 +130,36 @@ class Simulator:
         a no-op, which lets protocol code cancel timeout handles without
         tracking whether they raced with delivery.
         """
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Queue inspection (part of the KernelBackend contract)
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the earliest pending event, or ``None``.
+
+        Does not advance the clock or dispatch anything.
+        """
+        return self._queue.peek_time()
+
+    def pop_until(self, limit: Optional[float] = None):
+        """Remove and return the earliest pending ``(time, fn, args)``
+        at or before ``limit`` without dispatching it.
+
+        Returns ``None`` — leaving the event queued — when the earliest
+        pending event fires after ``limit`` or nothing is pending;
+        ``limit=None`` means no horizon.  The clock, the trace hook, and
+        ``events_executed`` are untouched: this is the dispatch-loop
+        primitive that ``run()`` is built on, exposed so the conformance
+        suite can pin its batching semantics for every backend.
+        """
+        ev = self._queue.pop_until(limit)
+        if ev is None:
+            return None
+        fn, args = ev.fn, ev.args
+        ev.fn = None
+        ev.args = ()
+        return (ev.time, fn, args)
 
     # ------------------------------------------------------------------
     # Execution

@@ -25,7 +25,7 @@ from hypothesis import strategies as st
 
 from repro.experiments import SimulationConfig
 from repro.experiments.config import CommonParameters
-from repro.experiments.parallel import canonical_config, config_key
+from repro.experiments.parallel import PROVENANCE_FIELDS, canonical_config, config_key
 from repro.grid.costs import CostModel
 
 
@@ -163,7 +163,22 @@ class TestCrossProcessStability:
         assert canon == json.loads(json.dumps(canon))
 
     def test_canonical_form_covers_every_field(self):
-        """No config field may silently escape the hash."""
+        """No config field may *silently* escape the hash.
+
+        Every field is either hashed or explicitly declared provenance
+        (recorded alongside results but excluded from the key — e.g.
+        ``kernel_backend``, whose backends are bit-identical by
+        contract, so one cached result serves all of them).
+        """
         canon = canonical_config(base_config())
         for f in dataclasses.fields(SimulationConfig):
-            assert f.name in canon
+            assert f.name in canon or f.name in PROVENANCE_FIELDS
+
+    def test_provenance_fields_excluded_from_hash(self):
+        """Declared provenance fields never perturb the key."""
+        canon = canonical_config(base_config())
+        for name in PROVENANCE_FIELDS:
+            assert name not in canon
+        ref = config_key(base_config())
+        assert config_key(replace(base_config(), kernel_backend="fast")) == ref
+        assert config_key(replace(base_config(), kernel_backend="reference")) == ref

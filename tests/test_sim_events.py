@@ -99,6 +99,88 @@ class TestEventQueue:
         assert popped == [float(i) for i in range(150, 200)]
 
 
+class TestCancellationAccounting:
+    """Regression tests for the live-count drift bug.
+
+    Historically, ``event.cancel()`` + ``note_cancelled()`` could
+    double-decrement the live count (cancel an event twice, note twice),
+    driving ``_live`` negative and suppressing compaction forever.  The
+    fixes: :meth:`EventQueue.cancel` is the idempotent entry point,
+    :meth:`EventQueue.push` rejects dead events, and compaction recounts
+    ``_live`` from the rebuilt heap instead of trusting the counter.
+    """
+
+    def test_queue_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = make_event(1.0, 0)
+        q.push(ev)
+        assert q.cancel(ev) is True
+        assert len(q) == 0
+        # Second cancel: already dead — refused, count untouched.
+        assert q.cancel(ev) is False
+        assert len(q) == 0
+
+    def test_queue_cancel_after_pop_is_refused(self):
+        q = EventQueue()
+        ev = make_event(1.0, 0)
+        q.push(ev)
+        popped = q.pop()
+        assert popped is ev
+        # A fired event was already removed from the live count; a late
+        # cancel must not decrement it again.
+        ev.cancel()
+        assert q.cancel(ev) is False
+        assert len(q) == 0
+
+    def test_push_of_dead_event_raises(self):
+        q = EventQueue()
+        ev = make_event(1.0, 0)
+        ev.cancel()
+        with pytest.raises(ValueError):
+            q.push(ev)
+        assert len(q) == 0
+
+    def test_compaction_recount_heals_drift(self):
+        # Simulate the historical double-note bug: drive the counter
+        # below truth, then trigger compaction and check it resyncs.
+        q = EventQueue()
+        evs = [make_event(float(i), i) for i in range(200)]
+        for ev in evs:
+            q.push(ev)
+        for ev in evs[:120]:
+            ev.cancel()
+            q.note_cancelled()
+        # Inject drift: extra notes without marks (the old bug).  The
+        # counter sinks below ground truth (80 live events remain) until
+        # it crosses the compaction trigger — at which point the rebuild
+        # recounts from the heap and pins the count back to truth.
+        for _ in range(40):
+            q.note_cancelled()
+            if len(q) == 80:
+                break  # compaction fired and resynchronized the count
+        assert len(q) == 80
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == [float(i) for i in range(120, 200)]
+        assert len(q) == 0
+
+    def test_drift_cannot_suppress_compaction_forever(self):
+        # With a negative counter the old trigger (live < total//2)
+        # fired spuriously or never; after healing, a later genuine
+        # cancel wave must still compact and pop correctly.
+        q = EventQueue()
+        evs = [make_event(float(i), i) for i in range(300)]
+        for ev in evs:
+            q.push(ev)
+        for _ in range(5):  # phantom notes before any real cancel
+            q.note_cancelled()
+        for ev in evs[:250]:
+            q.cancel(ev)
+        assert len(q) == 50
+        assert [q.pop().seq for _ in range(50)] == list(range(250, 300))
+
+
 @settings(max_examples=200, deadline=None)
 @given(
     st.lists(
