@@ -85,6 +85,8 @@ class Category:
     FAULTS = "g.faults"              # failure detection + recovery (heartbeat
                                      # sweeps, dead-resource processing,
                                      # job re-dispatch)
+    MONITOR = "g.monitor"            # in-sim observability probes (charged
+                                     # only at a nonzero probe cost rate)
 
     # H — RP overhead
     JOB_CONTROL = "h.job_control"    # per-job dispatch/teardown at resources

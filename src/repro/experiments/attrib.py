@@ -36,7 +36,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.ledger import SOURCE_SEP
 from ..core.slope import slopes
-from ..telemetry.report import _table, load_run, resolve_run_dir
+from ..telemetry.report import load_run, resolve_run_dir
+from .tabulate import format_table
 
 __all__ = [
     "AttribPoint",
@@ -262,8 +263,8 @@ def attrib_report(
                 + [comp_totals.get(c, 0.0) for c in components]
             )
         parts.append(
-            _table(["k", "F", "G", "H"] + [f"G:{c}" for c in components], rows,
-                   precision=1)
+            format_table(["k", "F", "G", "H"] + [f"G:{c}" for c in components], rows,
+                         precision=1)
         )
 
         comp_slopes = _component_slopes(series)

@@ -103,20 +103,25 @@ class ExperimentCase:
         seed: int = 7,
         faults=None,
         kernel_backend: Optional[str] = None,
+        monitor=None,
     ) -> SimulationConfig:
         """The simulation configuration at scale ``k`` (default enablers).
 
         Applies the case's scaling variables; the tuner layers enabler
         settings on top via ``SimulationConfig.with_enablers``.  An
         optional :class:`~repro.faults.plan.FaultPlan` rides along
-        verbatim (``None`` keeps the inert default), as does an explicit
-        kernel backend name (``None`` defers to the environment).
+        verbatim (``None`` keeps the inert default), as do an explicit
+        kernel backend name (``None`` defers to the environment) and a
+        :class:`~repro.telemetry.timeseries.MonitorPlan` (``None`` keeps
+        monitoring off).
         """
         config = self._base_config(rms, k, profile, seed)
         if faults is not None:
             config = replace(config, faults=faults)
         if kernel_backend is not None:
             config = replace(config, kernel_backend=kernel_backend)
+        if monitor is not None:
+            config = replace(config, monitor=monitor)
         return config
 
     def _base_config(

@@ -15,6 +15,10 @@ Usage::
     python -m repro faults                    # churn study: G(k) under faults
     python -m repro faults --mttf 3000        # tune the crash rate
     python -m repro faults --fault-plan p.json --events-out ev.jsonl
+    python -m repro series                    # time-resolved E(t)/G(t) study
+    python -m repro series --probe-interval 30,60,120 --charge-rate 0.05
+    python -m repro series --csv s.csv --prom s.prom  # exports
+    python -m repro watch --once              # snapshot a running study
     python -m repro bench-perf                # perf record -> BENCH_perf.json
     python -m repro bench-check               # perf watchdog vs the record
     python -m repro attrib                    # which component makes G(k) grow
@@ -42,6 +46,15 @@ bundle under ``flight-recorder/`` when a run crashes, is cancelled, or
 trips an invariant.  ``repro attrib`` renders the per-component F/G/H
 overhead decomposition a study records; ``repro bench-check`` is the
 perf-regression watchdog against the tracked ``BENCH_perf.json``.
+
+``repro series`` runs the time-resolved observability study: windowed
+F/G/H/E(t) streams per (design, scale) with in-sim probes, MSER
+steady-state detection, an optional probe-interval sweep, and
+CSV/JSONL/Prometheus exports.  ``REPRO_SERIES=1`` (plus
+``REPRO_SERIES_WINDOW`` / ``REPRO_SERIES_PROBE_INTERVAL`` /
+``REPRO_SERIES_CHARGE_RATE``) attaches the same monitoring plan
+ambiently to ``repro compare`` runs.  ``repro watch`` tails a running
+study's manifest and renders live progress snapshots.
 Logging verbosity is ``--log-level`` / ``REPRO_LOG_LEVEL`` (default
 ``warning``).
 """
@@ -246,6 +259,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from ..rms.registry import get_rms, rms_names
+    from ..telemetry.timeseries import resolve_monitor_plan
 
     plan = None
     if args.fault_plan:
@@ -253,6 +267,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if plan is None:
             return 2
     extra = {} if plan is None else {"faults": plan}
+    # REPRO_SERIES* knobs attach a monitoring plan ambiently; a passive
+    # plan records streams without perturbing the printed table (the
+    # telemetry-smoke diff in CI depends on that).
+    monitor = resolve_monitor_plan()
+    if monitor.is_enabled:
+        extra["monitor"] = monitor
     # the ci profile reproduces the historical quick-comparison shape
     # exactly; full scales the same recipe up to the paper's base pool
     profile = PROFILES[args.profile]
@@ -329,6 +349,106 @@ def _dump_fault_events(result, path: str) -> None:
         for event in events:
             fh.write(json.dumps(event, sort_keys=True) + "\n")
     print(f"{len(events)} fault events ({name}, k={profile.scales[0]:g}) written to {path}")
+
+
+def _cmd_series(args: argparse.Namespace) -> int:
+    from dataclasses import replace as _replace
+
+    from ..telemetry.timeseries import resolve_monitor_plan
+    from .seriesstudy import (
+        SeriesAwareCache,
+        export_csv,
+        export_jsonl,
+        export_prometheus,
+        run_series_study,
+        series_report,
+        sweep_report,
+    )
+
+    try:
+        intervals = (
+            [float(x) for x in args.probe_interval.split(",")]
+            if args.probe_interval
+            else []
+        )
+    except ValueError:
+        print(
+            f"error: --probe-interval must be comma-separated numbers, "
+            f"got {args.probe_interval!r}",
+            file=sys.stderr,
+        )
+        return 2
+    profile = PROFILES[args.profile]
+    # flag > REPRO_SERIES_* env > derived default, per knob
+    plan = resolve_monitor_plan(
+        series=True,
+        window=args.window,
+        probe_interval=intervals[0] if intervals else None,
+        charge_rate=args.charge_rate,
+    )
+    if plan.probe_interval == 0.0:
+        plan = _replace(plan, probe_interval=profile.horizon / 200.0)
+
+    manifest_path = Path(_cache_root(args)) / "manifests" / "series.json"
+    _apply_kernel_backend(args)
+    # SeriesAwareCache: entries cached by earlier unmonitored sweeps
+    # share keys with this study's passive runs but lack the stream —
+    # treat them as misses so the recompute upgrades them in place.
+    cache = SeriesAwareCache(
+        root=_cache_root(args), read=not getattr(args, "no_cache", False)
+    )
+    with _telemetry_scope(args), _flight_scope(args), ExperimentEngine(
+        jobs=args.jobs, cache=cache
+    ) as engine:
+        result = run_series_study(
+            profile=args.profile,
+            rms=args.rms.split(",") if args.rms else None,
+            seed=args.seed,
+            plan=plan,
+            sweep_intervals=intervals[1:],
+            engine=engine,
+            manifest_path=manifest_path,
+        )
+    print(series_report(result, precision=args.precision))
+    sweep_text = sweep_report(result, precision=args.precision)
+    if sweep_text:
+        print(sweep_text)
+    print(
+        f"\nmanifest written to {manifest_path} "
+        f"(decompose with `repro attrib {manifest_path}`, "
+        f"tail with `repro watch {manifest_path}`)"
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+            n = export_csv(result, fh)
+        print(f"{n} window rows written to {args.csv}")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            n = export_jsonl(result, fh)
+        print(f"{n} run series written to {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            n = export_prometheus(result, fh)
+        print(f"{n} Prometheus samples written to {args.prom}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .watch import watch
+
+    target = args.target or str(Path(_cache_root(args)) / "manifests")
+    try:
+        watch(
+            target,
+            interval=args.interval,
+            once=args.once,
+            max_snapshots=args.max_snapshots,
+        )
+    except KeyboardInterrupt:
+        # leaving a live watch is the normal exit, not an error
+        print()
+        return 0
+    return 0
 
 
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
@@ -484,6 +604,12 @@ flag conventions (uniform across subcommands):
                        <cache-dir>/manifests/
   --telemetry-dir DIR  root for per-run telemetry directories
                        ($REPRO_TELEMETRY_DIR, default telemetry/)
+  REPRO_SERIES[_*]     ambient time-resolved monitoring knobs
+                       (REPRO_SERIES=1, REPRO_SERIES_WINDOW,
+                       REPRO_SERIES_PROBE_INTERVAL,
+                       REPRO_SERIES_CHARGE_RATE); `repro series` flags
+                       override them, other subcommands (compare) pick
+                       them up ambiently
 """
 
 
@@ -586,6 +712,76 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--precision", type=int, default=1)
     _add_engine_args(faults)
     faults.set_defaults(fn=_cmd_faults)
+
+    ser = sub.add_parser(
+        "series",
+        help="time-resolved study: windowed F/G/H/E(t) streams with in-sim probes",
+    )
+    _add_profile_arg(ser)
+    ser.add_argument("--rms", default=None, help="comma-separated subset of designs")
+    ser.add_argument("--seed", type=int, default=7)
+    ser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="sim-time window width (default: $REPRO_SERIES_WINDOW or horizon/64)",
+    )
+    ser.add_argument(
+        "--probe-interval",
+        default=None,
+        metavar="T[,T...]",
+        help="in-sim probe interval; extra comma-separated values run an "
+        "overhead/accuracy sweep at the base scale "
+        "(default: $REPRO_SERIES_PROBE_INTERVAL or horizon/200)",
+    )
+    ser.add_argument(
+        "--charge-rate",
+        type=float,
+        default=None,
+        help="G cost per probe sweep per monitored entity, charged to "
+        "g.monitor (default: $REPRO_SERIES_CHARGE_RATE or 0 = free probes)",
+    )
+    ser.add_argument("--precision", type=int, default=3)
+    ser.add_argument("--csv", default=None, help="write per-window rows as CSV")
+    ser.add_argument("--jsonl", default=None, help="write one series per run as JSONL")
+    ser.add_argument(
+        "--prom",
+        default=None,
+        metavar="PATH",
+        help="write Prometheus text exposition of final/steady quantities",
+    )
+    _add_engine_args(ser)
+    ser.set_defaults(fn=_cmd_series)
+
+    wat = sub.add_parser(
+        "watch",
+        help="tail a running study's manifest and render live progress",
+    )
+    wat.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="manifest file or cache root (default: <cache-dir>/manifests/, "
+        "newest manifest wins)",
+    )
+    wat.add_argument(
+        "--interval", type=float, default=2.0, help="poll interval in seconds"
+    )
+    wat.add_argument(
+        "--once", action="store_true", help="render one snapshot and exit"
+    )
+    wat.add_argument(
+        "--max-snapshots",
+        type=int,
+        default=0,
+        help="stop after N printed snapshots (0 = until interrupted)",
+    )
+    wat.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run-cache root to resolve the default target from",
+    )
+    wat.set_defaults(fn=_cmd_watch)
 
     bench = sub.add_parser(
         "bench-perf",

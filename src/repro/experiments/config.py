@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple
 
 from ..faults.plan import FaultPlan
 from ..grid.costs import CostModel
+from ..telemetry.timeseries import MonitorPlan
 
 __all__ = ["CommonParameters", "ScaleProfile", "SimulationConfig", "PROFILES"]
 
@@ -180,6 +181,12 @@ class SimulationConfig:
         deliberately excluded from the run-cache key (a cached result
         is valid for every backend) and recorded as metadata in cache
         entries, manifests, and bench reports instead.
+    monitor:
+        The run's :class:`~repro.telemetry.timeseries.MonitorPlan`
+        (disabled by default).  **Passive** plans (zero probe charge
+        rate) observe without perturbing F/G/H and are excluded from
+        the run-cache key like ``kernel_backend``; an **active** plan
+        charges ``g.monitor`` and is hashed like any semantic field.
     """
 
     rms: str
@@ -212,6 +219,8 @@ class SimulationConfig:
     dependency_window: int = 10
     #: kernel backend name (provenance; excluded from cache keys)
     kernel_backend: Optional[str] = None
+    #: time-resolved monitoring plan (passive plans excluded from cache keys)
+    monitor: MonitorPlan = field(default_factory=MonitorPlan)
 
     @property
     def effective_batch_window(self) -> float:

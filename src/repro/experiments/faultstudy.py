@@ -34,7 +34,7 @@ from .cases import get_case
 from .config import PROFILES, ScaleProfile
 from .parallel.hashing import canonical_json
 from .parallel.manifest import StudyManifest
-from .reporting import format_table
+from .tabulate import format_table
 from .runner import RunMetrics, run_simulation
 
 __all__ = [

@@ -33,11 +33,18 @@ across a subprocess boundary.
 
 from .cache import RunCache, metrics_from_jsonable, metrics_json_bytes, metrics_to_jsonable
 from .engine import ExperimentEngine, resolve_jobs
-from .hashing import CACHE_SCHEMA_VERSION, PROVENANCE_FIELDS, canonical_config, config_key
+from .hashing import (
+    CACHE_SCHEMA_VERSION,
+    CONDITIONAL_PROVENANCE_FIELDS,
+    PROVENANCE_FIELDS,
+    canonical_config,
+    config_key,
+)
 from .manifest import StudyManifest, result_from_jsonable, result_to_jsonable
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CONDITIONAL_PROVENANCE_FIELDS",
     "ExperimentEngine",
     "PROVENANCE_FIELDS",
     "RunCache",

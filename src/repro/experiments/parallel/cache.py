@@ -80,6 +80,8 @@ def metrics_to_jsonable(metrics: RunMetrics) -> Dict[str, Any]:
         out["traffic"] = metrics.traffic
     if metrics.fault_stats is not None:
         out["fault_stats"] = metrics.fault_stats
+    if metrics.series is not None:
+        out["series"] = metrics.series
     return out
 
 
@@ -107,6 +109,7 @@ def metrics_from_jsonable(payload: Dict[str, Any]) -> RunMetrics:
         attribution=payload.get("attribution"),
         traffic=payload.get("traffic"),
         fault_stats=payload.get("fault_stats"),
+        series=payload.get("series"),
     )
 
 

@@ -31,6 +31,7 @@ from ..config import SimulationConfig
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CONDITIONAL_PROVENANCE_FIELDS",
     "PROVENANCE_FIELDS",
     "canonical_config",
     "config_key",
@@ -56,6 +57,12 @@ CACHE_SCHEMA_VERSION = 3
 #: silently fork the cache.  Keys are therefore unchanged from before
 #: the field existed — no schema bump, old entries stay valid.
 PROVENANCE_FIELDS = frozenset({"kernel_backend"})
+
+#: fields that are provenance only in some states: ``monitor`` is
+#: dropped while the plan is passive (pure observation, results
+#: bit-identical to an unmonitored run) but hashed once it charges
+#: ``g.monitor`` — see :func:`canonical_config`.
+CONDITIONAL_PROVENANCE_FIELDS = frozenset({"monitor"})
 
 
 def _plain(value: Any) -> Any:
@@ -86,10 +93,21 @@ def canonical_config(config: SimulationConfig) -> Dict[str, Any]:
     Field order is irrelevant to the eventual key (serialization sorts
     keys at every level).  Provenance fields (:data:`PROVENANCE_FIELDS`)
     are dropped: they describe the execution vehicle, not the result.
+
+    The monitor plan is conditionally provenance: a **passive** plan
+    (no probe charges) observes a run without changing anything it
+    computes — F/G/H, attribution, and job outcomes are bit-identical
+    to an unmonitored run — so it is dropped like ``kernel_backend``
+    and keys stay unchanged from before the field existed (no schema
+    bump; old entries remain valid and shareable with monitored runs).
+    An **active** plan charges ``g.monitor`` and therefore hashes like
+    any semantic field.
     """
     plain = _plain(config)
     for name in PROVENANCE_FIELDS:
         plain.pop(name, None)
+    if not config.monitor.is_active:
+        plain.pop("monitor", None)
     return plain
 
 

@@ -10,34 +10,9 @@ import csv
 from typing import Dict, List, Optional, Sequence
 
 from .reproduce import FigureData
+from .tabulate import format_table  # noqa: F401  (canonical home; re-exported)
 
 __all__ = ["format_table", "ascii_plot", "figure_report", "write_csv"]
-
-
-def format_table(
-    headers: Sequence[str], rows: Sequence[Sequence], precision: int = 1
-) -> str:
-    """Render an aligned text table.
-
-    Floats are formatted to ``precision`` decimals; everything else via
-    ``str``.
-    """
-
-    def fmt(x) -> str:
-        if isinstance(x, bool):
-            return "yes" if x else "no"
-        if isinstance(x, float):
-            return f"{x:.{precision}f}"
-        return str(x)
-
-    cells = [[fmt(h) for h in headers]] + [[fmt(c) for c in row] for row in rows]
-    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
-    lines = []
-    for idx, row in enumerate(cells):
-        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
-        if idx == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
 
 
 def ascii_plot(

@@ -37,6 +37,7 @@ from ..sim.monitor import Tally
 from ..sim.rng import RngHub
 from ..telemetry import flightrec as _flightrec
 from ..telemetry.spans import current as _telemetry
+from ..telemetry.timeseries import ProbeSampler, RunSeriesRecorder
 from ..topology.generator import TopologyParams, generate_topology
 from ..topology.grid_map import map_grid
 from ..workload.dags import DagWorkloadGenerator
@@ -124,6 +125,10 @@ class System:
     coordinator: Optional[DependencyCoordinator] = None
     #: present only when the config's FaultPlan injects faults
     injector: Optional[FaultInjector] = None
+    #: present only when the config's MonitorPlan records anything
+    recorder: Optional[RunSeriesRecorder] = None
+    #: present only when the plan's probe loop is on
+    sampler: Optional[ProbeSampler] = None
 
 
 @dataclass(frozen=True)
@@ -156,6 +161,10 @@ class RunMetrics:
     #: re-dispatches, ...); ``None`` for fault-free runs so zero-fault
     #: metrics stay byte-identical to pre-faults builds.
     fault_stats: Optional[Dict[str, int]] = None
+    #: windowed F/G/H/probe streams (``WindowedSeries.to_jsonable``
+    #: shape); ``None`` unless the config's MonitorPlan is enabled, so
+    #: unmonitored metrics stay byte-identical to pre-series builds.
+    series: Optional[Dict] = None
 
     @property
     def success_rate(self) -> float:
@@ -378,6 +387,26 @@ def build_system(config: SimulationConfig) -> System:
                 Message(MessageKind.JOB_SUBMIT, payload={"job": job}),
             )
 
+    # --- time-resolved monitoring ----------------------------------------
+    # Gated on the plan recording anything: an unmonitored run keeps
+    # ledger.observer is None (no hot-path cost on either backend) and
+    # schedules no probe events.  Armed *last* so the probe loop's event
+    # only shifts seq numbers uniformly after all build-time scheduling;
+    # probes are pure reads, so real events dispatch identically and a
+    # zero-charge-rate plan leaves every result byte-identical.
+    recorder = None
+    sampler = None
+    mplan = config.monitor
+    if mplan.is_enabled:
+        recorder = RunSeriesRecorder(mplan, config.horizon)
+        if mplan.series:
+            recorder.observe_ledger(sim, ledger)
+        if mplan.probe_interval > 0.0:
+            sampler = ProbeSampler(
+                sim, mplan, recorder, ledger, schedulers, estimators, resources
+            )
+            sampler.arm(end=config.horizon + config.drain)
+
     return System(
         config=config,
         sim=sim,
@@ -390,6 +419,8 @@ def build_system(config: SimulationConfig) -> System:
         jobs=jobs,
         coordinator=coordinator,
         injector=injector,
+        recorder=recorder,
+        sampler=sampler,
     )
 
 
@@ -527,6 +558,11 @@ def summarize(system: System) -> RunMetrics:
         fault_stats["jobs_unrecovered"] = sum(
             1 for j in jobs if j.state == JobState.FAILED
         )
+    series = None
+    if system.recorder is not None:
+        series = system.recorder.payload()
+        if system.sampler is not None:
+            series["sweeps"] = system.sampler.samples
     return RunMetrics(
         record=EfficiencyRecord.from_ledger(system.ledger),
         jobs_submitted=len(jobs),
@@ -540,4 +576,5 @@ def summarize(system: System) -> RunMetrics:
         attribution=system.ledger.attribution(),
         traffic=system.network.traffic_summary(),
         fault_stats=fault_stats,
+        series=series,
     )

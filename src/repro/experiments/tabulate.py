@@ -1,0 +1,45 @@
+"""Fixed-width text table rendering, shared by every experiments report.
+
+One canonical renderer for the aligned tables that ``repro attrib``,
+``repro faults``, ``repro series``, and the figure reports all print —
+previously each carried its own near-identical copy.  Kept dependency-
+free (no imports from the rest of the experiments stack) so anything in
+the package can use it without layering concerns.
+
+``repro.telemetry.report`` keeps a private ``_table`` on purpose: the
+telemetry reports must not import the experiments stack at all, and a
+shared helper would invert that layering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], precision: int = 1
+) -> str:
+    """Render an aligned, right-justified text table.
+
+    Floats are formatted to ``precision`` decimals (NaN prints as
+    ``nan``), booleans as ``yes``/``no``, everything else via ``str``.
+    A dashed rule separates the header row from the body.
+    """
+
+    def fmt(x: Any) -> str:
+        if isinstance(x, bool):
+            return "yes" if x else "no"
+        if isinstance(x, float):
+            return "nan" if x != x else f"{x:.{precision}f}"
+        return str(x)
+
+    cells = [[fmt(h) for h in headers]] + [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

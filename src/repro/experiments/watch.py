@@ -1,0 +1,149 @@
+"""Live study monitoring: ``repro watch``.
+
+Tails a running study's manifest file (``faults.json``, ``series.json``,
+or any figure-sweep manifest under ``<cache>/manifests/``) and renders a
+progress snapshot whenever it changes: completed points per study key,
+their F/G/H and efficiency, and — when the points carry time-resolved
+streams — the live steady-state estimate next to the final E.
+
+The watcher is a pure *reader*: it opens the manifest read-only, keys
+off the file's mtime/size to avoid re-parsing an unchanged file, and
+tolerates partially written or concurrently replaced files (the
+manifest writer replaces atomically, so a read sees either the old or
+the new complete file — but a deleted or not-yet-created manifest just
+renders as "waiting").
+
+``--once`` renders a single snapshot and exits (CI and tests);
+otherwise the watcher polls until interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..telemetry.timeseries import steady_state
+from .tabulate import format_table
+
+__all__ = ["render_snapshot", "resolve_manifest", "watch"]
+
+
+def resolve_manifest(target: "str | Path") -> Path:
+    """The manifest file to watch.
+
+    A file path is used verbatim; a directory (a cache root or its
+    ``manifests/`` subdirectory) resolves to its most recently modified
+    ``*.json`` manifest.  A missing target is returned as-is — the
+    watcher treats nonexistence as "study not started yet".
+    """
+    path = Path(target)
+    if path.is_file() or not path.exists():
+        return path
+    candidates = sorted(path.glob("manifests/*.json")) + sorted(path.glob("*.json"))
+    if not candidates:
+        return path / "manifests"  # rendered as "waiting"
+    return max(candidates, key=lambda p: p.stat().st_mtime)
+
+
+def _load(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        payload = json.loads(path.read_text("utf-8"))
+    except (OSError, ValueError):
+        return None
+    completed = payload.get("completed")
+    if not isinstance(completed, dict):
+        return None
+    return completed
+
+
+def _point_rows(completed: Dict[str, Any]) -> List[List[Any]]:
+    rows: List[List[Any]] = []
+    for key in sorted(completed):
+        entry = completed[key] or {}
+        result = entry.get("result") or {}
+        points = result.get("points", [])
+        label = key.split(":")[-1] if ":" in key else key
+        for p in points:
+            record = p.get("record") or {}
+            f = float(record.get("F", math.nan))
+            g = float(record.get("G", math.nan))
+            h = float(record.get("H", math.nan))
+            total = f + g + h
+            final_e = f / total if total > 0.0 else math.nan
+            steady = p.get("steady") or {}
+            steady_e = steady.get("steady_E")
+            if steady_e is None and p.get("series"):
+                try:
+                    steady_e = steady_state(p["series"])["steady_E"]
+                except (KeyError, TypeError, ValueError):
+                    steady_e = None
+            rows.append(
+                [
+                    label,
+                    float(p.get("scale", math.nan)),
+                    f,
+                    g,
+                    h,
+                    final_e,
+                    math.nan if steady_e is None else float(steady_e),
+                ]
+            )
+    return rows
+
+
+def render_snapshot(path: Path, now: Optional[float] = None) -> str:
+    """One progress snapshot of the manifest at ``path``."""
+    stamp = time.strftime("%H:%M:%S", time.localtime(now))
+    if not path.is_file():
+        return f"[{stamp}] waiting for study manifest at {path} ..."
+    completed = _load(path)
+    if completed is None:
+        return f"[{stamp}] {path}: not a study manifest (yet?)"
+    rows = _point_rows(completed)
+    head = (
+        f"[{stamp}] {path.name}: {len(completed)} study key(s), "
+        f"{len(rows)} completed point(s)"
+    )
+    if not rows:
+        return head
+    table = format_table(
+        ["point", "k", "F", "G", "H", "final E", "steady E"], rows, precision=3
+    )
+    return f"{head}\n{table}"
+
+
+def watch(
+    target: "str | Path",
+    interval: float = 2.0,
+    once: bool = False,
+    max_snapshots: int = 0,
+    out=None,
+) -> int:
+    """Poll ``target`` and print a snapshot whenever the manifest changes.
+
+    Returns the number of snapshots printed.  ``max_snapshots`` bounds
+    the loop (0 = until interrupted); ``once`` renders exactly one
+    snapshot regardless of change detection.
+    """
+    import sys
+
+    out = out or sys.stdout
+    printed = 0
+    last_sig: Optional[Tuple[float, int]] = None
+    while True:
+        path = resolve_manifest(target)
+        try:
+            st = path.stat()
+            sig = (st.st_mtime, st.st_size)
+        except OSError:
+            sig = None
+        if once or sig != last_sig:
+            print(render_snapshot(path), file=out, flush=True)
+            printed += 1
+            last_sig = sig
+        if once or (max_snapshots and printed >= max_snapshots):
+            return printed
+        time.sleep(interval)

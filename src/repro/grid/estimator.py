@@ -27,6 +27,7 @@ forwarding) — used by unit tests and the ablation bench.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Set
 
 from ..core.ledger import Category, CostLedger
@@ -210,6 +211,26 @@ class Estimator(MessageServer):
             scheduler.deliver(fwd)
         else:
             self.network.send_from(fwd, self, scheduler)
+
+    def heartbeat_gap(self) -> float:
+        """Widest current heartbeat silence over watched resources.
+
+        How long ago the quietest still-undeclared watched resource was
+        last heard from — the live fault-detection-latency signal the
+        probe layer samples.  ``nan`` when no watch is armed (fault-free
+        runs) or every watched resource is already declared dead.
+        """
+        if self._watch_timeout is None or not self._watched:
+            return math.nan
+        now = self.sim.now
+        gap = math.nan
+        for rid, seen in self._last_seen.items():
+            if rid in self._notified:
+                continue
+            g = now - seen
+            if not (g <= gap):  # first value or larger
+                gap = g
+        return gap
 
     # ------------------------------------------------------------------
     # Liveness watch (failure detection)

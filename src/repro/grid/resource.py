@@ -156,6 +156,14 @@ class Resource(Entity):
         """Whether the resource has no work at all."""
         return self.load == 0
 
+    def running_jobs(self):
+        """Jobs currently in service, in deterministic (id) order.
+
+        Probe tap: iteration order must not depend on set layout, or a
+        sampling pass would fold hash-seed noise into its gauges.
+        """
+        return sorted(self._running, key=lambda j: j.job_id)
+
     @property
     def free_processors(self) -> int:
         """Processors not currently assigned to a running partition."""

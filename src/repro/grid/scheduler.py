@@ -322,6 +322,11 @@ class SchedulerBase(MessageServer):
         """Number of jobs currently parked (lazily pruned)."""
         return sum(1 for j in self._wait_queue if j.state == JobState.WAITING)
 
+    @property
+    def inflight_count(self) -> int:
+        """Dispatches awaiting completion confirmation (probe tap)."""
+        return len(self._inflight)
+
     def _wait_deadline(self, job: Job) -> None:
         if job.state == JobState.WAITING:
             self.schedule_local(job)

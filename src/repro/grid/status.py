@@ -126,6 +126,25 @@ class StatusTable:
             default=math.inf,
         )
 
+    def mean_staleness(self, now: float) -> float:
+        """Mean age of the table's live entries at ``now``.
+
+        How old, on average, the placement view is — the accuracy side
+        of the monitoring overhead/accuracy tradeoff the probe layer
+        samples.  Entries that never received an update (stamp
+        ``-inf``) and aged-out dead entries are excluded; ``nan`` when
+        nothing qualifies.
+        """
+        total = 0.0
+        n = 0
+        dead = self._dead
+        for r, stamp in self._stamp.items():
+            if stamp == -math.inf or r in dead:
+                continue
+            total += now - stamp
+            n += 1
+        return total / n if n else math.nan
+
     def loads(self) -> Dict[int, float]:
         """Copy of the full view (diagnostics/tests)."""
         return dict(self._load)

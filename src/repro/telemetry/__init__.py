@@ -36,6 +36,17 @@ from .spans import (
     activate,
     current,
 )
+from .timeseries import (
+    MonitorPlan,
+    ProbeSampler,
+    RunSeriesRecorder,
+    WindowedSeries,
+    detect_warmup,
+    efficiency_curve,
+    merge_series,
+    resolve_monitor_plan,
+    steady_state,
+)
 
 __all__ = [
     "Counter",
@@ -43,12 +54,21 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsScope",
+    "MonitorPlan",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "ProbeSampler",
+    "RunSeriesRecorder",
     "SCHEMA_VERSION",
     "Tally",
     "Telemetry",
     "TimeWeighted",
+    "WindowedSeries",
     "activate",
     "current",
+    "detect_warmup",
+    "efficiency_curve",
+    "merge_series",
+    "resolve_monitor_plan",
+    "steady_state",
 ]

@@ -25,7 +25,12 @@ from hypothesis import strategies as st
 
 from repro.experiments import SimulationConfig
 from repro.experiments.config import CommonParameters
-from repro.experiments.parallel import PROVENANCE_FIELDS, canonical_config, config_key
+from repro.experiments.parallel import (
+    CONDITIONAL_PROVENANCE_FIELDS,
+    PROVENANCE_FIELDS,
+    canonical_config,
+    config_key,
+)
 from repro.grid.costs import CostModel
 
 
@@ -165,14 +170,28 @@ class TestCrossProcessStability:
     def test_canonical_form_covers_every_field(self):
         """No config field may *silently* escape the hash.
 
-        Every field is either hashed or explicitly declared provenance
+        Every field is either hashed, explicitly declared provenance
         (recorded alongside results but excluded from the key — e.g.
         ``kernel_backend``, whose backends are bit-identical by
-        contract, so one cached result serves all of them).
+        contract, so one cached result serves all of them), or declared
+        *conditionally* provenance (``monitor``: dropped while passive,
+        hashed once it charges).
         """
         canon = canonical_config(base_config())
+        declared = PROVENANCE_FIELDS | CONDITIONAL_PROVENANCE_FIELDS
         for f in dataclasses.fields(SimulationConfig):
-            assert f.name in canon or f.name in PROVENANCE_FIELDS
+            assert f.name in canon or f.name in declared
+
+    def test_conditional_provenance_hashes_when_active(self):
+        """An active monitor plan is semantics, not provenance."""
+        from repro.telemetry.timeseries import MonitorPlan
+
+        active = replace(
+            base_config(),
+            monitor=MonitorPlan(probe_interval=10.0, charge_rate=0.5),
+        )
+        assert "monitor" in canonical_config(active)
+        assert config_key(active) != config_key(base_config())
 
     def test_provenance_fields_excluded_from_hash(self):
         """Declared provenance fields never perturb the key."""

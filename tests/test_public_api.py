@@ -39,6 +39,9 @@ MODULES = PACKAGES + [
     "repro.experiments.cli",
     "repro.experiments.config",
     "repro.experiments.faultstudy",
+    "repro.experiments.seriesstudy",
+    "repro.experiments.tabulate",
+    "repro.experiments.watch",
     "repro.faults.injector",
     "repro.faults.plan",
     "repro.experiments.parallel.cache",
@@ -84,6 +87,7 @@ MODULES = PACKAGES + [
     "repro.telemetry.registry",
     "repro.telemetry.report",
     "repro.telemetry.spans",
+    "repro.telemetry.timeseries",
     "repro.topology.generator",
     "repro.topology.graph",
     "repro.topology.grid_map",

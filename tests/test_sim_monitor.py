@@ -39,6 +39,20 @@ class TestTally:
         assert t.min == 3.0 and t.max == 3.0
         assert math.isnan(t.variance)
 
+    def test_single_sample_variance_and_std_are_nan(self):
+        t = Tally("t")
+        t.record(42.0)
+        assert math.isnan(t.variance)
+        assert math.isnan(t.std)
+        assert t.count == 1 and t.total == 42.0
+
+    def test_identical_samples_have_zero_variance(self):
+        t = Tally("t")
+        for _ in range(5):
+            t.record(3.0)
+        assert t.variance == 0.0
+        assert t.std == 0.0
+
     def test_known_values(self):
         t = Tally("t")
         for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
@@ -88,6 +102,26 @@ class TestTimeWeighted:
         with pytest.raises(ValueError):
             tw.update(4.0, 1.0)
 
+    def test_out_of_order_after_updates(self):
+        tw = TimeWeighted("q")
+        tw.update(3.0, 1.0)
+        tw.update(7.0, 2.0)
+        with pytest.raises(ValueError):
+            tw.update(6.999, 0.0)
+        # the rejected update must not have corrupted the integral
+        assert tw.mean(10.0) == pytest.approx((1.0 * 4 + 2.0 * 3) / 10)
+
+    def test_zero_duration_interval_contributes_nothing(self):
+        tw = TimeWeighted("q")
+        tw.update(2.0, 100.0)
+        tw.update(2.0, 100.0)  # zero-duration re-assertion of the value
+        tw.update(2.0, 1.0)
+        assert tw.mean(4.0) == pytest.approx((0.0 * 2 + 1.0 * 2) / 4)
+
+    def test_mean_before_start_returns_current(self):
+        tw = TimeWeighted("q", time=5.0, value=2.0)
+        assert tw.mean(3.0) == 2.0
+
     def test_repeated_updates_at_same_instant(self):
         tw = TimeWeighted("q")
         tw.update(1.0, 3.0)
@@ -102,3 +136,42 @@ class TestSeriesRecorder:
         s.record(2.0, 20.0)
         assert s.as_tuples() == [(1.0, 10.0), (2.0, 20.0)]
         assert len(s) == 2
+
+    def test_unbounded_by_default(self):
+        s = SeriesRecorder("s")
+        for i in range(1000):
+            s.record(float(i), float(i))
+        assert len(s) == 1000 and s.stride == 1
+
+    def test_max_points_validation(self):
+        with pytest.raises(ValueError):
+            SeriesRecorder("s", max_points=-1)
+        with pytest.raises(ValueError):
+            SeriesRecorder("s", max_points=1)
+
+    def test_bounded_recorder_never_exceeds_max_points(self):
+        s = SeriesRecorder("s", max_points=16)
+        for i in range(10_000):
+            s.record(float(i), float(i))
+            assert len(s) <= 16
+
+    def test_decimation_keeps_every_stride_th_sample(self):
+        s = SeriesRecorder("s", max_points=8)
+        for i in range(64):
+            s.record(float(i), float(2 * i))
+        # after decimations the retained times are exact multiples of the
+        # stride, evenly thinned across the whole span
+        assert s.stride > 1
+        assert all(t % s.stride == 0 for t in s.times)
+        assert s.times == sorted(s.times)
+        assert s.times[0] == 0.0
+        # values still correspond to their times (pairs never shear)
+        assert all(v == 2 * t for t, v in s.as_tuples())
+
+    def test_decimation_covers_full_span(self):
+        s = SeriesRecorder("s", max_points=8)
+        n = 1000
+        for i in range(n):
+            s.record(float(i), 0.0)
+        # the newest retained point is within one stride of the end
+        assert s.times[-1] >= n - 1 - s.stride

@@ -1,0 +1,342 @@
+"""Unit tests for the time-resolved stream layer (repro.telemetry.timeseries).
+
+Covers the pure pieces in isolation: plan validation and resolution,
+bounded windowed accumulation (decimation invariants), the E(t) /
+warmup / steady-state analysis helpers, and stream merging.  The
+integration path (ledger hook, probe sampler, byte-identity) lives in
+test_series_study.py.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.timeseries import (
+    DEFAULT_WINDOW_COUNT,
+    ENV_SERIES,
+    ENV_SERIES_CHARGE_RATE,
+    ENV_SERIES_PROBE_INTERVAL,
+    ENV_SERIES_WINDOW,
+    MonitorPlan,
+    WindowedSeries,
+    detect_warmup,
+    efficiency_curve,
+    merge_series,
+    monitor_plan_from_jsonable,
+    monitor_plan_to_jsonable,
+    resolve_monitor_plan,
+    steady_state,
+)
+
+
+class TestMonitorPlan:
+    def test_default_plan_is_disabled_and_passive(self):
+        plan = MonitorPlan()
+        assert not plan.is_enabled
+        assert not plan.is_active
+
+    def test_series_alone_is_enabled_but_passive(self):
+        plan = MonitorPlan(series=True)
+        assert plan.is_enabled and not plan.is_active
+
+    def test_free_probes_are_passive(self):
+        plan = MonitorPlan(probe_interval=10.0)
+        assert plan.is_enabled and not plan.is_active
+
+    def test_charged_probes_are_active(self):
+        plan = MonitorPlan(probe_interval=10.0, charge_rate=0.5)
+        assert plan.is_active
+
+    def test_charge_rate_without_probes_is_inert(self):
+        # nothing sweeps, so nothing can charge: still passive
+        plan = MonitorPlan(series=True, charge_rate=0.5)
+        assert not plan.is_active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": -1.0},
+            {"window": math.inf},
+            {"window": math.nan},
+            {"probe_interval": -2.0},
+            {"probe_interval": math.nan},
+            {"charge_rate": -0.1},
+            {"charge_rate": math.inf},
+            {"max_windows": 4},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MonitorPlan(**kwargs)
+
+    def test_effective_window_derives_from_horizon(self):
+        assert MonitorPlan().effective_window(6400.0) == pytest.approx(
+            6400.0 / DEFAULT_WINDOW_COUNT
+        )
+        assert MonitorPlan(window=25.0).effective_window(6400.0) == 25.0
+
+    def test_jsonable_round_trip(self):
+        plan = MonitorPlan(
+            series=True, window=12.5, max_windows=64,
+            probe_interval=30.0, charge_rate=0.05,
+        )
+        assert monitor_plan_from_jsonable(monitor_plan_to_jsonable(plan)) == plan
+
+    def test_plan_is_hashable(self):
+        assert len({MonitorPlan(), MonitorPlan(series=True)}) == 2
+
+
+class TestResolveMonitorPlan:
+    def test_defaults_to_disabled(self, monkeypatch):
+        for name in (ENV_SERIES, ENV_SERIES_WINDOW,
+                     ENV_SERIES_PROBE_INTERVAL, ENV_SERIES_CHARGE_RATE):
+            monkeypatch.delenv(name, raising=False)
+        assert resolve_monitor_plan() == MonitorPlan()
+
+    def test_env_knobs_apply(self, monkeypatch):
+        monkeypatch.setenv(ENV_SERIES, "1")
+        monkeypatch.setenv(ENV_SERIES_WINDOW, "50")
+        monkeypatch.setenv(ENV_SERIES_PROBE_INTERVAL, "25")
+        monkeypatch.setenv(ENV_SERIES_CHARGE_RATE, "0.25")
+        plan = resolve_monitor_plan()
+        assert plan == MonitorPlan(
+            series=True, window=50.0, probe_interval=25.0, charge_rate=0.25
+        )
+
+    def test_env_zero_and_empty_disable_series(self, monkeypatch):
+        monkeypatch.setenv(ENV_SERIES, "0")
+        assert not resolve_monitor_plan().series
+        monkeypatch.setenv(ENV_SERIES, "")
+        assert not resolve_monitor_plan().series
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_SERIES, "0")
+        monkeypatch.setenv(ENV_SERIES_PROBE_INTERVAL, "25")
+        plan = resolve_monitor_plan(series=True, probe_interval=100.0)
+        assert plan.series and plan.probe_interval == 100.0
+
+    def test_bad_env_number_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_SERIES_WINDOW, "not-a-number")
+        with pytest.raises(ValueError):
+            resolve_monitor_plan()
+
+
+class TestWindowedSeries:
+    def test_sums_bucket_by_window(self):
+        ws = WindowedSeries(10.0, max_windows=8)
+        ws.add(0.0, "F", 1.0)
+        ws.add(9.999, "F", 2.0)
+        ws.add(10.0, "F", 4.0)
+        ws.add(35.0, "F", 8.0)
+        assert ws.sums("F") == [3.0, 4.0, 0.0, 8.0]
+        assert ws.windows == 4
+
+    def test_negative_time_rejected(self):
+        ws = WindowedSeries(10.0)
+        with pytest.raises(ValueError):
+            ws.add(-0.1, "F", 1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WindowedSeries(0.0)
+        with pytest.raises(ValueError):
+            WindowedSeries(math.inf)
+        with pytest.raises(ValueError):
+            WindowedSeries(10.0, max_windows=2)
+
+    def test_decimation_doubles_width_and_merges_pairs(self):
+        ws = WindowedSeries(1.0, max_windows=8)
+        for i in range(8):
+            ws.add(float(i), "F", float(i))
+        assert ws.width == 1.0
+        ws.add(8.0, "F", 100.0)  # lands past max_windows -> decimate
+        assert ws.width == 2.0
+        assert ws.sums("F") == [1.0, 5.0, 9.0, 13.0, 100.0]
+
+    def test_total_is_decimation_invariant(self):
+        ws = WindowedSeries(1.0, max_windows=8)
+        charges = [(float(i) * 3.7, 1.0 + i / 10) for i in range(200)]
+        for t, a in charges:
+            ws.add(t, "G", a)
+        assert ws.total("G") == math.fsum(a for _, a in charges)
+        assert ws.windows <= ws.max_windows
+
+    def test_sample_means_survive_decimation_weighted(self):
+        ws = WindowedSeries(1.0, max_windows=8)
+        # window 0: one reading of 2; window 1: three readings of 10
+        ws.observe(0.5, "q", 2.0)
+        for _ in range(3):
+            ws.observe(1.5, "q", 10.0)
+        ws.add(8.0, "F", 0.0)  # force a decimation
+        # merged window 0 holds all four readings: mean is (2+30)/4
+        assert ws.means("q")[0] == pytest.approx(8.0)
+
+    def test_means_nan_where_no_samples(self):
+        ws = WindowedSeries(10.0)
+        ws.observe(25.0, "q", 4.0)
+        means = ws.means("q")
+        assert math.isnan(means[0]) and math.isnan(means[1])
+        assert means[2] == 4.0
+
+    def test_jsonable_pads_to_window_count(self):
+        ws = WindowedSeries(10.0)
+        ws.add(5.0, "F", 1.0)
+        ws.observe(5.0, "q", 2.0)
+        ws.add(35.0, "G", 3.0)
+        payload = ws.to_jsonable()
+        assert payload["windows"] == 4
+        assert payload["sums"]["F"] == [1.0, 0.0, 0.0, 0.0]
+        assert payload["sums"]["G"] == [0.0, 0.0, 0.0, 3.0]
+        assert payload["samples"]["q"]["count"] == [1, 0, 0, 0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_aggregate_invariant_under_any_charge_pattern(self, charges):
+        ws = WindowedSeries(7.0, max_windows=16)
+        for t, a in charges:
+            ws.add(t, "F", a)
+        assert ws.windows <= ws.max_windows
+        # decimation merges buckets, never drops mass — the aggregate
+        # matches the charged total up to summation-order rounding
+        assert ws.total("F") == pytest.approx(
+            math.fsum(a for _, a in charges), rel=1e-9, abs=1e-9
+        )
+        # width only ever doubles: a power-of-two multiple of the base
+        ratio = ws.width / 7.0
+        assert ratio == 2 ** round(math.log2(ratio))
+
+
+class TestAnalysis:
+    @staticmethod
+    def _payload(f, g, h, width=10.0):
+        n = max(len(f), len(g), len(h))
+        return {
+            "v": 1,
+            "width": width,
+            "windows": n,
+            "sums": {"F": list(f), "G": list(g), "H": list(h)},
+            "samples": {},
+        }
+
+    def test_efficiency_curve_values(self):
+        p = self._payload([3.0, 1.0], [1.0, 1.0], [0.0, 0.0])
+        curve = efficiency_curve(p)
+        assert curve[0] == (0.0, 0.75, 0.75)
+        t, e_inst, e_cum = curve[1]
+        assert t == 10.0
+        assert e_inst == pytest.approx(0.5)
+        assert e_cum == pytest.approx(4.0 / 6.0)
+
+    def test_efficiency_curve_empty_window_is_nan(self):
+        p = self._payload([1.0, 0.0], [1.0, 0.0], [0.0, 0.0])
+        _, e_inst, e_cum = efficiency_curve(p)[1]
+        assert math.isnan(e_inst)
+        assert e_cum == pytest.approx(0.5)
+
+    def test_detect_warmup_finds_transient(self):
+        # binary-exact values so the steady tail's variance is exactly 0
+        values = [0.125, 0.25, 0.375] + [0.75] * 20
+        d = detect_warmup(values)
+        assert d == 3
+
+    def test_detect_warmup_stationary_signal_is_zero(self):
+        assert detect_warmup([0.5] * 20) == 0
+
+    def test_detect_warmup_short_or_nan_signal_is_zero(self):
+        assert detect_warmup([]) == 0
+        assert detect_warmup([0.1, 0.9, 0.5]) == 0
+        assert detect_warmup([math.nan] * 10) == 0
+
+    def test_detect_warmup_skips_nan_windows(self):
+        values = [0.1, math.nan, 0.2] + [0.7] * 10
+        d = detect_warmup(values)
+        assert values[d] == 0.7
+
+    def test_detect_warmup_bounded_by_max_fraction(self):
+        values = list(range(20))  # monotone: never truly steady
+        assert detect_warmup([float(v) for v in values]) < 10
+
+    def test_steady_state_agrees_on_stationary_run(self):
+        p = self._payload([8.0] * 10, [2.0] * 10, [0.0] * 10)
+        s = steady_state(p)
+        assert s["warmup_windows"] == 0.0
+        assert s["steady_E"] == pytest.approx(0.8)
+        assert s["final_E"] == pytest.approx(0.8)
+        assert s["rel_error"] == pytest.approx(0.0)
+
+    def test_steady_state_truncates_warmup(self):
+        # cold start: first two windows are pure overhead
+        f = [0.0, 0.0] + [9.0] * 10
+        g = [5.0, 5.0] + [1.0] * 10
+        s = steady_state(self._payload(f, g, [0.0] * 12))
+        assert s["warmup_windows"] == 2.0
+        assert s["warmup_time"] == 20.0
+        assert s["steady_E"] == pytest.approx(0.9)
+        assert s["steady_E"] > s["final_E"]
+        assert s["rel_error"] > 0.0
+
+    def test_steady_state_empty_run_is_nan(self):
+        s = steady_state(self._payload([], [], []))
+        assert math.isnan(s["steady_E"]) and math.isnan(s["final_E"])
+
+
+class TestMergeSeries:
+    def test_merge_equal_widths_sums_windows(self):
+        a = {"v": 1, "width": 10.0, "windows": 2,
+             "sums": {"F": [1.0, 2.0]}, "samples": {}}
+        b = {"v": 1, "width": 10.0, "windows": 3,
+             "sums": {"F": [10.0, 20.0, 30.0], "G": [1.0, 1.0, 1.0]},
+             "samples": {}}
+        merged = merge_series([a, b])
+        assert merged["width"] == 10.0
+        assert merged["windows"] == 3
+        assert merged["sums"]["F"] == [11.0, 22.0, 30.0]
+        assert merged["sums"]["G"] == [1.0, 1.0, 1.0]
+
+    def test_merge_resamples_to_coarsest_width(self):
+        fine = {"v": 1, "width": 5.0, "windows": 4,
+                "sums": {"F": [1.0, 2.0, 3.0, 4.0]},
+                "samples": {"q": {"sum": [1.0, 1.0, 1.0, 1.0],
+                                  "count": [1, 1, 1, 1]}}}
+        coarse = {"v": 1, "width": 10.0, "windows": 2,
+                  "sums": {"F": [100.0, 200.0]}, "samples": {}}
+        merged = merge_series([fine, coarse])
+        assert merged["width"] == 10.0
+        assert merged["sums"]["F"] == [103.0, 207.0]
+        assert merged["samples"]["q"] == {"sum": [2.0, 2.0], "count": [2, 2]}
+
+    def test_merge_preserves_aggregate(self):
+        fine = {"v": 1, "width": 5.0, "windows": 4,
+                "sums": {"F": [1.0, 2.0, 3.0, 4.0]}, "samples": {}}
+        coarse = {"v": 1, "width": 20.0, "windows": 1,
+                  "sums": {"F": [50.0]}, "samples": {}}
+        merged = merge_series([fine, coarse])
+        assert math.fsum(merged["sums"]["F"]) == 60.0
+
+    def test_merge_rejects_non_integer_ratio(self):
+        a = {"v": 1, "width": 10.0, "windows": 1, "sums": {}, "samples": {}}
+        b = {"v": 1, "width": 15.0, "windows": 1, "sums": {}, "samples": {}}
+        with pytest.raises(ValueError):
+            merge_series([a, b])
+
+    def test_merge_needs_payloads(self):
+        with pytest.raises(ValueError):
+            merge_series([])
+
+    def test_merge_single_payload_is_identity(self):
+        a = {"v": 1, "width": 10.0, "windows": 2,
+             "sums": {"F": [1.0, 2.0]}, "samples": {}}
+        merged = merge_series([a])
+        assert merged["sums"]["F"] == [1.0, 2.0]
+        assert merged["width"] == 10.0
