@@ -25,7 +25,11 @@ Two metric classes, two comparison rules:
   changed, not just speed, and is always a failure.  Sections whose
   parameters differ from the baseline's (e.g. a CI smoke run over a
   subset of RMS designs) are *skipped*, not failed: timings across
-  different workloads are not comparable.
+  different workloads are not comparable.  Likewise sections a tracked
+  baseline predates entirely (e.g. the schema-3 ``fluid`` section
+  against a schema-2 record) are skipped — an older baseline is not
+  evidence of a regression in a measurement it never made, and the
+  fresh benchmark does not even run those sections.
 
 ``--warn-only`` downgrades the exit code (never the report) so CI can
 surface regressions without gating merges on a noisy runner.
@@ -103,6 +107,9 @@ def run_current_bench(
         jobs=jobs if jobs is not None else (max(arm_jobs) if arm_jobs else 4),
         kernel_events=storm.get("events", 200_000),
         fel_events=fel.get("events", 1_000_000),
+        # A baseline that predates the fluid section has nothing to
+        # compare it against — skip the minutes-long extreme-scale run.
+        include_fluid="fluid" in baseline,
     )
 
 
@@ -256,6 +263,83 @@ def compare_bench(
         )
     else:
         checks.append(CheckResult("sims.sims_per_sec", "skip", "base configs differ"))
+
+    # -- fluid: skip when the baseline predates the section --------------
+    b_fluid, c_fluid = baseline.get("fluid"), current.get("fluid")
+    if b_fluid is None:
+        checks.append(
+            CheckResult(
+                "fluid",
+                "skip",
+                "section absent from baseline record (pre-fluid schema) "
+                "— regenerate the baseline to start tracking it",
+            )
+        )
+    elif c_fluid is None:
+        checks.append(
+            CheckResult("fluid", "skip", "section absent from current record")
+        )
+    else:
+        b_ov, c_ov = b_fluid.get("overlap", {}), c_fluid.get("overlap", {})
+        ov_params = ("rms", "n_resources", "n_schedulers", "n_estimators", "horizon")
+        if any(b_ov.get(k) != c_ov.get(k) for k in ov_params):
+            checks.append(
+                CheckResult("fluid.overlap", "skip", "overlap configs differ")
+            )
+        else:
+            checks.append(
+                _exact_check(
+                    "fluid.overlap.F_identical", True, bool(c_ov.get("F_identical"))
+                )
+            )
+            checks.append(
+                _exact_check(
+                    "fluid.overlap.kernel_events",
+                    {
+                        "discrete": (b_ov.get("discrete") or {}).get("kernel_events"),
+                        "fluid": (b_ov.get("fluid") or {}).get("kernel_events"),
+                    },
+                    {
+                        "discrete": (c_ov.get("discrete") or {}).get("kernel_events"),
+                        "fluid": (c_ov.get("fluid") or {}).get("kernel_events"),
+                    },
+                )
+            )
+            checks.append(
+                _timing_check(
+                    "fluid.overlap.speedup",
+                    b_ov.get("speedup"),
+                    c_ov.get("speedup"),
+                    True,
+                    warn_tolerance,
+                    fail_tolerance,
+                )
+            )
+        b_ex, c_ex = b_fluid.get("extreme", {}), c_fluid.get("extreme", {})
+        if any(
+            b_ex.get(k) != c_ex.get(k) for k in ("profile", "scale", "n_resources")
+        ):
+            checks.append(
+                CheckResult("fluid.extreme", "skip", "extreme configs differ")
+            )
+        else:
+            checks.append(
+                _exact_check(
+                    "fluid.extreme.kernel_events",
+                    (b_ex.get("fluid") or {}).get("kernel_events"),
+                    (c_ex.get("fluid") or {}).get("kernel_events"),
+                )
+            )
+            checks.append(
+                _timing_check(
+                    "fluid.extreme.event_reduction_vs_discrete",
+                    b_ex.get("event_reduction_vs_discrete"),
+                    c_ex.get("event_reduction_vs_discrete"),
+                    True,
+                    warn_tolerance,
+                    fail_tolerance,
+                )
+            )
 
     # -- study: full parameter identity required ------------------------
     if _study_params(baseline) != _study_params(current):

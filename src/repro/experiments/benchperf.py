@@ -33,8 +33,10 @@ is deterministic for a fixed seed and flag set.
 from __future__ import annotations
 
 import json
+import math
 import platform
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -48,6 +50,7 @@ from .reproduce import DEFAULT_SPECULATION_WIDTH
 from .runner import run_simulation
 
 __all__ = [
+    "bench_fluid",
     "bench_kernel",
     "bench_kernel_fel",
     "bench_kernel_section",
@@ -194,6 +197,154 @@ def bench_sims(profile: ScaleProfile, rms: str = "LOWEST", runs: int = 3, seed: 
 
 
 # ---------------------------------------------------------------------------
+# Layer 2b: fluid traffic mode — event-count reduction at extreme scale
+# ---------------------------------------------------------------------------
+
+def _run_counting_events(config: SimulationConfig):
+    """Run one simulation and return ``(metrics, kernel_events, seconds, system)``.
+
+    Mirrors :func:`~repro.experiments.runner.run_simulation`'s loop but
+    keeps the kernel in hand so the bench can read its dispatch counter
+    (``RunMetrics`` deliberately does not carry it — event counts are a
+    property of the executor, not of the measured system).
+    """
+    from ..grid.jobs import JobState
+    from .runner import build_system, summarize
+
+    t0 = time.perf_counter()
+    system = build_system(config)
+    sim = system.sim
+    sim.run(until=config.horizon)
+    deadline = config.horizon + config.drain
+    step = max(200.0, config.horizon / 10.0)
+    while sim.now < deadline and any(
+        j.state != JobState.COMPLETED for j in system.jobs
+    ):
+        sim.run(until=min(deadline, sim.now + step))
+    metrics = summarize(system)
+    seconds = time.perf_counter() - t0
+    return metrics, sim.events_executed, seconds, system
+
+
+def bench_fluid(
+    rms: str = "LOWEST",
+    seed: int = 7,
+    overlap_resources: int = 500,
+    overlap_schedulers: int = 4,
+    overlap_estimators: Optional[int] = None,
+    extreme_profile: "str | ScaleProfile" = "extreme",
+    extreme_scale: float = 4.0,
+) -> Dict:
+    """The fluid-traffic section: cross-validation plus extreme scale.
+
+    Two measurements:
+
+    * **overlap** — the largest scale where discrete mode is still
+      tractable *and unsaturated*, run in *both* modes on the identical
+      config.  Records the kernel-event counts, wall clocks, and the
+      F/G/H agreement (F must be bit-identical; G/H within the
+      documented tolerance), so the cross-validation contract is part
+      of the tracked record.  The estimator plane is sized Case-3
+      style (~8 resources per estimator by default) so discrete
+      estimators keep up with the update flow — a saturated discrete
+      estimator silently sheds work its fluid counterpart charges for,
+      which would poison the G comparison.
+    * **extreme** — the extreme-profile Case-1 point (1e5 resources at
+      the default scale), fluid mode only; discrete mode there is
+      projected from the overlap run's per-resource event density
+      (status/keepalive traffic is O(k), so the extrapolation is
+      linear in ``resources x horizon``).  The recorded
+      ``event_reduction_vs_discrete`` is the headline number: modeled
+      message flows per kernel event actually dispatched.
+    """
+    from ..fluid.plan import FluidPlan
+    from .cases import get_case
+
+    prof = (
+        extreme_profile
+        if isinstance(extreme_profile, ScaleProfile)
+        else PROFILES[extreme_profile]
+    )
+    if overlap_estimators is None:
+        overlap_estimators = -(-overlap_resources // 8)
+    overlap_cfg = SimulationConfig(
+        rms=rms,
+        n_schedulers=overlap_schedulers,
+        n_resources=overlap_resources,
+        n_estimators=overlap_estimators,
+        workload_rate=prof.base_rate_per_resource * overlap_resources,
+        horizon=prof.horizon,
+        drain=prof.drain,
+        seed=seed,
+    )
+    d_metrics, d_events, d_seconds, _ = _run_counting_events(overlap_cfg)
+    f_metrics, f_events, f_seconds, f_system = _run_counting_events(
+        replace(overlap_cfg, fluid=FluidPlan(mode="fluid"))
+    )
+
+    def _delta_pct(base: float, cur: float) -> Optional[float]:
+        # None = incomparable (zero base); infinities are not valid JSON
+        if base == 0.0:
+            return None
+        return round(100.0 * (cur - base) / base, 3)
+
+    overlap = {
+        "rms": rms,
+        "n_resources": overlap_resources,
+        "n_schedulers": overlap_schedulers,
+        "n_estimators": overlap_estimators,
+        "horizon": prof.horizon,
+        "discrete": {
+            "kernel_events": d_events,
+            "seconds": round(d_seconds, 3),
+        },
+        "fluid": {
+            "kernel_events": f_events,
+            "seconds": round(f_seconds, 3),
+            "stats": f_system.fluid.stats(),
+        },
+        "event_reduction": (
+            round(d_events / f_events, 1) if f_events else None
+        ),
+        "speedup": round(d_seconds / f_seconds, 2) if f_seconds > 0 else None,
+        "F_identical": d_metrics.record.F == f_metrics.record.F,
+        "G_delta_pct": _delta_pct(d_metrics.record.G, f_metrics.record.G),
+        "H_delta_pct": _delta_pct(d_metrics.record.H, f_metrics.record.H),
+    }
+
+    case = get_case(1)
+    extreme_cfg = case.config_for(
+        rms, extreme_scale, prof, seed=seed, fluid=FluidPlan(mode="fluid")
+    )
+    e_metrics, e_events, e_seconds, e_system = _run_counting_events(extreme_cfg)
+    stats = e_system.fluid.stats()
+    # Discrete kernel events scale ~linearly in resources x horizon at a
+    # fixed per-resource rate (the status/keepalive storms dominate), so
+    # the overlap run's event density projects the intractable run.
+    density = d_events / (overlap_resources * prof.horizon)
+    projected = density * extreme_cfg.n_resources * prof.horizon
+    extreme = {
+        "profile": prof.name,
+        "scale": extreme_scale,
+        "n_resources": extreme_cfg.n_resources,
+        "n_schedulers": extreme_cfg.n_schedulers,
+        "fluid": {
+            "kernel_events": e_events,
+            "seconds": round(e_seconds, 3),
+            "sims_per_sec": round(1.0 / e_seconds, 5) if e_seconds > 0 else None,
+            "stats": stats,
+        },
+        "success_rate": round(e_metrics.success_rate, 4),
+        "G": round(e_metrics.record.G, 1),
+        "discrete_events_projected": round(projected),
+        "event_reduction_vs_discrete": (
+            round(projected / e_events, 1) if e_events else None
+        ),
+    }
+    return {"overlap": overlap, "extreme": extreme}
+
+
+# ---------------------------------------------------------------------------
 # Layer 3: the isoefficiency study, per arm
 # ---------------------------------------------------------------------------
 
@@ -265,12 +416,15 @@ def run_bench(
     speculation: int = DEFAULT_SPECULATION_WIDTH,
     kernel_events: int = 200_000,
     fel_events: int = 1_000_000,
+    include_fluid: bool = True,
 ) -> Dict:
     """Run every layer and return the ``BENCH_perf.json`` payload.
 
-    Schema 2: the ``kernel`` section is per-backend and multi-case (see
-    :func:`bench_kernel_section`); ``repro bench-check`` still reads
-    schema-1 baselines.
+    Schema 3 adds the ``fluid`` section (cross-validated event-count
+    reduction at extreme scale); ``repro bench-check`` still reads
+    schema-1 and schema-2 baselines and skips sections they lack.
+    ``include_fluid=False`` drops that section — the extreme-scale run
+    is minutes of wall clock a quick kernel-only check may not want.
     """
     prof = profile if isinstance(profile, ScaleProfile) else PROFILES[profile]
     rms_list = list(rms) if rms is not None else rms_names()
@@ -278,6 +432,12 @@ def run_bench(
 
     kernel = bench_kernel_section(events=kernel_events, fel_events=fel_events)
     sims = bench_sims(prof, rms=rms_list[0], seed=seed)
+    # The fluid section always runs LOWEST: the cross-validation
+    # contract (F bit-identical) is pinned to designs whose placements
+    # are not delivery-timing-sensitive — CENTRAL diverges there by
+    # documented design (EXPERIMENTS.md "Extreme scale") and its single
+    # decision point saturates at 1e5 resources anyway.
+    fluid = bench_fluid(seed=seed) if include_fluid else None
 
     baseline = bench_study_arm(
         prof, rms_list, case_id, seed, iters,
@@ -297,8 +457,8 @@ def run_bench(
         )
         for arm in arms
     }
-    return {
-        "schema": 2,
+    payload = {
+        "schema": 3,
         "machine": {
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -318,6 +478,9 @@ def run_bench(
             "tuned_points_identical_across_jobs": identical,
         },
     }
+    if fluid is not None:
+        payload["fluid"] = fluid
+    return payload
 
 
 def _cpu_count() -> Optional[int]:
@@ -353,11 +516,27 @@ def render_report(payload: Dict) -> str:
             f"kernel: {kernel['events_per_sec']:,} events/sec "
             f"({kernel['events']:,} events in {kernel['seconds']:.3f}s)"
         )
-    lines += [
-        f"sims:   {payload['sims']['sims_per_sec']} sims/sec ({payload['sims']['rms']} base config)",
+    lines.append(
+        f"sims:   {payload['sims']['sims_per_sec']} sims/sec ({payload['sims']['rms']} base config)"
+    )
+    fluid = payload.get("fluid")
+    if fluid:
+        ov, ex = fluid["overlap"], fluid["extreme"]
+        lines.append(
+            f"fluid overlap ({ov['n_resources']:,} resources): "
+            f"{ov['event_reduction']}x fewer kernel events, {ov['speedup']}x faster, "
+            f"F identical: {'yes' if ov['F_identical'] else 'NO — BUG'}, "
+            f"G {ov['G_delta_pct']:+g}%, H {ov['H_delta_pct']:+g}%"
+        )
+        lines.append(
+            f"fluid extreme ({ex['n_resources']:,} resources, {ex['rms'] if 'rms' in ex else ov['rms']}): "
+            f"{ex['fluid']['kernel_events']:,} kernel events in {ex['fluid']['seconds']}s "
+            f"— {ex['event_reduction_vs_discrete']}x below projected discrete"
+        )
+    lines.append(
         f"study baseline (serial tuner, cold start): {base['seconds']:.2f}s, "
-        f"{base['simulations']} simulations",
-    ]
+        f"{base['simulations']} simulations"
+    )
     for arm in study["arms"]:
         speedup = study["speedup_vs_baseline"][f"jobs={arm['jobs']}"]
         lines.append(

@@ -104,6 +104,7 @@ class ExperimentCase:
         faults=None,
         kernel_backend: Optional[str] = None,
         monitor=None,
+        fluid=None,
     ) -> SimulationConfig:
         """The simulation configuration at scale ``k`` (default enablers).
 
@@ -111,9 +112,10 @@ class ExperimentCase:
         settings on top via ``SimulationConfig.with_enablers``.  An
         optional :class:`~repro.faults.plan.FaultPlan` rides along
         verbatim (``None`` keeps the inert default), as do an explicit
-        kernel backend name (``None`` defers to the environment) and a
+        kernel backend name (``None`` defers to the environment), a
         :class:`~repro.telemetry.timeseries.MonitorPlan` (``None`` keeps
-        monitoring off).
+        monitoring off), and a :class:`~repro.fluid.plan.FluidPlan`
+        (``None`` keeps the discrete traffic model).
         """
         config = self._base_config(rms, k, profile, seed)
         if faults is not None:
@@ -122,6 +124,8 @@ class ExperimentCase:
             config = replace(config, kernel_backend=kernel_backend)
         if monitor is not None:
             config = replace(config, monitor=monitor)
+        if fluid is not None:
+            config = replace(config, fluid=fluid)
         return config
 
     def _base_config(
@@ -219,6 +223,7 @@ def make_simulate(
     memo: Optional[Dict] = None,
     engine=None,
     kernel_backend: Optional[str] = None,
+    fluid=None,
 ) -> Callable[[float, Mapping[str, float]], RunMetrics]:
     """Build the ``simulate(k, settings)`` closure for one (case, RMS).
 
@@ -236,6 +241,10 @@ def make_simulate(
         Kernel backend for every run of the closure (``None`` defers to
         the environment).  Carried on the config so engine workers use
         it too; never part of the run-cache key.
+    fluid:
+        Optional :class:`~repro.fluid.plan.FluidPlan` applied to every
+        run of the closure (``None`` keeps the discrete model).  An
+        inert plan never perturbs cache keys; a fluid one is hashed.
     """
     cache: Dict = memo if memo is not None else {}
 
@@ -245,7 +254,7 @@ def make_simulate(
         if hit is not None:
             return hit
         config = case.config_for(
-            rms, k, profile, seed=seed, kernel_backend=kernel_backend
+            rms, k, profile, seed=seed, kernel_backend=kernel_backend, fluid=fluid
         ).with_enablers(dict(settings))
         metrics = engine.run(config) if engine is not None else run_simulation(config)
         cache[key] = metrics
@@ -262,6 +271,7 @@ def make_batch_simulate(
     memo: Optional[Dict] = None,
     engine=None,
     kernel_backend: Optional[str] = None,
+    fluid=None,
 ) -> Callable[[Sequence[Tuple[float, Mapping[str, float]]]], List[RunMetrics]]:
     """Build the batch companion of :func:`make_simulate`.
 
@@ -286,7 +296,12 @@ def make_batch_simulate(
                 todo_keys.append(key)
                 todo_configs.append(
                     case.config_for(
-                        rms, k, profile, seed=seed, kernel_backend=kernel_backend
+                        rms,
+                        k,
+                        profile,
+                        seed=seed,
+                        kernel_backend=kernel_backend,
+                        fluid=fluid,
                     ).with_enablers(dict(settings))
                 )
         if todo_configs:

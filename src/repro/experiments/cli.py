@@ -151,6 +151,24 @@ def _apply_kernel_backend(args: argparse.Namespace) -> None:
         os.environ[ENV_BACKEND] = resolve_backend(name)
 
 
+def _resolve_fluid(args: argparse.Namespace):
+    """The invocation's :class:`FluidPlan` (flags > $REPRO_TRAFFIC_MODE).
+
+    Also exported through the environment so engine pool workers build
+    identical configs (the plan rides on each config anyway; the export
+    keeps programmatic spawns consistent with the parent).
+    """
+    from ..fluid.plan import ENV_TRAFFIC_MODE, resolve_fluid_plan
+
+    plan = resolve_fluid_plan(
+        mode=getattr(args, "traffic_mode", None),
+        aggregator_fanout=getattr(args, "aggregator_fanout", None),
+    )
+    if plan.is_fluid:
+        os.environ[ENV_TRAFFIC_MODE] = plan.mode
+    return plan
+
+
 def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
     """Build the experiment engine an invocation asked for."""
     _apply_kernel_backend(args)
@@ -247,6 +265,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             speculate=args.speculate,
             warm_start=False if args.no_warm_start else None,
             kernel_backend=args.kernel_backend,
+            fluid=_resolve_fluid(args),
         )
         fig = study.figure(args.number)
     quantity = args.quantity or _FIGURE_QUANTITY[args.number]
@@ -273,6 +292,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     monitor = resolve_monitor_plan()
     if monitor.is_enabled:
         extra["monitor"] = monitor
+    fluid = _resolve_fluid(args)
+    if fluid.is_fluid:
+        extra["fluid"] = fluid
     # the ci profile reproduces the historical quick-comparison shape
     # exactly; full scales the same recipe up to the paper's base pool
     profile = PROFILES[args.profile]
@@ -320,6 +342,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             mttr=args.mttr,
             engine=engine,
             manifest_path=manifest_path,
+            fluid=_resolve_fluid(args),
         )
     print(fault_report(result, precision=args.precision))
     print(
@@ -408,6 +431,7 @@ def _cmd_series(args: argparse.Namespace) -> int:
             sweep_intervals=intervals[1:],
             engine=engine,
             manifest_path=manifest_path,
+            fluid=_resolve_fluid(args),
         )
     print(series_report(result, precision=args.precision))
     sweep_text = sweep_report(result, precision=args.precision)
@@ -464,6 +488,7 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         speculation=args.speculate,
         kernel_events=args.kernel_events,
         fel_events=args.fel_events,
+        include_fluid=args.fluid,
     )
     print(render_report(payload))
     path = write_bench(payload, args.output)
@@ -593,9 +618,11 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 #: one place documenting the flag conventions shared across subcommands
 _EPILOG = """\
 flag conventions (uniform across subcommands):
-  --profile {ci,full}  scale profile; every subcommand accepts it
+  --profile {ci,full,extreme}
+                       scale profile; every subcommand accepts it
                        (report-only subcommands take it for interface
-                       uniformity and profile-dependent defaults)
+                       uniformity and profile-dependent defaults;
+                       extreme pairs with --traffic-mode fluid)
   --fault-plan FILE    JSON FaultPlan (the repro.faults plan_to_jsonable
                        shape) applied to every run of the invocation
                        (accepted by: faults, compare)
@@ -820,11 +847,19 @@ def build_parser() -> argparse.ArgumentParser:
         "case (each registered backend runs it)",
     )
     bench.add_argument(
+        "--no-fluid",
+        dest="fluid",
+        action="store_false",
+        help="skip the fluid-vs-discrete section (it includes a "
+        "minutes-long extreme-scale run); bench-check skips, not "
+        "fails, the missing section",
+    )
+    bench.add_argument(
         "--output",
         default="BENCH_perf.json",
         help="where to write the benchmark record (default BENCH_perf.json)",
     )
-    bench.set_defaults(fn=_cmd_bench_perf)
+    bench.set_defaults(fn=_cmd_bench_perf, fluid=True)
 
     check = sub.add_parser(
         "bench-check",
@@ -995,6 +1030,23 @@ def _add_engine_args(sub: argparse.ArgumentParser) -> None:
         help="kernel backend for every simulation (default: "
         "$REPRO_KERNEL_BACKEND or reference); backends are bit-identical "
         "— the choice affects speed only and is recorded as provenance",
+    )
+    sub.add_argument(
+        "--traffic-mode",
+        default=None,
+        choices=["discrete", "fluid"],
+        help="traffic model for every simulation (default: "
+        "$REPRO_TRAFFIC_MODE or discrete); fluid replaces bulk periodic "
+        "status/keepalive/heartbeat events with closed-form rate charges "
+        "so extreme-scale cases (k=1e5-1e6 resources) stay measurable",
+    )
+    sub.add_argument(
+        "--aggregator-fanout",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fluid mode only: fan-out of the hierarchical status-"
+        "estimator tree (>= 2; default 0 = flat)",
     )
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from ..faults.plan import FaultPlan
+from ..fluid.plan import FluidPlan
 from ..grid.costs import CostModel
 from ..telemetry.timeseries import MonitorPlan
 
@@ -124,6 +125,33 @@ PROFILES: Dict[str, ScaleProfile] = {
         scales=(1, 2, 3, 4, 5, 6),
         sa_iterations=30,
     ),
+    # Extreme-scale profile for the fluid traffic mode: Case 1 reaches
+    # 1e5 resources at scale 4 (and 1e6 would be scale 40 of the same
+    # base).  Discrete mode is intractable here — the periodic status /
+    # keepalive storms alone would be tens of millions of events — so
+    # this profile is intended to run with ``--traffic-mode fluid``.
+    # The horizon is short (the point is G(k) measurability, not
+    # steady-state averaging) and the annealing budget minimal.
+    "extreme": ScaleProfile(
+        name="extreme",
+        base_resources=25_000,
+        base_schedulers=32,
+        fixed_resources=100_000,
+        fixed_schedulers=128,
+        # Light per-resource demand, calibrated against the status-scan
+        # decision cost: clusters hold ~780 resources, so one decision
+        # costs ``decision_base + scan_per_entry * 780 ~ 470`` time
+        # units, and the per-scheduler arrival rate (rate x 780) must
+        # keep utilization ``rate x 780 x 470 ~ 0.37`` under one.  The
+        # extreme cases measure status-plane scaling, not queueing
+        # collapse — the job plane just has to stay healthy enough that
+        # F and the success rate are nonzero.
+        base_rate_per_resource=0.000001,
+        horizon=3000.0,
+        drain=1500.0,
+        scales=(1, 2, 4),
+        sa_iterations=4,
+    ),
 }
 
 
@@ -221,6 +249,10 @@ class SimulationConfig:
     kernel_backend: Optional[str] = None
     #: time-resolved monitoring plan (passive plans excluded from cache keys)
     monitor: MonitorPlan = field(default_factory=MonitorPlan)
+    #: traffic mode plan (inert ``discrete`` plans excluded from cache
+    #: keys so pre-fluid cache entries stay valid — see
+    #: :mod:`repro.experiments.parallel.hashing`)
+    fluid: FluidPlan = field(default_factory=FluidPlan)
 
     @property
     def effective_batch_window(self) -> float:

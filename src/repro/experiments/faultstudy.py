@@ -108,6 +108,7 @@ def run_fault_study(
     mttr: Optional[float] = None,
     engine=None,
     manifest_path: "str | Path | None" = None,
+    fluid=None,
 ) -> FaultStudyResult:
     """Run the churn study: Case-1 scaling under a fault plan.
 
@@ -132,7 +133,7 @@ def run_fault_study(
     case = get_case(1)
 
     configs = [
-        case.config_for(name, k, prof, seed=seed, faults=plan)
+        case.config_for(name, k, prof, seed=seed, faults=plan, fluid=fluid)
         for name in names
         for k in prof.scales
     ]

@@ -61,8 +61,11 @@ PROVENANCE_FIELDS = frozenset({"kernel_backend"})
 #: fields that are provenance only in some states: ``monitor`` is
 #: dropped while the plan is passive (pure observation, results
 #: bit-identical to an unmonitored run) but hashed once it charges
-#: ``g.monitor`` — see :func:`canonical_config`.
-CONDITIONAL_PROVENANCE_FIELDS = frozenset({"monitor"})
+#: ``g.monitor``; ``fluid`` is dropped while the plan is inert
+#: (``discrete`` mode changes nothing about the run, so pre-fluid
+#: cache entries stay valid without a schema bump) but hashed once
+#: the fluid traffic model is enabled — see :func:`canonical_config`.
+CONDITIONAL_PROVENANCE_FIELDS = frozenset({"monitor", "fluid"})
 
 
 def _plain(value: Any) -> Any:
@@ -102,12 +105,19 @@ def canonical_config(config: SimulationConfig) -> Dict[str, Any]:
     bump; old entries remain valid and shareable with monitored runs).
     An **active** plan charges ``g.monitor`` and therefore hashes like
     any semantic field.
+
+    The fluid plan follows the same pattern: an inert (``discrete``)
+    plan *is* the pre-fluid behaviour, so dropping it keeps every key
+    bit-for-bit what it was before the field existed; a ``fluid`` plan
+    changes the traffic model and is hashed like any semantic field.
     """
     plain = _plain(config)
     for name in PROVENANCE_FIELDS:
         plain.pop(name, None)
     if not config.monitor.is_active:
         plain.pop("monitor", None)
+    if not config.fluid.is_fluid:
+        plain.pop("fluid", None)
     return plain
 
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.annealing import AnnealingSchedule
 from ..core.procedure import ScalabilityProcedure, ScalabilityResult
+from ..fluid.plan import FluidPlan, resolve_fluid_plan
 from ..rms.registry import rms_names
 from ..sim.backend import resolve_backend
 from ..telemetry.spans import current as _telemetry
@@ -196,6 +197,12 @@ class Study:
         :mod:`repro.sim.backend`).  Backends are bit-identical, so the
         choice never enters point identities or cache keys; it is
         recorded in the manifest payloads as provenance.
+    fluid:
+        Traffic model for every simulation of the study (default:
+        ``$REPRO_TRAFFIC_MODE`` or discrete — see
+        :mod:`repro.fluid.plan`).  A fluid plan changes what the runs
+        compute (G/H carry the modeled rates), so unlike the kernel
+        backend it *is* part of point identities and cache keys.
     """
 
     def __init__(
@@ -210,6 +217,7 @@ class Study:
         speculate: "bool | int | None" = None,
         warm_start: "bool | None" = None,
         kernel_backend: Optional[str] = None,
+        fluid: "FluidPlan | None" = None,
     ) -> None:
         if isinstance(profile, ScaleProfile):
             self.profile = profile
@@ -226,6 +234,7 @@ class Study:
         self.speculation = resolve_speculation(speculate)
         self.warm_start = resolve_warm_start(warm_start)
         self.kernel_backend = resolve_backend(kernel_backend)
+        self.fluid = fluid if fluid is not None else resolve_fluid_plan()
         self._manifest: Optional[StudyManifest] = None
         if resume or manifest_path is not None:
             if manifest_path is None:
@@ -270,10 +279,16 @@ class Study:
         replayed under another.
         """
         scales = ",".join(str(s) for s in self.profile.scales)
+        # An inert fluid plan leaves keys bit-for-bit what they were
+        # before the field existed, so pre-fluid manifests stay valid;
+        # a fluid plan computes different G/H and gets its own points.
+        fluid = ""
+        if self.fluid.is_fluid:
+            fluid = f":fluid{self.fluid.mode}-fan{self.fluid.aggregator_fanout}"
         return (
             f"{self.profile.name}:seed{self.seed}:sa{self.sa_iterations}"
             f":scales[{scales}]:warm{int(self.warm_start)}"
-            f":spec{self.speculation}:case{case_id}:{rms}"
+            f":spec{self.speculation}{fluid}:case{case_id}:{rms}"
         )
 
     def _series_payload(self, series: RMSSeries) -> Dict:
@@ -305,11 +320,11 @@ class Study:
         memo: Dict = {}
         simulate = make_simulate(
             case, rms, self.profile, seed=self.seed, memo=memo, engine=self.engine,
-            kernel_backend=self.kernel_backend,
+            kernel_backend=self.kernel_backend, fluid=self.fluid,
         )
         batch = make_batch_simulate(
             case, rms, self.profile, seed=self.seed, memo=memo, engine=self.engine,
-            kernel_backend=self.kernel_backend,
+            kernel_backend=self.kernel_backend, fluid=self.fluid,
         )
         procedure = ScalabilityProcedure(
             simulate,

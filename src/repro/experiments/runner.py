@@ -23,6 +23,7 @@ import numpy as np
 from ..core.efficiency import EfficiencyRecord
 from ..core.ledger import Category, CostLedger
 from ..faults.injector import FaultInjector
+from ..fluid.plane import FluidStatusPlane
 from ..grid.estimator import Estimator
 from ..grid.jobs import Job, JobState
 from ..grid.middleware import Middleware
@@ -129,6 +130,8 @@ class System:
     recorder: Optional[RunSeriesRecorder] = None
     #: present only when the plan's probe loop is on
     sampler: Optional[ProbeSampler] = None
+    #: present only in fluid traffic mode
+    fluid: Optional[FluidStatusPlane] = None
 
 
 @dataclass(frozen=True)
@@ -206,6 +209,19 @@ def build_system(config: SimulationConfig) -> System:
         n_estimators=n_est,
     )
     router = Router(topo)
+    if gm.scheduler_tables is not None:
+        # Donate the mapper's per-scheduler Dijkstra tables: scheduler
+        # (and co-located estimator) sites originate nearly all routed
+        # traffic, so the router never recomputes its hottest sources.
+        for node, table in zip(gm.scheduler_nodes, gm.scheduler_tables):
+            router.prime(node, table)
+    fluid_mode = config.fluid.is_fluid
+    if fluid_mode:
+        # At 1e5-scale pools nearly every resource node sends at least
+        # one routed message (job completions), and a per-source
+        # Dijkstra each would dwarf the run itself.  Latency-symmetric
+        # reverse lookup reuses the schedulers' cached tables.
+        router.symmetric = True
     # The plan's link_loss subsumes the deprecated loss_probability
     # knob (__post_init__ canonicalizes it onto the plan); the rng
     # stream name is unchanged so the deprecated spelling reproduces
@@ -298,11 +314,33 @@ def build_system(config: SimulationConfig) -> System:
             sched.middleware = middleware
 
     # --- periodic machinery -------------------------------------------------
+    # Per-resource report phases are drawn in BOTH traffic modes (fluid
+    # discards them): the draws keep the phase stream aligned so the
+    # scheduler volunteer phases — which stay discrete either way — are
+    # bit-identical across modes, a precondition of the fluid-vs-
+    # discrete cross-validation.
     phase_rng = hub.stream("phases")
+    fluid_plane = None
+    report_phases: List[float] = []
     for res in resources:
-        res.start_reporting(
-            config.update_interval, phase=float(phase_rng.random() * config.update_interval)
+        phase = float(phase_rng.random() * config.update_interval)
+        report_phases.append(phase)
+        if not fluid_mode:
+            res.start_reporting(config.update_interval, phase=phase)
+    if fluid_mode:
+        fluid_plane = FluidStatusPlane(
+            sim,
+            config,
+            ledger,
+            network,
+            resources,
+            estimators,
+            gm,
+            phases=report_phases,
         )
+        for res in resources:
+            res.fluid_sink = fluid_plane
+        fluid_plane.arm()
     for sched in schedulers:
         if hasattr(sched, "start_volunteering"):
             sched.start_volunteering(
@@ -325,14 +363,21 @@ def build_system(config: SimulationConfig) -> System:
         for r in range(config.n_resources):
             e = gm.estimator_of_resource[r]
             watched.setdefault(e, {})[r] = gm.cluster_of_resource[r]
-        for e, est in enumerate(estimators):
-            if e in watched:
-                est.start_watch(
-                    watched[e],
-                    timeout=hb_timeout,
-                    interval=hb_interval,
-                    phase=hb_interval * e / max(1, n_est),
-                )
+        if fluid_plane is not None:
+            # Fluid mode: sweep *work* becomes a rate at the plane;
+            # dead declarations stay discrete events at crash+timeout.
+            fluid_plane.start_watch(
+                watched, timeout=hb_timeout, interval=hb_interval
+            )
+        else:
+            for e, est in enumerate(estimators):
+                if e in watched:
+                    est.start_watch(
+                        watched[e],
+                        timeout=hb_timeout,
+                        interval=hb_interval,
+                        phase=hb_interval * e / max(1, n_est),
+                    )
     if not plan.is_inert and (
         plan.has_resource_faults or plan.blackouts or plan.degradations
     ):
@@ -403,7 +448,14 @@ def build_system(config: SimulationConfig) -> System:
             recorder.observe_ledger(sim, ledger)
         if mplan.probe_interval > 0.0:
             sampler = ProbeSampler(
-                sim, mplan, recorder, ledger, schedulers, estimators, resources
+                sim,
+                mplan,
+                recorder,
+                ledger,
+                schedulers,
+                estimators,
+                resources,
+                fluid=fluid_plane,
             )
             sampler.arm(end=config.horizon + config.drain)
 
@@ -421,6 +473,7 @@ def build_system(config: SimulationConfig) -> System:
         injector=injector,
         recorder=recorder,
         sampler=sampler,
+        fluid=fluid_plane,
     )
 
 

@@ -161,6 +161,8 @@ class SeriesStudyResult:
     profile: str
     seed: int
     plan: MonitorPlan
+    #: traffic plan the runs executed under (``None`` means discrete)
+    fluid: Optional[Any] = None
     #: RMS name -> points in ascending scale order
     series: Dict[str, List[SeriesStudyPoint]] = field(default_factory=dict)
     #: probe-interval sweep points (interval -> per-RMS points), present
@@ -179,6 +181,7 @@ def run_series_study(
     sweep_intervals: Optional[Sequence[float]] = None,
     engine=None,
     manifest_path: "str | Path | None" = None,
+    fluid=None,
 ) -> SeriesStudyResult:
     """Run the time-resolved study: Case-1 scaling under a monitor plan.
 
@@ -199,6 +202,11 @@ def run_series_study(
     manifest_path:
         When given, each design's points are checkpointed there in the
         study-manifest shape ``repro attrib`` and ``repro watch`` read.
+    fluid:
+        Optional :class:`~repro.fluid.plan.FluidPlan` applied to every
+        run.  In fluid mode the probe sampler reads the status plane's
+        O(1) aggregate gauges instead of sweeping per-resource state,
+        so the study stays cheap at extreme scale.
     """
     prof = PROFILES[profile] if isinstance(profile, str) else profile
     names = list(rms) if rms else rms_names()
@@ -209,7 +217,7 @@ def run_series_study(
     case = get_case(1)
 
     configs = [
-        case.config_for(name, k, prof, seed=seed, monitor=plan)
+        case.config_for(name, k, prof, seed=seed, monitor=plan, fluid=fluid)
         for name in names
         for k in prof.scales
     ]
@@ -230,6 +238,7 @@ def run_series_study(
                 probe_interval=interval,
                 charge_rate=plan.charge_rate,
             ),
+            fluid=fluid,
         )
         for interval in intervals
         for name in names
@@ -262,6 +271,7 @@ def run_series_study(
         profile=prof.name,
         seed=seed,
         plan=plan,
+        fluid=fluid,
         series=series,
         sweep=dict(sorted(sweep.items())),
         manifest_path=Path(manifest_path) if manifest_path else None,
@@ -275,8 +285,11 @@ def _write_manifest(result: SeriesStudyResult) -> None:
     """Checkpoint the study in the shape ``repro attrib``/``watch`` read."""
     manifest = StudyManifest(result.manifest_path)
     digest = monitor_plan_key(result.plan)
+    fluid = ""
+    if result.fluid is not None and getattr(result.fluid, "is_fluid", False):
+        fluid = f":fluid{result.fluid.mode}-fan{result.fluid.aggregator_fanout}"
     for name, points in result.series.items():
-        key = f"{result.profile}:seed{result.seed}:series{digest}:case1:{name}"
+        key = f"{result.profile}:seed{result.seed}:series{digest}{fluid}:case1:{name}"
         payload = {
             "monitor": monitor_plan_to_jsonable(result.plan),
             "result": {

@@ -1,0 +1,26 @@
+"""Fluid traffic modeling: rate-based bulk flows for extreme-scale runs.
+
+See :mod:`repro.fluid.plan` for the :class:`FluidPlan` configuration
+surface, :mod:`repro.fluid.plane` for the runtime model, and
+:mod:`repro.fluid.tree` for the hierarchical estimator aggregation.
+"""
+
+from .plan import (
+    ENV_TRAFFIC_MODE,
+    FluidPlan,
+    fluid_plan_from_jsonable,
+    fluid_plan_to_jsonable,
+    resolve_fluid_plan,
+)
+from .plane import FluidStatusPlane
+from .tree import AggregatorTree
+
+__all__ = [
+    "ENV_TRAFFIC_MODE",
+    "AggregatorTree",
+    "FluidPlan",
+    "FluidStatusPlane",
+    "fluid_plan_from_jsonable",
+    "fluid_plan_to_jsonable",
+    "resolve_fluid_plan",
+]

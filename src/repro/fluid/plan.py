@@ -1,0 +1,156 @@
+"""The :class:`FluidPlan` public API: how a run models bulk traffic.
+
+The paper measures F/G/H at small scale factors because per-message
+discrete simulation dominates the cost of every run: at k = 1e5–1e6
+resources the periodic status/keepalive/heartbeat flows are O(k) kernel
+events per update interval while the decisions they feed are O(jobs).
+Following the granularity-based scalability model (Kwiatkowski & Olech)
+and GridSim's discipline of keeping discrete events only where
+decisions happen, **fluid traffic mode** replaces those bulk periodic
+flows with closed-form *rate charges* to the
+:class:`~repro.core.ledger.CostLedger` — per ``(component, entity,
+message-class)`` attribution preserved — while the job plane
+(submission, dispatch, execution, completion), volunteering/invitation
+exchanges, and fault *transitions* (dead declarations, re-dispatch)
+remain ordinary discrete events.
+
+A ``FluidPlan`` is a frozen dataclass riding on
+:class:`~repro.experiments.config.SimulationConfig`.  The default plan
+is **discrete** and inert: it arms nothing, and cache/manifest keys are
+bit-for-bit unchanged from before the field existed (the hashing layer
+drops an inert plan exactly like a passive ``MonitorPlan``).
+
+Attributes
+----------
+mode:
+    ``"discrete"`` (the classic per-message simulation) or ``"fluid"``.
+aggregator_fanout:
+    Fan-out of the hierarchical status-estimator tree built above the
+    leaf estimators in fluid mode.  ``0`` disables the tree (flat fluid
+    mode — required for the fluid-vs-discrete cross-validation, whose
+    tolerances assume identical attribution structure); values >= 2
+    bound per-aggregator merge work at extreme estimator counts so
+    G(k) stays measurable at k = 1e5–1e6.
+flush_interval:
+    Period of the plane-wide status flush.  ``None`` derives the
+    estimator batch window (``update_interval / 2``), matching the
+    cadence at which discrete-mode estimators forward batched status.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ENV_TRAFFIC_MODE",
+    "FluidPlan",
+    "fluid_plan_from_jsonable",
+    "fluid_plan_to_jsonable",
+    "resolve_fluid_plan",
+]
+
+#: environment knob consulted by :func:`resolve_fluid_plan`
+ENV_TRAFFIC_MODE = "REPRO_TRAFFIC_MODE"
+
+_MODES = ("discrete", "fluid")
+
+
+@dataclass(frozen=True)
+class FluidPlan:
+    """Traffic-modeling plan of one run (discrete and inert by default)."""
+
+    mode: str = "discrete"
+    aggregator_fanout: int = 0
+    flush_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown traffic mode {self.mode!r}; valid: {list(_MODES)}"
+            )
+        if int(self.aggregator_fanout) != self.aggregator_fanout:
+            raise ValueError("aggregator_fanout must be an integer")
+        object.__setattr__(self, "aggregator_fanout", int(self.aggregator_fanout))
+        if self.aggregator_fanout < 0 or self.aggregator_fanout == 1:
+            raise ValueError("aggregator_fanout must be 0 (flat) or >= 2")
+        if self.flush_interval is not None and not self.flush_interval > 0.0:
+            raise ValueError("flush_interval must be positive")
+
+    # -- predicates (gate what the builder arms) ------------------------
+    @property
+    def is_fluid(self) -> bool:
+        """Whether bulk periodic traffic is modeled as rates."""
+        return self.mode == "fluid"
+
+    @property
+    def is_inert(self) -> bool:
+        """True iff the plan changes nothing (plain discrete simulation).
+
+        An inert plan is provenance only: the hashing layer drops it
+        from canonical configs, so keys match builds that predate the
+        field.
+        """
+        return not self.is_fluid
+
+    @property
+    def has_tree(self) -> bool:
+        """Whether a hierarchical aggregator tree is requested."""
+        return self.is_fluid and self.aggregator_fanout >= 2
+
+    # -- derived settings ----------------------------------------------
+    def effective_flush_interval(self, batch_window: float) -> float:
+        """The plane flush period actually applied."""
+        if self.flush_interval is not None:
+            return self.flush_interval
+        return batch_window
+
+
+# ---------------------------------------------------------------------------
+# JSON (de)serialization — manifest/provenance format
+# ---------------------------------------------------------------------------
+
+def fluid_plan_to_jsonable(plan: FluidPlan) -> Dict[str, Any]:
+    """The plan as plain JSON types (inverse of :func:`fluid_plan_from_jsonable`)."""
+    return dataclasses.asdict(plan)
+
+
+def fluid_plan_from_jsonable(payload: Dict[str, Any]) -> FluidPlan:
+    """Build a :class:`FluidPlan` from a JSON dict (unknown keys rejected)."""
+    if not isinstance(payload, dict):
+        raise TypeError("a fluid plan must be a JSON object")
+    known = {f.name for f in dataclasses.fields(FluidPlan)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown fluid-plan keys: {sorted(unknown)}")
+    return FluidPlan(**payload)
+
+
+def resolve_fluid_plan(
+    mode: Optional[str] = None,
+    aggregator_fanout: Optional[int] = None,
+    flush_interval: Optional[float] = None,
+) -> FluidPlan:
+    """Resolve a traffic plan: arguments > ``$REPRO_TRAFFIC_MODE`` > discrete.
+
+    Mirrors ``resolve_monitor_plan``: explicit arguments win; an unset
+    mode defers to the environment knob (``discrete``/``fluid``); with
+    neither, the inert discrete default applies.
+    """
+    if mode is None:
+        env = os.environ.get(ENV_TRAFFIC_MODE, "").strip().lower()
+        if env in ("", "0", "off", "no", "false"):
+            mode = "discrete"
+        elif env in _MODES:
+            mode = env
+        else:
+            raise ValueError(
+                f"${ENV_TRAFFIC_MODE} must be one of {list(_MODES)}, got {env!r}"
+            )
+    return FluidPlan(
+        mode=mode,
+        aggregator_fanout=0 if aggregator_fanout is None else aggregator_fanout,
+        flush_interval=flush_interval,
+    )

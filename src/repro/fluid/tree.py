@@ -1,0 +1,89 @@
+"""Hierarchical status-estimator aggregation (fluid traffic mode).
+
+At k = 1e5–1e6 a flat estimator plane forwards each leaf's batch to the
+schedulers directly: scheduler-side update work grows with the number
+of estimators (the very mechanism Case 3 measures), and at extreme
+estimator counts it swamps the decision plane.  The classic fix is a
+**fan-in tree**: leaf estimators feed intermediate aggregators, each
+merging at most ``fanout`` child batches per window, and only the root
+forwards consolidated per-cluster state to the schedulers.  Merge work
+is charged to ``G`` against per-aggregator entities (component
+``estimator``), so the hierarchy's own overhead stays visible in the
+attribution breakdown instead of disappearing into modeling.
+
+:class:`AggregatorTree` is pure structure + arithmetic — the
+:class:`~repro.fluid.plane.FluidStatusPlane` drives it once per flush.
+Probe taps (:attr:`depth`, :attr:`widths`, last-flush occupancy) are
+O(levels), never O(leaves), which is what lets ``repro series`` sample
+the hierarchy at extreme scale without per-leaf sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["AggregatorTree"]
+
+
+class AggregatorTree:
+    """A balanced fan-in tree over ``n_leaves`` leaf estimators.
+
+    Level 0 holds the leaves; level ``l`` has
+    ``ceil(n_leaves / fanout**l)`` aggregators, the parent of index
+    ``i`` being ``i // fanout`` one level up, until a single root
+    remains.  ``depth`` counts aggregation levels above the leaves (0
+    when the tree is degenerate: one leaf).
+    """
+
+    def __init__(self, n_leaves: int, fanout: int) -> None:
+        if n_leaves < 1:
+            raise ValueError("n_leaves must be >= 1")
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.n_leaves = n_leaves
+        self.fanout = fanout
+        widths: List[int] = []
+        width = n_leaves
+        while width > 1:
+            width = math.ceil(width / fanout)
+            widths.append(width)
+        #: aggregators per level, leaf-adjacent level first (root last)
+        self.widths: Tuple[int, ...] = tuple(widths)
+        #: aggregation levels above the leaves
+        self.depth = len(widths)
+        #: occupied aggregators per level at the last merge (probe tap)
+        self.last_occupancy: Tuple[int, ...] = tuple(0 for _ in widths)
+        #: occupied leaves at the last merge (probe tap)
+        self.last_occupied_leaves = 0
+
+    def merge_plan(
+        self, occupied_leaves: Sequence[int]
+    ) -> List[Tuple[int, Dict[int, int]]]:
+        """Batch flow for one flush: which aggregators merge how much.
+
+        Given the leaf indices that emitted a batch this window,
+        returns ``[(level, {aggregator_index: child_batches}), ...]``
+        for every aggregation level, bottom-up.  Each occupied
+        aggregator merges its occupied children's batches and emits
+        exactly one batch upward, so level ``l+1`` sees one batch per
+        occupied level-``l`` node.  Also refreshes the occupancy taps.
+        """
+        plan: List[Tuple[int, Dict[int, int]]] = []
+        self.last_occupied_leaves = len(occupied_leaves)
+        current = set(occupied_leaves)
+        occupancy: List[int] = []
+        for level in range(1, self.depth + 1):
+            counts: Dict[int, int] = {}
+            for idx in current:
+                parent = idx // self.fanout
+                counts[parent] = counts.get(parent, 0) + 1
+            plan.append((level, counts))
+            occupancy.append(len(counts))
+            current = set(counts)
+        self.last_occupancy = tuple(occupancy)
+        return plan
+
+    def occupancy_fraction(self) -> float:
+        """Occupied-leaf fraction at the last merge (probe tap)."""
+        return self.last_occupied_leaves / self.n_leaves

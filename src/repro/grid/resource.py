@@ -131,6 +131,9 @@ class Resource(Entity):
         self.scheduler = None
         #: the estimator receiving this resource's status updates
         self.estimator = None
+        #: fluid traffic mode: the FluidStatusPlane absorbing load
+        #: transitions in place of discrete reporting (None = discrete)
+        self.fluid_sink = None
         #: optional synchronous hook invoked on every job completion
         #: (dependency coordination, test instrumentation)
         self.completion_listener = None
@@ -305,6 +308,8 @@ class Resource(Entity):
         self.jobs_killed += killed
         self._failed_interval = self._report_interval
         self.stop_reporting()
+        if self.fluid_sink is not None:
+            self.fluid_sink.on_fail(self)
         return killed
 
     def repair(self) -> None:
@@ -319,6 +324,8 @@ class Resource(Entity):
         self.failed = False
         self.online = True
         self.incarnation += 1
+        if self.fluid_sink is not None:
+            self.fluid_sink.on_repair(self)
         if self._failed_interval is not None:
             self._last_reported_load = None
             self.start_reporting(
@@ -372,6 +379,11 @@ class Resource(Entity):
     def _load_changed(self) -> None:
         """Hook invoked on every load transition: arrange a (rate
         limited) report if one is not already pending."""
+        if self.fluid_sink is not None:
+            # Fluid traffic mode: the plane models the report stream as
+            # rates — O(1) bookkeeping here, no kernel event.
+            self.fluid_sink.on_load_change(self)
+            return
         if self._report_interval is None or self._send_event is not None:
             return
         due = max(0.0, self._last_sent_time + self._report_interval - self.sim.now)

@@ -236,6 +236,37 @@ class SchedulerBase(MessageServer):
             raise ValueError(f"{self.name}: unhandled message {kind}")
 
     # ------------------------------------------------------------------
+    # Fluid traffic mode (modeled status forwards)
+    # ------------------------------------------------------------------
+    def _fluid_forward_source(self) -> Tuple[str, str, str]:
+        source = self._source_cache.get(MessageKind.STATUS_FORWARD)
+        if source is None:
+            source = (self.component, self.name, str(MessageKind.STATUS_FORWARD))
+            self._source_cache[MessageKind.STATUS_FORWARD] = source
+        return source
+
+    def fluid_status(self, cluster_id: int, entries: Dict[int, float]) -> None:
+        """Apply one modeled ``STATUS_FORWARD`` (fluid traffic mode).
+
+        Charges the same ``update_proc`` / ``UPDATE_RX`` cell a
+        discrete forward's service would, then runs the identical table
+        refresh and push-trigger hook — synchronously, without a kernel
+        event or queueing.  The deliberate difference from discrete
+        mode is the absence of queueing delay: a saturated scheduler's
+        forwards no longer back up behind decisions (part of the
+        documented fluid tolerance).
+        """
+        st = self.costs.update_proc
+        self.busy_time += st
+        if self.ledger is not None and st > 0.0:
+            self.ledger.charge(Category.UPDATE_RX, st, self._fluid_forward_source())
+        if self.table is not None:
+            for rid, load in entries.items():
+                if rid in self.table:
+                    self.table.record(rid, load, self.sim.now)
+        self.after_status_update({"cluster_id": cluster_id, "entries": entries})
+
+    # ------------------------------------------------------------------
     # Primitives shared by all protocols
     # ------------------------------------------------------------------
     def schedule_local(self, job: Job) -> None:

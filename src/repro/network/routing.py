@@ -36,6 +36,27 @@ class Router:
     def __init__(self, topo: Topology) -> None:
         self.topology = topo
         self._cache: Dict[int, List[PathInfo]] = {}
+        #: When set, an uncached source may be priced from the
+        #: destination's cached table instead of running its own
+        #: Dijkstra.  The topology is undirected, so shortest-path
+        #: *latency* and *transmission factor* are symmetric; only the
+        #: hop count of tie-broken equal-latency paths can differ.
+        #: Fluid-mode builders enable this: at 1e5-scale pools the
+        #: resource→scheduler completion sends would otherwise trigger
+        #: one full Dijkstra per resource node.
+        self.symmetric = False
+
+    def prime(self, src: int, table: List[PathInfo]) -> None:
+        """Seed the cache with a precomputed ``single_source`` table.
+
+        The grid mapper already runs one Dijkstra per scheduler site
+        for cluster assignment; donating those tables here means the
+        hottest sources (schedulers and their co-located estimators)
+        never pay a second shortest-path sweep.  The table must be the
+        exact ``single_source`` output for ``src`` — priming is a pure
+        cache warm-up and cannot change any priced path.
+        """
+        self._cache.setdefault(src, table)
 
     def _table(self, src: int) -> List[PathInfo]:
         table = self._cache.get(src)
@@ -53,6 +74,10 @@ class Router:
         """
         if src == dst:
             return (0.0, 0, 0.0)
+        if self.symmetric and src not in self._cache:
+            table = self._cache.get(dst)
+            if table is not None:
+                return table[src]
         return self._table(src)[dst]
 
     def transit_delay(self, src: int, dst: int, size: float) -> float:

@@ -167,6 +167,26 @@ class Network:
         self.messages_delivered += 1
         recipient.deliver(message)
 
+    def record_modeled(
+        self, kind: str, messages: float, payload: float, hops: float = 0.0
+    ) -> None:
+        """Account traffic for a *modeled* (fluid-mode) flow.
+
+        Fluid traffic never transits the routed fabric — no delivery is
+        scheduled and ``messages_sent`` counts discrete messages only —
+        but the per-kind traffic summary still reflects the flow so
+        attribution reports stay comparable across modes.  Counts may
+        be fractional (expectation-based keepalive flows); hop metrics
+        default to 0 because modeled flows are not path-priced.
+        """
+        cell = self._traffic.get(kind)
+        if cell is None:
+            cell = self._traffic[kind] = [0, 0.0, 0.0, 0]
+        cell[0] += messages
+        cell[1] += payload
+        cell[2] += payload * hops
+        cell[3] += hops
+
     # ------------------------------------------------------------------
     # Degradation windows (fault injection)
     # ------------------------------------------------------------------

@@ -30,10 +30,12 @@ at the site level, not the router level).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from .graph import Topology
-from .paths import multi_source_nearest
+from .paths import PathInfo, multi_source_nearest
 
 __all__ = ["GridMap", "map_grid"]
 
@@ -61,6 +63,14 @@ class GridMap:
     schedulers_of_estimator:
         Scheduler ids each estimator forwards updates to (the owners of
         the resources it covers).
+    scheduler_tables:
+        The per-scheduler-site ``single_source`` routing tables the
+        mapper computed for cluster assignment, in ``scheduler_nodes``
+        order.  The builder donates them to the
+        :class:`~repro.network.routing.Router` cache — scheduler (and
+        co-located estimator) sites originate nearly all routed
+        traffic, so reusing the mapper's Dijkstra passes means the hot
+        sources never pay a second shortest-path sweep.
     """
 
     topology: Topology
@@ -71,6 +81,7 @@ class GridMap:
     resources_of_cluster: Dict[int, List[int]] = field(default_factory=dict)
     estimator_of_resource: List[int] = field(default_factory=list)
     schedulers_of_estimator: Dict[int, List[int]] = field(default_factory=dict)
+    scheduler_tables: Optional[List[List[PathInfo]]] = None
 
     @property
     def n_schedulers(self) -> int:
@@ -168,21 +179,26 @@ def map_grid(
     # nearest with free capacity.
     from .paths import single_source
 
-    dist_from_sched = [single_source(topo, node) for node in scheduler_nodes]
+    sched_tables = [single_source(topo, node) for node in scheduler_nodes]
     cap = -(-n_resources // n_schedulers)  # ceil division
-    order: List[tuple] = []
-    for r, node in enumerate(resource_nodes):
-        prefs = sorted(
-            range(n_schedulers), key=lambda s: (dist_from_sched[s][node][0], s)
-        )
-        order.append((dist_from_sched[prefs[0]][node][0], r, prefs))
-    order.sort()
+    # Latency matrix (scheduler x resource site) for the greedy fill.
+    # Stable argsort ties break by scheduler id, reproducing the old
+    # per-resource ``sorted(..., key=(dist, s))`` bit-for-bit while
+    # staying vectorized: at 1e5 resources x 100+ schedulers the
+    # per-resource Python sorts alone used to dominate build time.
+    res_idx = np.asarray(resource_nodes, dtype=np.intp)
+    lat = np.stack(
+        [np.asarray(t, dtype=float)[res_idx, 0] for t in sched_tables]
+    )
+    prefs_of = np.argsort(lat, axis=0, kind="stable")
+    nearest = lat[prefs_of[0], np.arange(n_resources)]
+    order = sorted(zip(nearest.tolist(), range(n_resources)))
     cluster_of_resource = [-1] * n_resources
     fill = [0] * n_schedulers
-    for _, r, prefs in order:
-        for s in prefs:
+    for _, r in order:
+        for s in prefs_of[:, r]:
             if fill[s] < cap:
-                cluster_of_resource[r] = s
+                cluster_of_resource[r] = int(s)
                 fill[s] += 1
                 break
     resources_of_cluster: Dict[int, List[int]] = {s: [] for s in range(n_schedulers)}
@@ -256,6 +272,7 @@ def map_grid(
         resources_of_cluster=resources_of_cluster,
         estimator_of_resource=estimator_of_resource,
         schedulers_of_estimator=schedulers_of_estimator,
+        scheduler_tables=sched_tables,
     )
     gm.validate()
     return gm

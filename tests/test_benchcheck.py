@@ -23,6 +23,33 @@ def record(**overrides):
         "rms": ["CENTRAL", "LOWEST"],
         "kernel": {"events": 200_000, "seconds": 0.5, "events_per_sec": 400_000.0},
         "sims": {"rms": "CENTRAL", "runs": 3, "seconds": 0.2, "sims_per_sec": 15.0},
+        "fluid": {
+            "overlap": {
+                "rms": "LOWEST",
+                "n_resources": 500,
+                "n_schedulers": 4,
+                "n_estimators": 63,
+                "horizon": 3000.0,
+                "discrete": {"kernel_events": 50_000, "seconds": 5.0},
+                "fluid": {"kernel_events": 900, "seconds": 0.8},
+                "event_reduction": 55.6,
+                "speedup": 6.25,
+                "F_identical": True,
+                "G_delta_pct": 0.8,
+                "H_delta_pct": 0.0,
+            },
+            "extreme": {
+                "profile": "extreme",
+                "scale": 4.0,
+                "n_resources": 100_000,
+                "n_schedulers": 128,
+                "fluid": {"kernel_events": 2_991, "seconds": 130.0},
+                "success_rate": 0.578,
+                "G": 18_397_365.0,
+                "discrete_events_projected": 2_500_000_000,
+                "event_reduction_vs_discrete": 835_841.5,
+            },
+        },
         "study": {
             "baseline": {
                 "jobs": 1,
@@ -187,3 +214,70 @@ class TestLoadBaseline:
         path = tmp_path / "BENCH_perf.json"
         path.write_text(json.dumps(record()))
         assert load_baseline(path)["profile"] == "ci"
+
+
+class TestFluidSection:
+    """Satellite contract: a baseline that predates the fluid section
+    skips it (and suppresses the extreme-scale run) instead of failing."""
+
+    def test_identity_passes_fluid_checks(self):
+        checks = by_metric(compare_bench(record(), record()))
+        assert checks["fluid.overlap.F_identical"].status == "pass"
+        assert checks["fluid.overlap.kernel_events"].status == "pass"
+        assert checks["fluid.extreme.kernel_events"].status == "pass"
+
+    def test_pre_fluid_baseline_skips_not_fails(self):
+        baseline = record()
+        del baseline["fluid"]
+        current = record()
+        checks = by_metric(compare_bench(baseline, current))
+        assert checks["fluid"].status == "skip"
+        assert "baseline" in checks["fluid"].detail
+        assert worst_status(compare_bench(baseline, current)) == "pass"
+
+    def test_current_without_fluid_section_skips(self):
+        current = record()
+        del current["fluid"]
+        checks = by_metric(compare_bench(record(), current))
+        assert checks["fluid"].status == "skip"
+
+    def test_overlap_param_drift_skips_comparison(self):
+        current = record()
+        current["fluid"] = dict(current["fluid"])
+        current["fluid"]["overlap"] = dict(
+            current["fluid"]["overlap"], n_resources=2000
+        )
+        checks = by_metric(compare_bench(record(), current))
+        assert checks["fluid.overlap"].status == "skip"
+        assert "fluid.overlap.F_identical" not in checks
+
+    def test_f_divergence_fails(self):
+        current = record()
+        current["fluid"] = dict(current["fluid"])
+        current["fluid"]["overlap"] = dict(
+            current["fluid"]["overlap"], F_identical=False
+        )
+        checks = by_metric(compare_bench(record(), current))
+        assert checks["fluid.overlap.F_identical"].status == "fail"
+
+    def test_kernel_event_drift_fails(self):
+        current = record()
+        current["fluid"] = dict(current["fluid"])
+        current["fluid"]["extreme"] = dict(current["fluid"]["extreme"])
+        current["fluid"]["extreme"]["fluid"] = dict(
+            current["fluid"]["extreme"]["fluid"], kernel_events=3_100
+        )
+        checks = by_metric(compare_bench(record(), current))
+        assert checks["fluid.extreme.kernel_events"].status == "fail"
+
+    def test_event_reduction_regression_warns_or_fails(self):
+        current = record()
+        current["fluid"] = dict(current["fluid"])
+        current["fluid"]["extreme"] = dict(
+            current["fluid"]["extreme"], event_reduction_vs_discrete=500_000.0
+        )
+        checks = by_metric(compare_bench(record(), current))
+        assert checks["fluid.extreme.event_reduction_vs_discrete"].status in (
+            "warn",
+            "fail",
+        )

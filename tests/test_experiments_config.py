@@ -30,8 +30,19 @@ class TestCommonParameters:
 
 
 class TestProfiles:
-    def test_both_profiles_exist(self):
-        assert set(PROFILES) == {"ci", "full"}
+    def test_standard_profiles_exist(self):
+        assert set(PROFILES) == {"ci", "full", "extreme"}
+
+    def test_extreme_profile_reaches_1e5_resources(self):
+        extreme = PROFILES["extreme"]
+        top = max(extreme.scales)
+        assert extreme.base_resources * top == 100_000
+        # the cluster size — and so the status-scan decision cost —
+        # must keep scheduler utilization under one at the profile rate
+        cluster = extreme.base_resources / extreme.base_schedulers
+        decision_cost = 1.0 + 0.6 * cluster
+        rate_per_scheduler = extreme.base_rate_per_resource * cluster
+        assert rate_per_scheduler * decision_cost < 1.0
 
     def test_full_profile_matches_paper_scale(self):
         full = PROFILES["full"]

@@ -1,0 +1,122 @@
+"""Fluid traffic mode under fault injection (churn, crashes, liveness).
+
+Fault *transitions* stay discrete in fluid mode — crash/repair
+schedules, dead declarations, re-dispatch — while detection *work*
+(heartbeat sweeps) becomes a rate charge.  The contracts: the fault
+timeline is bit-identical across modes (the injector draws from the
+``"faults"`` RNG stream, which fluid mode never touches), crash and
+recovery re-derive the modeled rates immediately, and the ``G:faults``
+attribution keeps the same per-entity cell structure.
+"""
+
+import dataclasses
+import math
+
+from repro.experiments import SimulationConfig, run_simulation
+from repro.experiments.parallel.cache import metrics_json_bytes
+from repro.experiments.runner import build_system
+from repro.faults import CrashEvent, FaultPlan
+from repro.fluid import FluidPlan
+
+FLUID = FluidPlan(mode="fluid")
+CHURN = FaultPlan(resource_mttf=500.0, resource_mttr=60.0)
+
+
+def fluid_config(**overrides):
+    kwargs = dict(
+        rms="LOWEST",
+        n_schedulers=4,
+        n_resources=16,
+        workload_rate=16 * 0.00014,
+        horizon=3000.0,
+        drain=1500.0,
+        seed=11,
+        fluid=FLUID,
+    )
+    kwargs.update(overrides)
+    return SimulationConfig(**kwargs)
+
+
+class TestInertPlan:
+    def test_inert_fault_plan_is_byte_identical(self):
+        baseline = run_simulation(fluid_config())
+        with_plan = run_simulation(fluid_config(faults=FaultPlan()))
+        assert metrics_json_bytes(baseline) == metrics_json_bytes(with_plan)
+        assert with_plan.fault_stats is None
+
+
+class TestChurn:
+    def test_fault_timeline_identical_across_modes(self):
+        discrete = run_simulation(fluid_config(fluid=FluidPlan(), faults=CHURN))
+        fluid = run_simulation(fluid_config(faults=CHURN))
+        assert fluid.fault_stats["crashes"] == discrete.fault_stats["crashes"]
+        assert fluid.fault_stats["recoveries"] == discrete.fault_stats["recoveries"]
+        assert fluid.fault_stats["crashes"] > 0
+
+    def test_fluid_liveness_watch_declares_dead(self):
+        metrics = run_simulation(fluid_config(faults=CHURN))
+        assert metrics.fault_stats["dead_reported"] > 0
+        assert metrics.fault_stats["dead_notices"] > 0
+        assert metrics.fault_stats["redispatches"] > 0
+
+    def test_g_faults_attribution_conserved(self):
+        metrics = run_simulation(fluid_config(faults=CHURN))
+        cells = {k: v for k, v in metrics.attribution.items() if k.startswith("g.faults")}
+        # Per-estimator heartbeat sweeps stay attributed even as rates.
+        hb = [k for k in cells if k.endswith("|heartbeat")]
+        assert len(hb) == 4 and all(cells[k] > 0.0 for k in hb)
+        # Dead handling stays discrete and scheduler-attributed.
+        assert any("|resource_dead" in k for k in cells)
+        # Conservation: g.* cells re-sum to G exactly (fsum invariant).
+        g_cells = [v for k, v in metrics.attribution.items() if k.startswith("g.")]
+        assert math.fsum(g_cells) == metrics.record.G
+
+    def test_heartbeat_charges_match_discrete_within_tolerance(self):
+        plan = FaultPlan(crashes=[CrashEvent(resource=0, at=500.0, duration=400.0)])
+
+        def heartbeat_total(config):
+            metrics = run_simulation(config)
+            return math.fsum(
+                v for k, v in metrics.attribution.items()
+                if k.startswith("g.faults") and k.endswith("|heartbeat")
+            )
+
+        d = heartbeat_total(fluid_config(fluid=FluidPlan(), faults=plan))
+        f = heartbeat_total(fluid_config(faults=plan))
+        assert d > 0.0
+        assert abs(f - d) / d <= 0.10
+
+
+class TestRateRederivation:
+    def test_crash_and_recovery_rederive_rates(self):
+        plan = FaultPlan(crashes=[CrashEvent(resource=0, at=500.0, duration=2000.0)])
+        healthy = build_system(fluid_config())
+        healthy.sim.run(until=3000.0)
+        faulty = build_system(fluid_config(faults=plan))
+        faulty.sim.run(until=3000.0)
+        # A resource down for 2000 time units emits no keepalives: the
+        # modeled flow shrinks with the pool.
+        assert faulty.fluid.modeled_keepalives < healthy.fluid.modeled_keepalives
+        assert faulty.fluid.declared_dead == 1
+
+    def test_recovery_reannounces(self):
+        # Down 400 units, then back: one dead declaration, and the
+        # post-repair re-announcement revives the modeled flow (more
+        # updates than the run where the resource stays down).
+        short = FaultPlan(crashes=[CrashEvent(resource=0, at=500.0, duration=400.0)])
+        long = FaultPlan(crashes=[CrashEvent(resource=0, at=500.0, duration=4000.0)])
+        recovered = build_system(fluid_config(faults=short))
+        recovered.sim.run(until=3000.0)
+        down = build_system(fluid_config(faults=long))
+        down.sim.run(until=3000.0)
+        assert recovered.fluid.modeled_keepalives > down.fluid.modeled_keepalives
+        assert recovered.fluid.declared_dead == down.fluid.declared_dead == 1
+
+    def test_config_key_distinguishes_fluid_fault_runs(self):
+        from repro.experiments.parallel.hashing import config_key
+
+        plain = fluid_config()
+        churny = fluid_config(faults=CHURN)
+        inert = fluid_config(faults=FaultPlan())
+        assert config_key(plain) == config_key(inert)
+        assert config_key(plain) != config_key(churny)

@@ -180,6 +180,45 @@ class TestWindowedSeries:
         assert math.isnan(means[0]) and math.isnan(means[1])
         assert means[2] == 4.0
 
+    def test_extreme_horizon_one_shot_decimation(self):
+        # An extreme-scale run lands a timestamp many doublings past the
+        # bound in one jump; the one-shot path must pick the right
+        # power-of-two factor without rewriting the arrays per doubling.
+        ws = WindowedSeries(1.0, max_windows=8)
+        for i in range(8):
+            ws.add(float(i), "F", 1.0)
+        ws.observe(0.5, "q", 3.0)
+        ws.add(1e12, "F", 5.0)
+        assert ws.windows <= ws.max_windows
+        # width is the original times a power of two, sized to the jump
+        factor = ws.width / 1.0
+        assert factor == 2.0 ** round(math.log2(factor))
+        assert 1e12 / ws.width < ws.max_windows
+        # aggregates are decimation-invariant
+        assert ws.total("F") == math.fsum([1.0] * 8 + [5.0])
+        assert ws.means("q")[0] == 3.0
+
+    def test_extreme_horizon_near_float_max(self):
+        # The worst representable jump stays finite: the guard factor
+        # never pushes the width past float range because max_windows
+        # bounds it to ~2*time/max_windows.
+        ws = WindowedSeries(1.0, max_windows=8)
+        ws.add(0.5, "F", 1.0)
+        ws.add(1e300, "F", 2.0)
+        assert math.isfinite(ws.width)
+        assert ws.total("F") == 3.0
+        assert ws.windows <= ws.max_windows
+
+    def test_non_finite_times_rejected(self):
+        ws = WindowedSeries(1.0, max_windows=8)
+        for bad in (math.inf, math.nan, -1.0):
+            with pytest.raises(ValueError):
+                ws.add(bad, "F", 1.0)
+            with pytest.raises(ValueError):
+                ws.observe(bad, "q", 1.0)
+        # nothing was recorded by the rejected calls
+        assert ws.windows == 0 and ws.total("F") == 0.0
+
     def test_jsonable_pads_to_window_count(self):
         ws = WindowedSeries(10.0)
         ws.add(5.0, "F", 1.0)
