@@ -87,6 +87,9 @@ class Category:
                                      # job re-dispatch)
     MONITOR = "g.monitor"            # in-sim observability probes (charged
                                      # only at a nonzero probe cost rate)
+    TRACE = "g.trace"                # causal-tracing span recording (charged
+                                     # only when a plan samples at a nonzero
+                                     # charge rate)
 
     # H — RP overhead
     JOB_CONTROL = "h.job_control"    # per-job dispatch/teardown at resources

@@ -105,6 +105,7 @@ class ExperimentCase:
         kernel_backend: Optional[str] = None,
         monitor=None,
         fluid=None,
+        trace=None,
     ) -> SimulationConfig:
         """The simulation configuration at scale ``k`` (default enablers).
 
@@ -114,8 +115,10 @@ class ExperimentCase:
         verbatim (``None`` keeps the inert default), as do an explicit
         kernel backend name (``None`` defers to the environment), a
         :class:`~repro.telemetry.timeseries.MonitorPlan` (``None`` keeps
-        monitoring off), and a :class:`~repro.fluid.plan.FluidPlan`
-        (``None`` keeps the discrete traffic model).
+        monitoring off), a :class:`~repro.fluid.plan.FluidPlan`
+        (``None`` keeps the discrete traffic model), and a
+        :class:`~repro.telemetry.tracing.TracePlan` (``None`` keeps
+        tracing off).
         """
         config = self._base_config(rms, k, profile, seed)
         if faults is not None:
@@ -126,6 +129,8 @@ class ExperimentCase:
             config = replace(config, monitor=monitor)
         if fluid is not None:
             config = replace(config, fluid=fluid)
+        if trace is not None:
+            config = replace(config, trace=trace)
         return config
 
     def _base_config(

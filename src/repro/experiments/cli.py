@@ -18,6 +18,8 @@ Usage::
     python -m repro series                    # time-resolved E(t)/G(t) study
     python -m repro series --probe-interval 30,60,120 --charge-rate 0.05
     python -m repro series --csv s.csv --prom s.prom  # exports
+    python -m repro trace                     # causal job tracing study
+    python -m repro trace --trace-sample 0.25 --jsonl t.jsonl
     python -m repro watch --once              # snapshot a running study
     python -m repro bench-perf                # perf record -> BENCH_perf.json
     python -m repro bench-check               # perf watchdog vs the record
@@ -55,6 +57,15 @@ CSV/JSONL/Prometheus exports.  ``REPRO_SERIES=1`` (plus
 ``REPRO_SERIES_CHARGE_RATE``) attaches the same monitoring plan
 ambiently to ``repro compare`` runs.  ``repro watch`` tails a running
 study's manifest and renders live progress snapshots.
+
+``repro trace`` runs the causal-tracing study: each sampled job's
+turnaround decomposed into named critical-path phases (scheduler
+queue, decision service, transfer/dispatch transit, resource queue,
+service, recovery wait), per-scale phase-share tables, the phase whose
+share grows fastest with k, and per-message-class transit-latency
+quantiles.  ``--trace-sample`` (or ``REPRO_TRACE_SAMPLE``) sets the
+deterministic per-job sampling fraction; recording overhead is charged
+to ``g.trace`` at ``--trace-charge`` per span.
 Logging verbosity is ``--log-level`` / ``REPRO_LOG_LEVEL`` (default
 ``warning``).
 """
@@ -457,6 +468,73 @@ def _cmd_series(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .tracestudy import (
+        TraceAwareCache,
+        default_trace_plan,
+        export_csv,
+        export_jsonl,
+        export_prometheus,
+        run_trace_study,
+        trace_report,
+    )
+
+    faults = None
+    if args.fault_plan:
+        faults = _load_fault_plan(args.fault_plan)
+        if faults is None:
+            return 2
+    # flag > REPRO_TRACE_* env > the study's trace-everything default
+    try:
+        plan = default_trace_plan(
+            sample=args.trace_sample,
+            charge_rate=args.trace_charge,
+            max_events=args.max_events,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest_path = Path(_cache_root(args)) / "manifests" / "trace.json"
+    _apply_kernel_backend(args)
+    # TraceAwareCache: entries cached by earlier untraced sweeps share
+    # keys with this study's passive runs but lack the trace payload —
+    # treat them as misses so the recompute upgrades them in place.
+    cache = TraceAwareCache(
+        root=_cache_root(args), read=not getattr(args, "no_cache", False)
+    )
+    with _telemetry_scope(args), _flight_scope(args), ExperimentEngine(
+        jobs=args.jobs, cache=cache
+    ) as engine:
+        result = run_trace_study(
+            profile=args.profile,
+            rms=args.rms.split(",") if args.rms else None,
+            seed=args.seed,
+            plan=plan,
+            engine=engine,
+            manifest_path=manifest_path,
+            fluid=_resolve_fluid(args),
+            faults=faults,
+        )
+    print(trace_report(result, precision=args.precision))
+    print(
+        f"\nmanifest written to {manifest_path} "
+        f"(decompose with `repro attrib {manifest_path}`)"
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+            n = export_csv(result, fh)
+        print(f"{n} phase rows written to {args.csv}")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            n = export_jsonl(result, fh)
+        print(f"{n} run traces written to {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            n = export_prometheus(result, fh)
+        print(f"{n} Prometheus samples written to {args.prom}")
+    return 0
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     from .watch import watch
 
@@ -625,7 +703,7 @@ flag conventions (uniform across subcommands):
                        extreme pairs with --traffic-mode fluid)
   --fault-plan FILE    JSON FaultPlan (the repro.faults plan_to_jsonable
                        shape) applied to every run of the invocation
-                       (accepted by: faults, compare)
+                       (accepted by: faults, compare, trace)
   --cache-dir DIR      run-cache root ($REPRO_CACHE_DIR, default
                        .repro-cache/); study manifests live under
                        <cache-dir>/manifests/
@@ -637,6 +715,10 @@ flag conventions (uniform across subcommands):
                        REPRO_SERIES_CHARGE_RATE); `repro series` flags
                        override them, other subcommands (compare) pick
                        them up ambiently
+  REPRO_TRACE_*        ambient causal-tracing knobs (REPRO_TRACE_SAMPLE,
+                       REPRO_TRACE_CHARGE_RATE, REPRO_TRACE_MAX_EVENTS);
+                       `repro trace` flags override them; any run built
+                       with a nonzero sample records span DAGs
 """
 
 
@@ -779,6 +861,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(ser)
     ser.set_defaults(fn=_cmd_series)
+
+    trc = sub.add_parser(
+        "trace",
+        help="causal tracing study: critical-path phase decomposition per job",
+    )
+    _add_profile_arg(trc)
+    trc.add_argument("--rms", default=None, help="comma-separated subset of designs")
+    trc.add_argument("--seed", type=int, default=7)
+    trc.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fraction of jobs traced, sampled deterministically by "
+        "hash(seed, job id) (default: $REPRO_TRACE_SAMPLE or 1 = every job)",
+    )
+    trc.add_argument(
+        "--trace-charge",
+        type=float,
+        default=None,
+        metavar="COST",
+        help="G cost per recorded span, charged to g.trace "
+        "(default: $REPRO_TRACE_CHARGE_RATE or 0.02; 0 = passive plan "
+        "that shares cache keys with untraced runs)",
+    )
+    trc.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="span-DAG bound per traced job; completion always records "
+        "(default: $REPRO_TRACE_MAX_EVENTS or 64)",
+    )
+    trc.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON FaultPlan applied to every run (failed dispatches and "
+        "redispatch waits then appear as the recovery_wait phase)",
+    )
+    trc.add_argument("--precision", type=int, default=3)
+    trc.add_argument("--csv", default=None, help="write per-phase rows as CSV")
+    trc.add_argument(
+        "--jsonl", default=None, help="write one full trace payload per run as JSONL"
+    )
+    trc.add_argument(
+        "--prom",
+        default=None,
+        metavar="PATH",
+        help="write Prometheus text exposition of phase/latency/overhead samples",
+    )
+    _add_engine_args(trc)
+    trc.set_defaults(fn=_cmd_trace)
 
     wat = sub.add_parser(
         "watch",

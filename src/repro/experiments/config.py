@@ -29,6 +29,7 @@ from ..faults.plan import FaultPlan
 from ..fluid.plan import FluidPlan
 from ..grid.costs import CostModel
 from ..telemetry.timeseries import MonitorPlan
+from ..telemetry.tracing import TracePlan
 
 __all__ = ["CommonParameters", "ScaleProfile", "SimulationConfig", "PROFILES"]
 
@@ -215,6 +216,13 @@ class SimulationConfig:
         rate) observe without perturbing F/G/H and are excluded from
         the run-cache key like ``kernel_backend``; an **active** plan
         charges ``g.monitor`` and is hashed like any semantic field.
+    trace:
+        The run's :class:`~repro.telemetry.tracing.TracePlan`
+        (disabled by default).  Same conditional-provenance discipline
+        as ``monitor``: a plan with a zero charge rate observes
+        without perturbing F/G/H and is excluded from the run-cache
+        key; a plan that charges ``g.trace`` is hashed like any
+        semantic field.
     """
 
     rms: str
@@ -253,6 +261,8 @@ class SimulationConfig:
     #: keys so pre-fluid cache entries stay valid — see
     #: :mod:`repro.experiments.parallel.hashing`)
     fluid: FluidPlan = field(default_factory=FluidPlan)
+    #: causal-tracing plan (passive plans excluded from cache keys)
+    trace: TracePlan = field(default_factory=TracePlan)
 
     @property
     def effective_batch_window(self) -> float:

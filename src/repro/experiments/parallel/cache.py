@@ -82,6 +82,8 @@ def metrics_to_jsonable(metrics: RunMetrics) -> Dict[str, Any]:
         out["fault_stats"] = metrics.fault_stats
     if metrics.series is not None:
         out["series"] = metrics.series
+    if metrics.trace is not None:
+        out["trace"] = metrics.trace
     return out
 
 
@@ -110,6 +112,7 @@ def metrics_from_jsonable(payload: Dict[str, Any]) -> RunMetrics:
         traffic=payload.get("traffic"),
         fault_stats=payload.get("fault_stats"),
         series=payload.get("series"),
+        trace=payload.get("trace"),
     )
 
 

@@ -64,8 +64,11 @@ PROVENANCE_FIELDS = frozenset({"kernel_backend"})
 #: ``g.monitor``; ``fluid`` is dropped while the plan is inert
 #: (``discrete`` mode changes nothing about the run, so pre-fluid
 #: cache entries stay valid without a schema bump) but hashed once
-#: the fluid traffic model is enabled — see :func:`canonical_config`.
-CONDITIONAL_PROVENANCE_FIELDS = frozenset({"monitor", "fluid"})
+#: the fluid traffic model is enabled; ``trace`` follows the monitor
+#: pattern exactly — a zero-charge-rate plan samples spans without
+#: touching F/G/H or any job outcome, so it is dropped, while a plan
+#: that charges ``g.trace`` is hashed — see :func:`canonical_config`.
+CONDITIONAL_PROVENANCE_FIELDS = frozenset({"monitor", "fluid", "trace"})
 
 
 def _plain(value: Any) -> Any:
@@ -110,6 +113,12 @@ def canonical_config(config: SimulationConfig) -> Dict[str, Any]:
     plan *is* the pre-fluid behaviour, so dropping it keeps every key
     bit-for-bit what it was before the field existed; a ``fluid`` plan
     changes the traffic model and is hashed like any semantic field.
+
+    The trace plan mirrors the monitor plan: sampling decisions are a
+    pure hash (never a simulation RNG draw) and a zero-charge-rate
+    plan records spans without perturbing F/G/H or any job outcome, so
+    such **passive** plans are dropped from the key; a plan charging
+    ``g.trace`` is hashed like any semantic field.
     """
     plain = _plain(config)
     for name in PROVENANCE_FIELDS:
@@ -118,6 +127,8 @@ def canonical_config(config: SimulationConfig) -> Dict[str, Any]:
         plain.pop("monitor", None)
     if not config.fluid.is_fluid:
         plain.pop("fluid", None)
+    if not config.trace.is_active:
+        plain.pop("trace", None)
     return plain
 
 

@@ -39,6 +39,7 @@ from ..sim.rng import RngHub
 from ..telemetry import flightrec as _flightrec
 from ..telemetry.spans import current as _telemetry
 from ..telemetry.timeseries import ProbeSampler, RunSeriesRecorder
+from ..telemetry.tracing import TraceRecorder
 from ..topology.generator import TopologyParams, generate_topology
 from ..topology.grid_map import map_grid
 from ..workload.dags import DagWorkloadGenerator
@@ -132,6 +133,8 @@ class System:
     sampler: Optional[ProbeSampler] = None
     #: present only in fluid traffic mode
     fluid: Optional[FluidStatusPlane] = None
+    #: present only when the config's TracePlan samples any jobs
+    tracer: Optional[TraceRecorder] = None
 
 
 @dataclass(frozen=True)
@@ -168,6 +171,11 @@ class RunMetrics:
     #: shape); ``None`` unless the config's MonitorPlan is enabled, so
     #: unmonitored metrics stay byte-identical to pre-series builds.
     series: Optional[Dict] = None
+    #: sampled-job span DAGs and per-message-class latency histograms
+    #: (``TraceRecorder.payload`` shape); ``None`` unless the config's
+    #: TracePlan is enabled, so untraced metrics stay byte-identical to
+    #: pre-tracing builds.
+    trace: Optional[Dict] = None
 
     @property
     def success_rate(self) -> float:
@@ -391,6 +399,19 @@ def build_system(config: SimulationConfig) -> System:
             recover_until=config.horizon + config.drain,
         )
 
+    # --- causal tracing ---------------------------------------------------
+    # Armed *before* the workload: arrival events bind each scheduler's
+    # ``deliver`` at ``schedule_at`` time, so the tracer's instance-level
+    # shadow must already be in place.  With tracing off (the default)
+    # every ``tracer``/``latency_tap`` attribute stays ``None`` and the
+    # hot paths pay nothing.  Sampling is a pure hash of (seed, job_id)
+    # — no RNG stream is drawn, so the arrival/topology/protocol streams
+    # below are bit-identical with tracing on or off.
+    tracer = None
+    if config.trace.is_enabled:
+        tracer = TraceRecorder(sim, config.trace, ledger, config.seed)
+        tracer.arm(schedulers, resources, network)
+
     # --- workload -------------------------------------------------------------
     generator = WorkloadGenerator(
         rate=config.workload_rate,
@@ -431,6 +452,8 @@ def build_system(config: SimulationConfig) -> System:
                 sched.deliver,
                 Message(MessageKind.JOB_SUBMIT, payload={"job": job}),
             )
+    if tracer is not None:
+        tracer.register_jobs(jobs)
 
     # --- time-resolved monitoring ----------------------------------------
     # Gated on the plan recording anything: an unmonitored run keeps
@@ -474,6 +497,7 @@ def build_system(config: SimulationConfig) -> System:
         recorder=recorder,
         sampler=sampler,
         fluid=fluid_plane,
+        tracer=tracer,
     )
 
 
@@ -527,6 +551,18 @@ def run_simulation(config: SimulationConfig) -> RunMetrics:
                 sim.run(until=min(deadline, sim.now + step))
 
             metrics = summarize(system)
+            if tel.enabled and metrics.trace is not None:
+                # One JSONL record per sampled job: the span DAG survives
+                # in the ambient telemetry session's event stream even
+                # when the caller discards RunMetrics.trace.
+                for job_id, record in metrics.trace.get("jobs", {}).items():
+                    tel.event(
+                        "trace.job",
+                        rms=config.rms,
+                        seed=config.seed,
+                        job_id=int(job_id),
+                        **record,
+                    )
         except BaseException as exc:
             already_dumped = getattr(exc, "_flightrec_dumped", False)
             if rec is not None and not already_dumped and not isinstance(exc, GeneratorExit):
@@ -616,6 +652,9 @@ def summarize(system: System) -> RunMetrics:
         series = system.recorder.payload()
         if system.sampler is not None:
             series["sweeps"] = system.sampler.samples
+    trace = None
+    if system.tracer is not None:
+        trace = system.tracer.payload()
     return RunMetrics(
         record=EfficiencyRecord.from_ledger(system.ledger),
         jobs_submitted=len(jobs),
@@ -630,4 +669,5 @@ def summarize(system: System) -> RunMetrics:
         traffic=system.network.traffic_summary(),
         fault_stats=fault_stats,
         series=series,
+        trace=trace,
     )

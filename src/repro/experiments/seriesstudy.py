@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, TextIO
 
 from ..rms.registry import rms_names
+from ..telemetry.promexport import attribution_labels, write_metric
 from ..telemetry.timeseries import (
     MonitorPlan,
     efficiency_curve,
@@ -532,15 +533,14 @@ def export_jsonl(result: SeriesStudyResult, fh: TextIO) -> int:
     return n
 
 
-def _prom_escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
-
-
 def export_prometheus(result: SeriesStudyResult, fh: TextIO) -> int:
     """Prometheus text exposition of the study's summary gauges.
 
     One sample per (metric, rms, scale) — the end-of-study snapshot a
-    scrape of a live study would serve.  Returns the sample count.
+    scrape of a live study would serve — rendered via the shared
+    :mod:`~repro.telemetry.promexport` path, plus a per-component
+    attribution family (``repro_overhead_component_total``) labeled by
+    the flattened ledger cell.  Returns the sample count.
     """
     metrics: Dict[str, tuple] = {
         "repro_useful_work_total": ("counter", lambda p, s: p.metrics.record.F),
@@ -551,18 +551,38 @@ def export_prometheus(result: SeriesStudyResult, fh: TextIO) -> int:
         "repro_steady_efficiency": ("gauge", lambda p, s: s.get("steady_E")),
         "repro_warmup_time": ("gauge", lambda p, s: s.get("warmup_time")),
     }
+    points = [p for pts in result.series.values() for p in pts]
     n = 0
     for mname, (mtype, getter) in metrics.items():
-        fh.write(f"# TYPE {mname} {mtype}\n")
-        for name, points in result.series.items():
-            for p in points:
-                value = getter(p, p.steady)
-                if value is None or value != value:
-                    continue
-                labels = (
-                    f'rms="{_prom_escape(name)}",scale="{p.scale:g}",'
-                    f'profile="{_prom_escape(result.profile)}"'
+        n += write_metric(
+            fh,
+            mname,
+            mtype,
+            (
+                (
+                    {"rms": p.rms, "scale": p.scale, "profile": result.profile},
+                    getter(p, p.steady),
                 )
-                fh.write(f"{mname}{{{labels}}} {value!r}\n")
-                n += 1
+                for p in points
+            ),
+        )
+    n += write_metric(
+        fh,
+        "repro_overhead_component_total",
+        "counter",
+        (
+            (
+                {
+                    "rms": p.rms,
+                    "scale": p.scale,
+                    "profile": result.profile,
+                    **attribution_labels(key),
+                },
+                value,
+            )
+            for p in points
+            for key, value in sorted((p.metrics.attribution or {}).items())
+            if key.startswith("g.")
+        ),
+    )
     return n

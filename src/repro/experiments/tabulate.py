@@ -25,14 +25,25 @@ def format_table(
 
     Floats are formatted to ``precision`` decimals (NaN prints as
     ``nan``), booleans as ``yes``/``no``, everything else via ``str``.
-    A dashed rule separates the header row from the body.
+    Nonzero floats whose fixed rendering would round to zero (e.g.
+    ``3e-05`` at one decimal) switch to scientific notation instead of
+    printing a misleading ``0.0``, and a negative zero rendering is
+    normalized to the positive form.  A dashed rule separates the
+    header row from the body.
     """
 
     def fmt(x: Any) -> str:
         if isinstance(x, bool):
             return "yes" if x else "no"
         if isinstance(x, float):
-            return "nan" if x != x else f"{x:.{precision}f}"
+            if x != x:
+                return "nan"
+            out = f"{x:.{precision}f}"
+            if x != 0.0 and float(out) == 0.0:
+                return f"{x:.{precision}e}"
+            if out.lstrip("-").strip("0") in ("", "."):
+                out = out.lstrip("-")
+            return out
         return str(x)
 
     cells = [[fmt(h) for h in headers]] + [[fmt(c) for c in row] for row in rows]

@@ -56,6 +56,10 @@ class Resource(Entity):
         Processing-cost model (for ``H`` charges).
     """
 
+    #: causal tracer (None = tracing off; every hook site is one
+    #: ``is None`` test, same discipline as ``completion_listener``)
+    tracer = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -198,6 +202,8 @@ class Resource(Entity):
             self.jobs_killed += 1
             if epoch == job.dispatch_epoch and job.state == JobState.PLACED:
                 job.mark_failed()
+                if self.tracer is not None:
+                    self.tracer.record(job, "failed", entity=self.name)
             return
         self.jobs_received += 1
         # Per-job control overhead at the RP (paper: H(k); kept small).
@@ -209,6 +215,8 @@ class Resource(Entity):
             # Transferred jobs incur data staging at the receiving side.
             self.ledger.charge(Category.DATA_MGMT, self.costs.data_mgmt, self._src_data_mgmt)
         self._queue.append((job, epoch))
+        if self.tracer is not None:
+            self.tracer.record(job, "resource_accept", entity=self.name)
         self._maybe_start()
         self._load_changed()
 
@@ -235,6 +243,8 @@ class Resource(Entity):
             self._running.add(head)
             self._busy_procs += p
             head.mark_running(self.sim.now)
+            if self.tracer is not None:
+                self.tracer.record(head, "service_begin", entity=self.name)
             self.util_stat.update(self.sim.now, self._busy_procs / self.n_processors)
             speedup = p ** self.speedup_exponent
             service = head.spec.execution_time / (self.service_rate * speedup)
@@ -253,11 +263,10 @@ class Resource(Entity):
             # Useful work = the service demand delivered to the client.
             self.ledger.charge(Category.USEFUL, job.spec.execution_time, self._src_useful)
         if self.network is not None and self.scheduler is not None:
-            self.network.send_from(
-                Message(MessageKind.JOB_COMPLETE, payload={"job": job}),
-                self,
-                self.scheduler,
-            )
+            message = Message(MessageKind.JOB_COMPLETE, payload={"job": job})
+            if self.tracer is not None:
+                self.tracer.complete(job, self, message)
+            self.network.send_from(message, self, self.scheduler)
         if self.completion_listener is not None:
             self.completion_listener(job)
         self._maybe_start()
@@ -296,6 +305,8 @@ class Resource(Entity):
             if ev is not None:
                 self.sim.cancel(ev)
             job.mark_failed()
+            if self.tracer is not None:
+                self.tracer.record(job, "failed", entity=self.name)
             killed += 1
         self._running.clear()
         self._busy_procs = 0
@@ -303,6 +314,8 @@ class Resource(Entity):
         for job, epoch in self._queue:
             if epoch == job.dispatch_epoch and job.state == JobState.PLACED:
                 job.mark_failed()
+                if self.tracer is not None:
+                    self.tracer.record(job, "failed", entity=self.name)
                 killed += 1
         self._queue.clear()
         self.jobs_killed += killed

@@ -64,6 +64,11 @@ class SchedulerBase(MessageServer):
     #: component kind in attribution source tags
     component = "scheduler"
 
+    #: causal-tracing recorder; stays the class-level ``None`` unless a
+    #: run's TracePlan is enabled, so every hook below is one attribute
+    #: test on the hot path (same discipline as the ledger observer)
+    tracer = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -286,21 +291,21 @@ class SchedulerBase(MessageServer):
         self._inflight[job.job_id] = (job, rid)
         # The epoch stamp lets the resource reject this dispatch if the
         # job is re-dispatched elsewhere while this message is in flight.
-        self.network.send_from(
-            Message(
-                MessageKind.JOB_DISPATCH,
-                payload={"job": job, "epoch": job.dispatch_epoch},
-            ),
-            self,
-            resource,
+        message = Message(
+            MessageKind.JOB_DISPATCH,
+            payload={"job": job, "epoch": job.dispatch_epoch},
         )
+        if self.tracer is not None:
+            self.tracer.dispatch_send(job, self, rid, message)
+        self.network.send_from(message, self, resource)
 
     def transfer_job(self, job: Job, peer: "SchedulerBase") -> None:
         """Hand ``job`` to ``peer`` for execution in its cluster."""
         self.jobs_sent_remote += 1
-        self.send_to_peer(
-            Message(MessageKind.JOB_TRANSFER, payload={"job": job}), peer
-        )
+        message = Message(MessageKind.JOB_TRANSFER, payload={"job": job})
+        if self.tracer is not None:
+            self.tracer.transfer_send(job, self, message)
+        self.send_to_peer(message, peer)
 
     def send_to_peer(self, message: Message, peer: "SchedulerBase") -> None:
         """Send a protocol message to another scheduler, via the Grid
@@ -329,6 +334,8 @@ class SchedulerBase(MessageServer):
         """Hold ``job`` awaiting a remote placement opportunity; a
         timeout forces local dispatch so no job waits forever."""
         job.mark_waiting()
+        if self.tracer is not None:
+            self.tracer.record(job, "park", entity=self.name)
         self._wait_queue.append(job)
         self.sim.schedule(self.wait_timeout, self._wait_deadline, job)
 
@@ -412,6 +419,8 @@ class SchedulerBase(MessageServer):
         )
         self.redispatches += 1
         job.mark_requeued()
+        if self.tracer is not None:
+            self.tracer.record(job, "redispatch", entity=self.name)
         self.schedule_local(job)
 
     def on_cluster_degraded(self, resource_id: int) -> None:

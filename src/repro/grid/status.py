@@ -151,6 +151,18 @@ class StatusTable:
             default=math.inf,
         )
 
+    def staleness_of(self, resource_id: int, now: float) -> float:
+        """Age of one entry at ``now`` (``nan`` if never updated).
+
+        The per-decision twin of :meth:`mean_staleness`: the causal
+        tracer records it on every dispatch, so a trace shows how stale
+        the status row behind each placement actually was.
+        """
+        stamp = self._stamp[resource_id]
+        if stamp == -math.inf:
+            return math.nan
+        return now - stamp
+
     def mean_staleness(self, now: float) -> float:
         """Mean age of the table's live entries at ``now``.
 

@@ -104,9 +104,13 @@ class Message:
         Payload size in payload units (defaults to ``DEFAULT_SIZES``).
     created_at:
         Simulated send time, stamped by the transport.
+    trace:
+        Causal-tracing context ``(trace_id, parent span index)`` for
+        messages carrying a sampled job; ``None`` otherwise (always
+        ``None`` when tracing is off).
     """
 
-    __slots__ = ("kind", "sender", "payload", "size", "created_at")
+    __slots__ = ("kind", "sender", "payload", "size", "created_at", "trace")
 
     def __init__(
         self,
@@ -127,6 +131,7 @@ class Message:
             raise ValueError("message size must be positive")
         self.size = size
         self.created_at: Optional[float] = None
+        self.trace = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         src = getattr(self.sender, "name", None)

@@ -117,6 +117,10 @@ class Network:
         #: attribution report (transit time is latency, not RMS cost,
         #: hence the network never charges the ledger).
         self._traffic: Dict[str, List[float]] = {}
+        #: optional ``(kind, delay)`` observer over every routed send —
+        #: the causal tracer's latency histograms; ``None`` (free) by
+        #: default, same discipline as the ledger observer
+        self.latency_tap = None
 
     def send(self, message: Message, src_node: int, recipient: Entity) -> float:
         """Send ``message`` from ``src_node`` to ``recipient``.
@@ -147,6 +151,8 @@ class Network:
         cell[1] += message.size
         cell[2] += message.size * hops
         cell[3] += hops
+        if self.latency_tap is not None:
+            self.latency_tap(message.kind, delay)
         if (
             self.loss_probability > 0.0
             and _effective_kind(message) not in RELIABLE_KINDS

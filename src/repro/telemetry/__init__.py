@@ -47,6 +47,15 @@ from .timeseries import (
     resolve_monitor_plan,
     steady_state,
 )
+from .tracing import (
+    TracePlan,
+    TraceRecorder,
+    job_is_sampled,
+    resolve_trace_plan,
+    trace_id_for,
+    trace_plan_from_jsonable,
+    trace_plan_to_jsonable,
+)
 
 __all__ = [
     "Counter",
@@ -63,12 +72,19 @@ __all__ = [
     "Tally",
     "Telemetry",
     "TimeWeighted",
+    "TracePlan",
+    "TraceRecorder",
     "WindowedSeries",
     "activate",
     "current",
     "detect_warmup",
     "efficiency_curve",
+    "job_is_sampled",
     "merge_series",
     "resolve_monitor_plan",
+    "resolve_trace_plan",
     "steady_state",
+    "trace_id_for",
+    "trace_plan_from_jsonable",
+    "trace_plan_to_jsonable",
 ]

@@ -33,6 +33,7 @@ __all__ = [
     "NullGauge",
     "NullHistogram",
     "DEFAULT_BUCKETS",
+    "bucket_quantile",
 ]
 
 #: default histogram bounds: sub-millisecond .. minutes, log-ish spaced
@@ -40,6 +41,42 @@ __all__ = [
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
 )
+
+
+def bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    overflow: int,
+    q: float,
+    minimum: float = math.inf,
+) -> float:
+    """``q``-quantile estimated by linear interpolation within buckets.
+
+    The winning bucket's lower edge is the previous bound (``0`` for the
+    first bucket, clamped down to ``minimum`` when observations are
+    negative); the estimate interpolates linearly between the edges, so
+    an exact bucket boundary still reports the bound itself.  Returns
+    ``nan`` when empty and ``inf`` once the target falls past the last
+    bound (the histogram cannot resolve the overflow region).
+    """
+    if not (0.0 <= q <= 1.0):
+        raise ValueError("q must be in [0, 1]")
+    n = sum(counts) + overflow
+    if n == 0:
+        return math.nan
+    target = q * n
+    seen = 0
+    lo = min(0.0, minimum) if minimum == minimum else 0.0
+    for bound, c in zip(bounds, counts):
+        if c:
+            if seen + c >= target:
+                fraction = (target - seen) / c
+                if math.isinf(bound):  # a +inf bucket has no upper edge
+                    return lo if fraction == 0.0 else math.inf
+                return lo + (bound - lo) * fraction
+            seen += c
+        lo = bound
+    return math.inf
 
 
 class Gauge:
@@ -129,23 +166,13 @@ class Histogram:
         return self._tally.total
 
     def quantile(self, q: float) -> float:
-        """Approximate ``q``-quantile from bucket upper bounds.
+        """Approximate ``q``-quantile, interpolated within buckets.
 
         Returns ``nan`` when empty; observations past the last bound
-        report ``inf`` (the histogram cannot resolve them).
+        report ``inf`` (the histogram cannot resolve them).  See
+        :func:`bucket_quantile` for the interpolation contract.
         """
-        if not (0.0 <= q <= 1.0):
-            raise ValueError("q must be in [0, 1]")
-        n = self.count
-        if n == 0:
-            return math.nan
-        target = q * n
-        seen = 0
-        for bound, c in zip(self.bounds, self.counts):
-            seen += c
-            if seen >= target:
-                return bound
-        return math.inf
+        return bucket_quantile(self.bounds, self.counts, self.overflow, q, self.min)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}: n={self.count}, mean={self.mean:.4g})"
@@ -245,6 +272,9 @@ def snapshot_collector(c: Any) -> Dict[str, Any]:
             "mean": c.mean,
             "min": c.min,
             "max": c.max,
+            "p50": c.quantile(0.5),
+            "p95": c.quantile(0.95),
+            "p99": c.quantile(0.99),
             "buckets": [[b, n] for b, n in zip(c.bounds, c.counts)],
             "overflow": c.overflow,
         }

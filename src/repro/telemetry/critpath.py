@@ -1,0 +1,242 @@
+"""Critical-path analysis of sampled job traces.
+
+Turns the per-run trace payload (:meth:`TraceRecorder.payload`) into
+the decomposition the study layer renders: each sampled job's turnaround
+split into named **phases**, per-run phase totals and shares, a
+"which phase's share grows with k" ranking, and per-message-class
+latency quantiles.
+
+The decomposition is *telescoping*: a job's timeline is its ordered
+event list bracketed by a synthetic ``arrival`` instant and the terminal
+``complete`` span; each inter-event interval is named after the event
+that **opened** it (:data:`PHASE_OF_PREV`).  Consecutive differences
+telescope, so the phase sum equals ``completion - arrival`` — the job's
+recorded turnaround — up to float summation error, no matter which
+intermediate events were recorded (a truncated trace merely coarsens
+attribution into the preceding phase).  ``result_return`` happens after
+``complete`` and is reported separately, never summed into turnaround.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .collectors import bucket_quantile
+
+__all__ = [
+    "PHASES",
+    "PHASE_OF_PREV",
+    "aggregate_phases",
+    "decompose_job",
+    "growth_ranking",
+    "latency_quantiles",
+    "merge_latency",
+    "phase_shares",
+]
+
+#: canonical phase order (report column order)
+PHASES: Tuple[str, ...] = (
+    "submit_wait",
+    "sched_queue",
+    "scheduling",
+    "park_wait",
+    "transfer_transit",
+    "dispatch_transit",
+    "resource_queue",
+    "service",
+    "recovery_wait",
+    "other",
+)
+
+#: the phase an interval belongs to, named by the event that opened it
+PHASE_OF_PREV: Dict[str, str] = {
+    "arrival": "submit_wait",        # arrival -> first scheduler delivery
+    "sched_deliver": "sched_queue",  # queued behind the scheduler server
+    "decision_begin": "scheduling",  # decision service (+ any negotiation)
+    "park": "park_wait",             # R-I/Sy-I wait queue
+    "transfer_send": "transfer_transit",
+    "dispatch_send": "dispatch_transit",
+    "resource_accept": "resource_queue",
+    "service_begin": "service",
+    "failed": "recovery_wait",       # crash -> detection + backoff
+    "redispatch": "scheduling",      # re-dispatch re-enters placement
+}
+
+
+def decompose_job(record: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """Phase decomposition of one sampled job record.
+
+    Returns ``None`` for jobs that never completed (no terminal span —
+    still in flight at drain end, or permanently failed).  Otherwise a
+    dict with ``phases`` (name -> seconds), ``response`` (the recorded
+    turnaround), ``residual`` (``|fsum(phases) - response|``), and
+    ``result_return`` (post-completion result transit, or ``None``).
+    """
+    events: List[Tuple[str, float]] = []
+    result_return: Optional[float] = None
+    completion: Optional[float] = None
+    for event in record["events"]:
+        name = event["name"]
+        if name == "result_return":
+            if completion is not None and result_return is None:
+                result_return = float(event["t"]) - completion
+            continue
+        if completion is not None:
+            continue  # post-completion spans never enter the turnaround
+        events.append((name, float(event["t"])))
+        if name == "complete":
+            completion = float(event["t"])
+    if completion is None or record.get("response") is None:
+        return None
+    timeline = [("arrival", float(record["arrival"]))] + events
+    parts: Dict[str, List[float]] = {}
+    for (prev, t0), (_, t1) in zip(timeline, timeline[1:]):
+        parts.setdefault(PHASE_OF_PREV.get(prev, "other"), []).append(t1 - t0)
+    phases = {name: math.fsum(parts[name]) for name in PHASES if name in parts}
+    response = float(record["response"])
+    residual = abs(math.fsum(phases.values()) - response)
+    return {
+        "phases": phases,
+        "response": response,
+        "residual": residual,
+        "result_return": result_return,
+    }
+
+
+def aggregate_phases(trace: Mapping[str, Any]) -> Dict[str, Any]:
+    """Roll one run's trace payload up into phase totals.
+
+    Returns ``jobs`` (decomposed count), ``incomplete`` (sampled jobs
+    without a terminal span), per-phase totals, the turnaround total,
+    the worst per-job residual, and the total post-completion
+    result-return transit.
+    """
+    parts: Dict[str, List[float]] = {}
+    responses: List[float] = []
+    returns: List[float] = []
+    max_residual = 0.0
+    jobs = 0
+    incomplete = 0
+    for record in trace.get("jobs", {}).values():
+        decomposed = decompose_job(record)
+        if decomposed is None:
+            incomplete += 1
+            continue
+        jobs += 1
+        for name, value in decomposed["phases"].items():
+            parts.setdefault(name, []).append(value)
+        responses.append(decomposed["response"])
+        if decomposed["residual"] > max_residual:
+            max_residual = decomposed["residual"]
+        if decomposed["result_return"] is not None:
+            returns.append(decomposed["result_return"])
+    return {
+        "jobs": jobs,
+        "incomplete": incomplete,
+        "phases": {name: math.fsum(parts[name]) for name in PHASES if name in parts},
+        "response_total": math.fsum(responses),
+        "max_residual": max_residual,
+        "result_return_total": math.fsum(returns),
+    }
+
+
+def phase_shares(phases: Mapping[str, float]) -> Dict[str, float]:
+    """Each phase's fraction of the summed turnaround (0 when empty)."""
+    total = math.fsum(phases.values())
+    if total <= 0.0:
+        return {name: 0.0 for name in phases}
+    return {name: value / total for name, value in phases.items()}
+
+
+def growth_ranking(
+    points: Sequence[Tuple[float, Mapping[str, float]]]
+) -> List[Tuple[str, float]]:
+    """Rank phases by how fast their share grows with scale.
+
+    ``points`` is ``[(k, shares), ...]``; the slope is the least-squares
+    fit of share against ``k``, so a positive slope names a phase whose
+    *relative* weight in turnaround worsens as the system scales — the
+    per-job twin of ``repro attrib``'s per-component G(k) slopes.
+    """
+    names = sorted({name for _, shares in points for name in shares})
+    if len(points) < 2:
+        return [(name, 0.0) for name in names]
+    ks = [float(k) for k, _ in points]
+    k_mean = math.fsum(ks) / len(ks)
+    denom = math.fsum((k - k_mean) ** 2 for k in ks)
+    ranking = []
+    for name in names:
+        ys = [float(shares.get(name, 0.0)) for _, shares in points]
+        y_mean = math.fsum(ys) / len(ys)
+        slope = 0.0
+        if denom > 0.0:
+            slope = (
+                math.fsum((k - k_mean) * (y - y_mean) for k, y in zip(ks, ys))
+                / denom
+            )
+        ranking.append((name, slope))
+    ranking.sort(key=lambda item: item[1], reverse=True)
+    return ranking
+
+
+# ---------------------------------------------------------------------------
+# Latency histograms
+# ---------------------------------------------------------------------------
+
+def merge_latency(
+    payloads: Iterable[Mapping[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """Merge per-run latency snapshots by summing bucket counts.
+
+    Quantiles are recomputed from the merged buckets, so a per-design
+    table can aggregate every scale's runs without re-recording.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for payload in payloads:
+        for kind, snap in payload.get("latency", {}).items():
+            into = merged.get(kind)
+            if into is None:
+                merged[kind] = {
+                    "count": snap["count"],
+                    "total": snap["total"],
+                    "min": snap["min"],
+                    "max": snap["max"],
+                    "buckets": [list(pair) for pair in snap["buckets"]],
+                    "overflow": snap["overflow"],
+                }
+                continue
+            into["count"] += snap["count"]
+            into["total"] += snap["total"]
+            into["min"] = min(into["min"], snap["min"])
+            into["max"] = max(into["max"], snap["max"])
+            into["overflow"] += snap["overflow"]
+            for pair, other in zip(into["buckets"], snap["buckets"]):
+                pair[1] += other[1]
+    for snap in merged.values():
+        bounds = [b for b, _ in snap["buckets"]]
+        counts = [c for _, c in snap["buckets"]]
+        snap["mean"] = snap["total"] / snap["count"] if snap["count"] else math.nan
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            snap[label] = bucket_quantile(
+                bounds, counts, snap["overflow"], q, minimum=snap["min"]
+            )
+    return merged
+
+
+def latency_quantiles(
+    merged: Mapping[str, Mapping[str, Any]]
+) -> List[List[Any]]:
+    """Table rows ``[kind, count, mean, p50, p95, p99, max]``."""
+    return [
+        [
+            kind,
+            int(snap["count"]),
+            snap["mean"],
+            snap["p50"],
+            snap["p95"],
+            snap["p99"],
+            snap["max"],
+        ]
+        for kind, snap in sorted(merged.items())
+    ]

@@ -1,0 +1,85 @@
+"""Prometheus text-exposition helpers shared by the study exporters.
+
+``repro series`` and ``repro trace`` both expose end-of-study summary
+gauges in the Prometheus text format; this module holds the one
+rendering path (escaping, label formatting, NaN/None skipping) so the
+exporters only declare *what* to sample.  It also knows how to turn a
+flattened ledger-attribution key (``category|component|entity|
+message_class``, see :data:`repro.core.ledger.SOURCE_SEP`) into label
+sets, so per-component overhead can ride along any exposition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, TextIO, Tuple
+
+from ..core.ledger import SOURCE_SEP
+
+__all__ = [
+    "attribution_labels",
+    "format_labels",
+    "prom_escape",
+    "write_metric",
+]
+
+
+def prom_escape(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_value(value: Any) -> str:
+    # floats render with %g so scale="2" (not "2.0") — the historical
+    # exposition shape the series smoke tests scrape
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_labels(labels: Mapping[str, Any]) -> str:
+    """Render a label set (insertion order preserved, values escaped)."""
+    return ",".join(
+        f'{key}="{prom_escape(_label_value(value))}"'
+        for key, value in labels.items()
+    )
+
+
+def write_metric(
+    fh: TextIO,
+    name: str,
+    mtype: str,
+    samples: Iterable[Tuple[Mapping[str, Any], Any]],
+) -> int:
+    """Write one ``# TYPE`` block; returns how many samples landed.
+
+    ``samples`` yields ``(labels, value)`` pairs; ``None`` and NaN
+    values are skipped (a scrape never carries unknowns).
+    """
+    fh.write(f"# TYPE {name} {mtype}\n")
+    n = 0
+    for labels, value in samples:
+        if value is None or value != value:
+            continue
+        fh.write(f"{name}{{{format_labels(labels)}}} {value!r}\n")
+        n += 1
+    return n
+
+
+def attribution_labels(key: str) -> Dict[str, str]:
+    """Labels for one flattened attribution cell key.
+
+    Tagged cells (``category|component|entity|message_class``) yield all
+    four labels; untagged cells (bare category) yield just ``category``.
+    """
+    parts = key.split(SOURCE_SEP)
+    labels = {"category": parts[0]}
+    if len(parts) == 4:
+        labels["component"] = parts[1]
+        labels["entity"] = parts[2]
+        labels["message_class"] = parts[3]
+    return labels

@@ -1,0 +1,220 @@
+"""Unit tests for the critical-path analyzer (synthetic traces).
+
+``decompose_job`` must telescope — the phase sum equals the recorded
+turnaround for *any* ordered subset of lifecycle events, including
+truncated traces — and the aggregation/ranking/latency helpers must
+hold their shapes on edge inputs (no completions, single scale point,
+empty histograms, overflow-only histograms).
+"""
+
+import math
+
+import pytest
+
+from repro.telemetry.collectors import Histogram, bucket_quantile, snapshot_collector
+from repro.telemetry.critpath import (
+    PHASES,
+    aggregate_phases,
+    decompose_job,
+    growth_ranking,
+    latency_quantiles,
+    merge_latency,
+    phase_shares,
+)
+
+
+def record(events, arrival=0.0, response=None):
+    """A synthetic sampled-job record in the payload shape."""
+    completion = next(
+        (t for name, t in events if name == "complete"), None
+    )
+    if response is None and completion is not None:
+        response = completion - arrival
+    return {
+        "arrival": arrival,
+        "completion": completion,
+        "response": response,
+        "events": [{"name": name, "t": t} for name, t in events],
+    }
+
+
+FULL_LIFECYCLE = [
+    ("sched_deliver", 2.0),
+    ("decision_begin", 3.0),
+    ("dispatch_send", 4.0),
+    ("resource_accept", 5.0),
+    ("service_begin", 6.0),
+    ("complete", 10.0),
+]
+
+
+class TestDecompose:
+    def test_full_lifecycle_phases(self):
+        d = decompose_job(record(FULL_LIFECYCLE))
+        assert d["phases"] == {
+            "submit_wait": 2.0,
+            "sched_queue": 1.0,
+            "scheduling": 1.0,
+            "dispatch_transit": 1.0,
+            "resource_queue": 1.0,
+            "service": 4.0,
+        }
+        assert d["response"] == 10.0
+        assert d["residual"] == 0.0
+        assert d["result_return"] is None
+
+    def test_result_return_reported_separately(self):
+        d = decompose_job(record(FULL_LIFECYCLE + [("result_return", 11.5)]))
+        assert d["result_return"] == 1.5
+        # post-completion transit never inflates the turnaround sum
+        assert math.fsum(d["phases"].values()) == d["response"] == 10.0
+
+    def test_truncated_trace_still_telescopes(self):
+        # any ordered subset telescopes to completion - arrival: drops
+        # only coarsen attribution into the preceding phase
+        d = decompose_job(record([("sched_deliver", 2.0), ("complete", 10.0)]))
+        assert d["phases"] == {"submit_wait": 2.0, "sched_queue": 8.0}
+        assert d["residual"] == 0.0
+
+    def test_recovery_interval_named_after_the_failure(self):
+        d = decompose_job(
+            record(
+                [
+                    ("sched_deliver", 1.0),
+                    ("dispatch_send", 2.0),
+                    ("service_begin", 3.0),
+                    ("failed", 4.0),
+                    ("redispatch", 9.0),
+                    ("dispatch_send", 10.0),
+                    ("service_begin", 11.0),
+                    ("complete", 15.0),
+                ]
+            )
+        )
+        assert d["phases"]["recovery_wait"] == 5.0
+        assert d["phases"]["service"] == 1.0 + 4.0  # both attempts
+        assert d["residual"] == 0.0
+
+    def test_unknown_event_lands_in_other(self):
+        d = decompose_job(record([("mystery", 3.0), ("complete", 10.0)]))
+        assert d["phases"]["other"] == 7.0
+
+    def test_incomplete_job_returns_none(self):
+        assert decompose_job(record([("sched_deliver", 2.0)])) is None
+        rec = record(FULL_LIFECYCLE)
+        rec["response"] = None
+        assert decompose_job(rec) is None
+
+
+class TestAggregate:
+    def test_counts_and_totals(self):
+        trace = {
+            "jobs": {
+                "1": record(FULL_LIFECYCLE),
+                "2": record([("sched_deliver", 1.0), ("complete", 5.0)]),
+                "3": record([("sched_deliver", 1.0)]),  # in flight at drain
+            }
+        }
+        agg = aggregate_phases(trace)
+        assert agg["jobs"] == 2 and agg["incomplete"] == 1
+        assert agg["response_total"] == 15.0
+        assert math.fsum(agg["phases"].values()) == pytest.approx(15.0)
+        assert agg["max_residual"] == 0.0
+        # phase key order follows the canonical taxonomy
+        assert list(agg["phases"]) == [
+            p for p in PHASES if p in agg["phases"]
+        ]
+
+    def test_shares_sum_to_one(self):
+        agg = aggregate_phases({"jobs": {"1": record(FULL_LIFECYCLE)}})
+        shares = phase_shares(agg["phases"])
+        assert math.fsum(shares.values()) == pytest.approx(1.0)
+
+    def test_shares_of_nothing_are_zero(self):
+        assert phase_shares({"service": 0.0}) == {"service": 0.0}
+
+
+class TestGrowthRanking:
+    def test_fastest_growing_share_wins(self):
+        points = [
+            (1.0, {"service": 0.8, "resource_queue": 0.2}),
+            (2.0, {"service": 0.6, "resource_queue": 0.4}),
+            (3.0, {"service": 0.4, "resource_queue": 0.6}),
+        ]
+        ranking = growth_ranking(points)
+        assert ranking[0] == ("resource_queue", pytest.approx(0.2))
+        assert ranking[-1] == ("service", pytest.approx(-0.2))
+
+    def test_single_point_ranks_flat(self):
+        assert growth_ranking([(1.0, {"service": 1.0})]) == [("service", 0.0)]
+
+    def test_missing_phase_reads_as_zero_share(self):
+        points = [(1.0, {"park_wait": 0.5}), (2.0, {})]
+        (name, slope), = growth_ranking(points)
+        assert name == "park_wait" and slope == pytest.approx(-0.5)
+
+
+class TestBucketQuantile:
+    def test_empty_is_nan(self):
+        assert math.isnan(bucket_quantile([1.0], [0], 0, 0.5))
+
+    def test_exact_boundary_reports_the_bound(self):
+        assert bucket_quantile([1.0, 2.0], [2, 2], 0, 0.5) == 1.0
+
+    def test_interpolates_within_the_bucket(self):
+        assert bucket_quantile([1.0, 2.0], [0, 4], 0, 0.5) == 1.5
+
+    def test_overflow_region_is_inf(self):
+        assert bucket_quantile([1.0], [1], 3, 0.9) == math.inf
+
+    def test_inf_bucket_has_no_upper_edge(self):
+        assert bucket_quantile([1.0, math.inf], [0, 4], 0, 0.5) == math.inf
+
+    def test_negative_minimum_anchors_the_first_bucket(self):
+        assert bucket_quantile([1.0], [2], 0, 0.0, minimum=-2.0) == -2.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            bucket_quantile([1.0], [1], 0, 1.5)
+
+    def test_histogram_quantile_delegates(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for x in (0.5, 1.5, 1.5, 3.0):
+            hist.record(x)
+        snap = snapshot_collector(hist)
+        assert snap["p50"] == hist.quantile(0.5)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+
+class TestMergeLatency:
+    def _payload(self, values):
+        hist = Histogram("latency.x", buckets=(1.0, 2.0, 4.0))
+        for x in values:
+            hist.record(x)
+        return {"latency": {"x": snapshot_collector(hist)}}
+
+    def test_merging_sums_buckets_and_recomputes_quantiles(self):
+        a = self._payload([0.5, 1.5])
+        b = self._payload([1.5, 3.0, 9.0])
+        merged = merge_latency([a, b])
+        snap = merged["x"]
+        assert snap["count"] == 5
+        assert snap["overflow"] == 1
+        assert snap["min"] == 0.5 and snap["max"] == 9.0
+        assert snap["mean"] == pytest.approx((0.5 + 1.5 + 1.5 + 3.0 + 9.0) / 5)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+    def test_merging_identical_runs_keeps_the_quantiles(self):
+        one = merge_latency([self._payload([0.5, 1.5, 3.0])])
+        two = merge_latency(
+            [self._payload([0.5, 1.5, 3.0]), self._payload([0.5, 1.5, 3.0])]
+        )
+        assert two["x"]["count"] == 2 * one["x"]["count"]
+        assert two["x"]["p50"] == one["x"]["p50"]
+        assert two["x"]["p95"] == one["x"]["p95"]
+
+    def test_table_rows_in_kind_order(self):
+        merged = merge_latency([self._payload([1.0]), {"latency": {"a": self._payload([2.0])["latency"]["x"]}}])
+        rows = latency_quantiles(merged)
+        assert [r[0] for r in rows] == ["a", "x"]
+        assert all(len(r) == 7 for r in rows)

@@ -1,0 +1,72 @@
+"""Unit tests for the shared Prometheus text-exposition helpers."""
+
+import io
+import math
+
+from repro.telemetry.promexport import (
+    attribution_labels,
+    format_labels,
+    prom_escape,
+    write_metric,
+)
+
+
+class TestEscaping:
+    def test_escapes_backslash_quote_newline(self):
+        assert prom_escape('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_plain_strings_pass_through(self):
+        assert prom_escape("status_update") == "status_update"
+
+
+class TestLabels:
+    def test_insertion_order_preserved(self):
+        assert (
+            format_labels({"rms": "LOWEST", "scale": 2.0})
+            == 'rms="LOWEST",scale="2"'
+        )
+
+    def test_floats_render_compactly(self):
+        # %g keeps the historical scale="2" shape smoke tests scrape
+        assert format_labels({"k": 2.0}) == 'k="2"'
+        assert format_labels({"k": 2.5}) == 'k="2.5"'
+
+
+class TestWriteMetric:
+    def test_type_line_always_written(self):
+        buf = io.StringIO()
+        assert write_metric(buf, "m", "gauge", []) == 0
+        assert buf.getvalue() == "# TYPE m gauge\n"
+
+    def test_samples_rendered_and_counted(self):
+        buf = io.StringIO()
+        n = write_metric(
+            buf, "m", "counter", [({"a": "x"}, 1.5), ({"a": "y"}, 2)]
+        )
+        assert n == 2
+        assert 'm{a="x"} 1.5\n' in buf.getvalue()
+        assert 'm{a="y"} 2\n' in buf.getvalue()
+
+    def test_none_and_nan_values_skipped(self):
+        buf = io.StringIO()
+        n = write_metric(
+            buf,
+            "m",
+            "gauge",
+            [({"a": "x"}, None), ({"a": "y"}, math.nan), ({"a": "z"}, 0.0)],
+        )
+        assert n == 1
+        assert 'm{a="z"} 0.0' in buf.getvalue()
+
+
+class TestAttributionLabels:
+    def test_tagged_cell_yields_all_four_labels(self):
+        assert attribution_labels("g.estimator|estimator|est3|status_update") == {
+            "category": "g.estimator",
+            "component": "estimator",
+            "entity": "est3",
+            "message_class": "status_update",
+        }
+
+    def test_bare_category_yields_one_label(self):
+        assert attribution_labels("g.trace") == {"category": "g.trace"}

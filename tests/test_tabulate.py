@@ -1,0 +1,51 @@
+"""Unit tests for the shared table renderer's number formatting.
+
+The regression of note: nonzero floats whose fixed rendering rounds to
+zero (phase shares like 3e-05 at the default precisions) used to print
+a misleading ``0.000`` — they must switch to scientific notation — and
+a negative zero must normalize to the positive form.
+"""
+
+import math
+
+from repro.experiments.tabulate import format_table
+
+
+def cell(value, precision=1):
+    """Render one value through the table and return its cell text."""
+    table = format_table(["v"], [[value]], precision=precision)
+    return table.splitlines()[-1].strip()
+
+
+class TestTinyFloats:
+    def test_tiny_positive_switches_to_scientific(self):
+        assert cell(3e-05, precision=3) == "3.000e-05"
+
+    def test_tiny_negative_keeps_its_sign(self):
+        assert cell(-3e-05, precision=3) == "-3.000e-05"
+
+    def test_negative_zero_normalizes(self):
+        assert cell(-0.0) == "0.0"
+        assert cell(-1e-12, precision=1) == "-1.0e-12"
+
+    def test_true_zero_stays_fixed(self):
+        assert cell(0.0, precision=3) == "0.000"
+
+    def test_ordinary_values_unchanged(self):
+        assert cell(1.234, precision=2) == "1.23"
+        assert cell(-0.5, precision=1) == "-0.5"
+
+    def test_non_finite_values(self):
+        assert cell(math.nan) == "nan"
+        assert cell(math.inf) == "inf"
+        assert cell(-math.inf) == "-inf"
+
+
+class TestOtherTypes:
+    def test_bools_render_yes_no(self):
+        assert cell(True) == "yes"
+        assert cell(False) == "no"
+
+    def test_header_rule_matches_width(self):
+        lines = format_table(["name"], [["abcdef"]]).splitlines()
+        assert lines[1] == "-" * len(lines[2])
