@@ -24,8 +24,20 @@ The names a typical caller needs — configuring a run, executing it,
 injecting faults, measuring scalability, looking up an RMS design —
 are re-exported here; everything else stays importable from its
 subpackage.
+
+Whole studies (rather than single runs) go through the
+:mod:`repro.api` facade, also re-exported here: build a frozen
+:class:`StudySpec`, hand it to :func:`run_study` for local execution
+or :func:`submit_study` to ship it to a ``repro serve`` coordinator —
+both produce the identical :class:`StudyResult`::
+
+    from repro import StudySpec, run_study
+    result = run_study(StudySpec(kind="compare", profile="ci", jobs=4))
+    print(result.report)
 """
 
+from . import fabric
+from .api import StudyResult, run_study, submit_study
 from .core import CostLedger, ScalabilityProcedure
 from .experiments import (
     RunMetrics,
@@ -34,6 +46,12 @@ from .experiments import (
     build_system,
     run_simulation,
 )
+from .experiments.spec import (
+    StudySpec,
+    spec_digest,
+    spec_from_jsonable,
+    spec_to_jsonable,
+)
 from .faults import FaultPlan
 from .rms import ALL_RMS, get_rms, rms_names
 
@@ -41,8 +59,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     # subpackages
+    "api",
     "core",
     "experiments",
+    "fabric",
     "faults",
     "grid",
     "network",
@@ -59,8 +79,15 @@ __all__ = [
     "ScalabilityProcedure",
     "SimulationConfig",
     "Study",
+    "StudyResult",
+    "StudySpec",
     "build_system",
     "get_rms",
     "rms_names",
     "run_simulation",
+    "run_study",
+    "spec_digest",
+    "spec_from_jsonable",
+    "spec_to_jsonable",
+    "submit_study",
 ]

@@ -20,6 +20,10 @@ Usage::
     python -m repro series --csv s.csv --prom s.prom  # exports
     python -m repro trace                     # causal job tracing study
     python -m repro trace --trace-sample 0.25 --jsonl t.jsonl
+    python -m repro serve --port 7464         # fabric coordinator
+    python -m repro work 127.0.0.1:7464       # attach one fabric worker
+    python -m repro submit compare --address 127.0.0.1:7464
+    python -m repro knobs                     # the REPRO_* knob table
     python -m repro watch --once              # snapshot a running study
     python -m repro bench-perf                # perf record -> BENCH_perf.json
     python -m repro bench-check               # perf watchdog vs the record
@@ -28,15 +32,28 @@ Usage::
     python -m repro telemetry tuner           # annealing convergence
     python -m repro list                      # what can be regenerated
 
-The ``figure`` subcommand runs the full isoefficiency measurement for
-the corresponding experimental case (all seven RMS designs), prints the
-table + ASCII plot, and optionally writes a CSV.  Simulations execute
-through the parallel experiment engine: ``--jobs N`` (or the
-``REPRO_JOBS`` environment variable) fans independent runs over worker
-processes, results persist in a content-addressed run cache
-(``.repro-cache/`` or ``--cache-dir``; ``--no-cache`` skips reads but
-still writes), and ``--resume`` checkpoints completed (case, RMS)
-points so a killed sweep restarts where it left off.
+Every simulation-running subcommand is a thin shell around the same
+pipeline: its flags build a frozen
+:class:`~repro.experiments.spec.StudySpec`
+(:func:`~repro.experiments.cliargs.spec_from_args`), the spec runs
+through :func:`repro.api.run_study`, and the rendered report prints.
+The shared flags are declared once in :mod:`~repro.experiments.cliargs`
+with defaults pulled from the dataclass, so the parser and the spec
+cannot drift.
+
+Simulations execute through the parallel experiment engine: ``--jobs
+N`` (or ``REPRO_JOBS``) fans independent runs over worker processes,
+results persist in a content-addressed run cache (``.repro-cache/`` or
+``--cache-dir``; ``--no-cache`` skips reads but still writes), and
+``--resume`` checkpoints completed points so a killed sweep restarts
+where it left off.
+
+``repro serve`` starts the distributed-fabric coordinator; ``repro
+work HOST:PORT`` attaches lease-executing workers; ``repro submit``
+ships a StudySpec to a coordinator and prints the identical report a
+local run would.  The same spec run locally with ``--jobs N`` or
+through the fabric produces byte-identical cache entries and
+manifests.
 
 ``--telemetry`` (or ``REPRO_TELEMETRY=1``) records structured spans,
 events, and metrics for the whole invocation into a fresh directory
@@ -48,24 +65,9 @@ bundle under ``flight-recorder/`` when a run crashes, is cancelled, or
 trips an invariant.  ``repro attrib`` renders the per-component F/G/H
 overhead decomposition a study records; ``repro bench-check`` is the
 perf-regression watchdog against the tracked ``BENCH_perf.json``.
+``repro knobs`` prints the full ``REPRO_*`` environment-knob table
+(one registry backs every lookup: flag > env > default).
 
-``repro series`` runs the time-resolved observability study: windowed
-F/G/H/E(t) streams per (design, scale) with in-sim probes, MSER
-steady-state detection, an optional probe-interval sweep, and
-CSV/JSONL/Prometheus exports.  ``REPRO_SERIES=1`` (plus
-``REPRO_SERIES_WINDOW`` / ``REPRO_SERIES_PROBE_INTERVAL`` /
-``REPRO_SERIES_CHARGE_RATE``) attaches the same monitoring plan
-ambiently to ``repro compare`` runs.  ``repro watch`` tails a running
-study's manifest and renders live progress snapshots.
-
-``repro trace`` runs the causal-tracing study: each sampled job's
-turnaround decomposed into named critical-path phases (scheduler
-queue, decision service, transfer/dispatch transit, resource queue,
-service, recovery wait), per-scale phase-share tables, the phase whose
-share grows fastest with k, and per-message-class transit-latency
-quantiles.  ``--trace-sample`` (or ``REPRO_TRACE_SAMPLE``) sets the
-deterministic per-job sampling fraction; recording overhead is charged
-to ``g.trace`` at ``--trace-charge`` per span.
 Logging verbosity is ``--log-level`` / ``REPRO_LOG_LEVEL`` (default
 ``warning``).
 """
@@ -80,24 +82,30 @@ import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
+from .. import api
+from ..envknobs import get_bool, get_str
 from ..telemetry import Telemetry, activate
 from ..telemetry import flightrec
 from .benchcheck import DEFAULT_FAIL_TOLERANCE, DEFAULT_WARN_TOLERANCE
-from .config import PROFILES, SimulationConfig
-from .parallel import ExperimentEngine, RunCache
-from .reporting import figure_report, format_table, write_csv
+from .cliargs import (
+    DEFAULT_TELEMETRY_DIR,
+    engine_parent,
+    fault_plan_parent,
+    spec_from_args,
+    study_parent,
+)
+from .config import PROFILES
+from .parallel import ExperimentEngine
+from .reporting import format_table, write_csv
 from .reproduce import DEFAULT_SPECULATION_WIDTH, Study
-from .runner import run_simulation
+from .spec import KINDS, StudySpec, spec_from_jsonable
 
 __all__ = ["main"]
 
-#: default root for per-run telemetry directories
-DEFAULT_TELEMETRY_DIR = "telemetry"
-
-#: figure number -> the quantity its y-axis plots
-_FIGURE_QUANTITY = {2: "G", 3: "G", 4: "G", 5: "G", 6: "throughput", 7: "response"}
+#: default TCP port of `repro serve` (any free port with --port 0)
+DEFAULT_FABRIC_PORT = 7464
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -141,53 +149,21 @@ def _cache_root(args: argparse.Namespace) -> str:
     """The run-cache directory this invocation uses (flag > env > default)."""
     from .parallel.cache import DEFAULT_CACHE_DIR
 
-    return getattr(args, "cache_dir", None) or os.environ.get(
-        "REPRO_CACHE_DIR", DEFAULT_CACHE_DIR
+    return get_str(
+        "REPRO_CACHE_DIR",
+        override=getattr(args, "cache_dir", None),
+        default=DEFAULT_CACHE_DIR,
     )
 
 
-def _apply_kernel_backend(args: argparse.Namespace) -> None:
-    """Make ``--kernel-backend`` ambient for this invocation.
+def _make_engine(spec: StudySpec) -> ExperimentEngine:
+    """Build the experiment engine a spec asks for.
 
-    Exported through ``REPRO_KERNEL_BACKEND`` *before* any engine spawns
-    its pool, so worker processes inherit the choice; every config
-    built afterwards resolves to it.  Unknown names exit with the
-    parser's error convention (the flag is validated by ``choices``, so
-    this only trips for programmatic callers).
+    Stays in this module (rather than always delegating to
+    :func:`repro.api.engine_for_spec`) so the engine class is this
+    module's patchable global.
     """
-    from ..sim.backend import ENV_BACKEND, resolve_backend
-
-    name = getattr(args, "kernel_backend", None)
-    if name:
-        os.environ[ENV_BACKEND] = resolve_backend(name)
-
-
-def _resolve_fluid(args: argparse.Namespace):
-    """The invocation's :class:`FluidPlan` (flags > $REPRO_TRAFFIC_MODE).
-
-    Also exported through the environment so engine pool workers build
-    identical configs (the plan rides on each config anyway; the export
-    keeps programmatic spawns consistent with the parent).
-    """
-    from ..fluid.plan import ENV_TRAFFIC_MODE, resolve_fluid_plan
-
-    plan = resolve_fluid_plan(
-        mode=getattr(args, "traffic_mode", None),
-        aggregator_fanout=getattr(args, "aggregator_fanout", None),
-    )
-    if plan.is_fluid:
-        os.environ[ENV_TRAFFIC_MODE] = plan.mode
-    return plan
-
-
-def _make_engine(args: argparse.Namespace) -> ExperimentEngine:
-    """Build the experiment engine an invocation asked for."""
-    _apply_kernel_backend(args)
-    cache = RunCache(
-        root=_cache_root(args),
-        read=not getattr(args, "no_cache", False),
-    )
-    return ExperimentEngine(jobs=args.jobs, cache=cache)
+    return ExperimentEngine(jobs=spec.jobs, cache=api.cache_for_spec(spec))
 
 
 @contextmanager
@@ -199,15 +175,16 @@ def _telemetry_scope(args: argparse.Namespace) -> Iterator[Optional[Telemetry]]:
     ``$REPRO_TELEMETRY_DIR``, default ``telemetry/``) so successive runs
     never interleave.  Yields ``None`` when telemetry is off.
     """
-    enabled = getattr(args, "telemetry", False) or (
-        os.environ.get("REPRO_TELEMETRY", "").strip() not in ("", "0")
-    )
+    enabled = getattr(args, "telemetry", False) or get_bool("REPRO_TELEMETRY")
     if not enabled:
         yield None
         return
     root = Path(
-        getattr(args, "telemetry_dir", None)
-        or os.environ.get("REPRO_TELEMETRY_DIR", DEFAULT_TELEMETRY_DIR)
+        get_str(
+            "REPRO_TELEMETRY_DIR",
+            override=getattr(args, "telemetry_dir", None),
+            default=DEFAULT_TELEMETRY_DIR,
+        )
     )
     run_dir = root / time.strftime(f"run-%Y%m%d-%H%M%S-{os.getpid()}")
     session = Telemetry(run_dir)
@@ -231,8 +208,7 @@ def _flight_scope(args: argparse.Namespace) -> Iterator[Optional[flightrec.Fligh
     ``None`` when recording is off.
     """
     requested = getattr(args, "flight_recorder", False)
-    env_on = os.environ.get(flightrec.ENV_ENABLE, "") not in ("", "0")
-    if not requested and not env_on:
+    if not requested and not get_bool(flightrec.ENV_ENABLE):
         yield None
         return
     flight_dir = getattr(args, "flight_dir", None)
@@ -255,113 +231,49 @@ def _flight_scope(args: argparse.Namespace) -> Iterator[Optional[flightrec.Fligh
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    if args.number not in _FIGURE_QUANTITY:
+    if args.number not in api.FIGURE_QUANTITY:
         print(f"error: the paper has figures 2-7, not {args.number}", file=sys.stderr)
         return 2
-    with _telemetry_scope(args), _flight_scope(args), _make_engine(args) as engine:
-        study = Study(
-            profile=args.profile,
-            rms=args.rms.split(",") if args.rms else None,
-            seed=args.seed,
-            sa_iterations=args.sa_iterations,
-            engine=engine,
-            resume=args.resume,
-            # keep the manifest inside the cache dir actually in use, so
-            # `repro attrib` finds it there by default
-            manifest_path=(
-                Path(_cache_root(args)) / "manifests" / "study.json"
-                if args.resume
-                else None
-            ),
-            speculate=args.speculate,
-            warm_start=False if args.no_warm_start else None,
-            kernel_backend=args.kernel_backend,
-            fluid=_resolve_fluid(args),
-        )
-        fig = study.figure(args.number)
-    quantity = args.quantity or _FIGURE_QUANTITY[args.number]
-    print(figure_report(fig, quantity, precision=args.precision))
+    spec = spec_from_args("figure", args)
+    with _telemetry_scope(args), _flight_scope(args), _make_engine(spec) as engine:
+        result = api.run_study(spec, engine=engine, study_cls=Study)
+    print(result.report)
     if args.csv:
-        write_csv(fig, args.csv, quantity)
+        quantity = spec.quantity or api.FIGURE_QUANTITY[spec.figure_number]
+        write_csv(result.data, args.csv, quantity)
         print(f"series written to {args.csv}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from ..rms.registry import get_rms, rms_names
-    from ..telemetry.timeseries import resolve_monitor_plan
-
     plan = None
     if args.fault_plan:
         plan = _load_fault_plan(args.fault_plan)
         if plan is None:
             return 2
-    extra = {} if plan is None else {"faults": plan}
-    # REPRO_SERIES* knobs attach a monitoring plan ambiently; a passive
-    # plan records streams without perturbing the printed table (the
-    # telemetry-smoke diff in CI depends on that).
-    monitor = resolve_monitor_plan()
-    if monitor.is_enabled:
-        extra["monitor"] = monitor
-    fluid = _resolve_fluid(args)
-    if fluid.is_fluid:
-        extra["fluid"] = fluid
-    # the ci profile reproduces the historical quick-comparison shape
-    # exactly; full scales the same recipe up to the paper's base pool
-    profile = PROFILES[args.profile]
-    names = rms_names()
-    configs = [
-        SimulationConfig(
-            rms=rms,
-            n_schedulers=profile.base_schedulers,
-            n_resources=profile.base_resources,
-            workload_rate=0.0067 * profile.base_resources / 24.0,
-            update_interval=40.0 if rms == "CENTRAL" else 8.5,
-            horizon=profile.horizon,
-            seed=args.seed,
-            **extra,
-        )
-        for rms in names
-    ]
-    # The seven designs are independent runs: one engine batch.
-    with _telemetry_scope(args), _flight_scope(args), _make_engine(args) as engine:
-        metrics = engine.run_many(configs)
-    rows = [
-        [rms, get_rms(rms).mechanism, m.efficiency, m.record.G, m.success_rate]
-        for rms, m in zip(names, metrics)
-    ]
-    print(format_table(["RMS", "mechanism", "E", "G", "success"], rows, precision=3))
+    spec = spec_from_args("compare", args, faults=plan)
+    with _telemetry_scope(args), _flight_scope(args), _make_engine(spec) as engine:
+        result = api.run_study(spec, engine=engine)
+    print(result.report)
     return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from .faultstudy import fault_report, run_fault_study
-
     plan = None
     if args.fault_plan:
         plan = _load_fault_plan(args.fault_plan)
         if plan is None:
             return 2
-    manifest_path = Path(_cache_root(args)) / "manifests" / "faults.json"
-    with _telemetry_scope(args), _flight_scope(args), _make_engine(args) as engine:
-        result = run_fault_study(
-            profile=args.profile,
-            rms=args.rms.split(",") if args.rms else None,
-            seed=args.seed,
-            plan=plan,
-            mttf=args.mttf,
-            mttr=args.mttr,
-            engine=engine,
-            manifest_path=manifest_path,
-            fluid=_resolve_fluid(args),
-        )
-    print(fault_report(result, precision=args.precision))
+    spec = spec_from_args("faults", args, faults=plan)
+    with _telemetry_scope(args), _flight_scope(args), _make_engine(spec) as engine:
+        result = api.run_study(spec, engine=engine)
+    print(result.report)
     print(
-        f"\nmanifest written to {manifest_path} "
-        f"(decompose with `repro attrib {manifest_path}`)"
+        f"\nmanifest written to {result.manifest_path} "
+        f"(decompose with `repro attrib {result.manifest_path}`)"
     )
     if args.events_out:
-        _dump_fault_events(result, args.events_out)
+        _dump_fault_events(result.data, args.events_out)
     return 0
 
 
@@ -386,25 +298,10 @@ def _dump_fault_events(result, path: str) -> None:
 
 
 def _cmd_series(args: argparse.Namespace) -> int:
-    from dataclasses import replace as _replace
-
-    from ..telemetry.timeseries import resolve_monitor_plan
-    from .seriesstudy import (
-        SeriesAwareCache,
-        export_csv,
-        export_jsonl,
-        export_prometheus,
-        run_series_study,
-        series_report,
-        sweep_report,
-    )
+    from .seriesstudy import export_csv, export_jsonl, export_prometheus
 
     try:
-        intervals = (
-            [float(x) for x in args.probe_interval.split(",")]
-            if args.probe_interval
-            else []
-        )
+        spec = spec_from_args("series", args)
     except ValueError:
         print(
             f"error: --probe-interval must be comma-separated numbers, "
@@ -412,71 +309,35 @@ def _cmd_series(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    profile = PROFILES[args.profile]
-    # flag > REPRO_SERIES_* env > derived default, per knob
-    plan = resolve_monitor_plan(
-        series=True,
-        window=args.window,
-        probe_interval=intervals[0] if intervals else None,
-        charge_rate=args.charge_rate,
-    )
-    if plan.probe_interval == 0.0:
-        plan = _replace(plan, probe_interval=profile.horizon / 200.0)
-
-    manifest_path = Path(_cache_root(args)) / "manifests" / "series.json"
-    _apply_kernel_backend(args)
-    # SeriesAwareCache: entries cached by earlier unmonitored sweeps
-    # share keys with this study's passive runs but lack the stream —
-    # treat them as misses so the recompute upgrades them in place.
-    cache = SeriesAwareCache(
-        root=_cache_root(args), read=not getattr(args, "no_cache", False)
-    )
-    with _telemetry_scope(args), _flight_scope(args), ExperimentEngine(
-        jobs=args.jobs, cache=cache
-    ) as engine:
-        result = run_series_study(
-            profile=args.profile,
-            rms=args.rms.split(",") if args.rms else None,
-            seed=args.seed,
-            plan=plan,
-            sweep_intervals=intervals[1:],
-            engine=engine,
-            manifest_path=manifest_path,
-            fluid=_resolve_fluid(args),
-        )
-    print(series_report(result, precision=args.precision))
-    sweep_text = sweep_report(result, precision=args.precision)
-    if sweep_text:
-        print(sweep_text)
+    with _telemetry_scope(args), _flight_scope(args), _make_engine(spec) as engine:
+        result = api.run_study(spec, engine=engine)
+    print(result.report)
     print(
-        f"\nmanifest written to {manifest_path} "
-        f"(decompose with `repro attrib {manifest_path}`, "
-        f"tail with `repro watch {manifest_path}`)"
+        f"\nmanifest written to {result.manifest_path} "
+        f"(decompose with `repro attrib {result.manifest_path}`, "
+        f"tail with `repro watch {result.manifest_path}`)"
     )
     if args.csv:
         with open(args.csv, "w", encoding="utf-8", newline="") as fh:
-            n = export_csv(result, fh)
+            n = export_csv(result.data, fh)
         print(f"{n} window rows written to {args.csv}")
     if args.jsonl:
         with open(args.jsonl, "w", encoding="utf-8") as fh:
-            n = export_jsonl(result, fh)
+            n = export_jsonl(result.data, fh)
         print(f"{n} run series written to {args.jsonl}")
     if args.prom:
         with open(args.prom, "w", encoding="utf-8") as fh:
-            n = export_prometheus(result, fh)
+            n = export_prometheus(result.data, fh)
         print(f"{n} Prometheus samples written to {args.prom}")
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .tracestudy import (
-        TraceAwareCache,
         default_trace_plan,
         export_csv,
         export_jsonl,
         export_prometheus,
-        run_trace_study,
-        trace_report,
     )
 
     faults = None
@@ -484,9 +345,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         faults = _load_fault_plan(args.fault_plan)
         if faults is None:
             return 2
-    # flag > REPRO_TRACE_* env > the study's trace-everything default
+    # pre-validate the trace knobs so a bad flag is a one-line error
     try:
-        plan = default_trace_plan(
+        default_trace_plan(
             sample=args.trace_sample,
             charge_rate=args.trace_charge,
             max_events=args.max_events,
@@ -494,44 +355,151 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    manifest_path = Path(_cache_root(args)) / "manifests" / "trace.json"
-    _apply_kernel_backend(args)
-    # TraceAwareCache: entries cached by earlier untraced sweeps share
-    # keys with this study's passive runs but lack the trace payload —
-    # treat them as misses so the recompute upgrades them in place.
-    cache = TraceAwareCache(
-        root=_cache_root(args), read=not getattr(args, "no_cache", False)
-    )
-    with _telemetry_scope(args), _flight_scope(args), ExperimentEngine(
-        jobs=args.jobs, cache=cache
-    ) as engine:
-        result = run_trace_study(
-            profile=args.profile,
-            rms=args.rms.split(",") if args.rms else None,
-            seed=args.seed,
-            plan=plan,
-            engine=engine,
-            manifest_path=manifest_path,
-            fluid=_resolve_fluid(args),
-            faults=faults,
-        )
-    print(trace_report(result, precision=args.precision))
+    spec = spec_from_args("trace", args, faults=faults)
+    with _telemetry_scope(args), _flight_scope(args), _make_engine(spec) as engine:
+        result = api.run_study(spec, engine=engine)
+    print(result.report)
     print(
-        f"\nmanifest written to {manifest_path} "
-        f"(decompose with `repro attrib {manifest_path}`)"
+        f"\nmanifest written to {result.manifest_path} "
+        f"(decompose with `repro attrib {result.manifest_path}`)"
     )
     if args.csv:
         with open(args.csv, "w", encoding="utf-8", newline="") as fh:
-            n = export_csv(result, fh)
+            n = export_csv(result.data, fh)
         print(f"{n} phase rows written to {args.csv}")
     if args.jsonl:
         with open(args.jsonl, "w", encoding="utf-8") as fh:
-            n = export_jsonl(result, fh)
+            n = export_jsonl(result.data, fh)
         print(f"{n} run traces written to {args.jsonl}")
     if args.prom:
         with open(args.prom, "w", encoding="utf-8") as fh:
-            n = export_prometheus(result, fh)
+            n = export_prometheus(result.data, fh)
         print(f"{n} Prometheus samples written to {args.prom}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# fabric subcommands
+# ---------------------------------------------------------------------------
+
+def _parse_address(text: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (raises ``ValueError``)."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address must look like HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..fabric import Coordinator
+
+    coordinator = Coordinator(
+        host=args.host, port=args.port, heartbeat_timeout=args.heartbeat_timeout
+    )
+    try:
+        coordinator.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    host, port = coordinator.address
+    print(f"fabric coordinator listening on {host}:{port}", flush=True)
+    print(
+        f"attach workers with `repro work {host}:{port}`; submit studies "
+        f"with `repro submit <kind> --address {host}:{port}`",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ncoordinator stopped", file=sys.stderr)
+        return 0
+    finally:
+        coordinator.stop()
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from ..fabric import Worker
+
+    try:
+        address = _parse_address(args.address)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    worker = Worker(
+        address,
+        worker_id=args.worker_id,
+        heartbeat_interval=args.heartbeat_interval,
+        reconnect_attempts=args.reconnect_attempts,
+    )
+    try:
+        executed = worker.run()
+    except ConnectionRefusedError:
+        print(
+            f"error: no coordinator at {args.address} — start one with "
+            "`repro serve`",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"worker {worker.worker_id} done: {executed} lease(s) executed",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    try:
+        address = _parse_address(args.address)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.spec_file:
+        try:
+            spec = spec_from_jsonable(
+                json.loads(Path(args.spec_file).read_text("utf-8"))
+            )
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error: cannot read spec {args.spec_file}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if args.kind is None:
+            print("error: give a study kind (or --spec FILE)", file=sys.stderr)
+            return 2
+        plan = None
+        if getattr(args, "fault_plan", None):
+            plan = _load_fault_plan(args.fault_plan)
+            if plan is None:
+                return 2
+        if args.kind == "figure":
+            args.number = args.figure
+        try:
+            spec = spec_from_args(args.kind, args, faults=plan)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = api.submit_study(spec, address, timeout=args.timeout)
+    except ConnectionRefusedError:
+        print(
+            f"error: no coordinator at {args.address} — start one with "
+            "`repro serve`",
+            file=sys.stderr,
+        )
+        return 2
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.report)
+    if result.manifest_path is not None:
+        print(
+            f"\nmanifest written to {result.manifest_path} (on the coordinator)"
+        )
+    return 0
+
+
+def _cmd_knobs(args: argparse.Namespace) -> int:
+    from ..envknobs import render_knob_table
+
+    print(render_knob_table())
     return 0
 
 
@@ -703,12 +671,15 @@ flag conventions (uniform across subcommands):
                        extreme pairs with --traffic-mode fluid)
   --fault-plan FILE    JSON FaultPlan (the repro.faults plan_to_jsonable
                        shape) applied to every run of the invocation
-                       (accepted by: faults, compare, trace)
+                       (accepted by: faults, compare, trace, submit)
   --cache-dir DIR      run-cache root ($REPRO_CACHE_DIR, default
                        .repro-cache/); study manifests live under
                        <cache-dir>/manifests/
   --telemetry-dir DIR  root for per-run telemetry directories
                        ($REPRO_TELEMETRY_DIR, default telemetry/)
+  REPRO_* knobs        every environment knob is listed by `repro knobs`
+                       with type, default, and consumer; precedence is
+                       always flag > environment > default
   REPRO_SERIES[_*]     ambient time-resolved monitoring knobs
                        (REPRO_SERIES=1, REPRO_SERIES_WINDOW,
                        REPRO_SERIES_PROBE_INTERVAL,
@@ -734,6 +705,9 @@ def _add_profile_arg(sub: argparse.ArgumentParser, default: "str | None" = "ci")
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    study = study_parent()
+    engine = engine_parent()
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from 'Measuring Scalability of "
@@ -753,16 +727,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_arg(lst)
     lst.set_defaults(fn=_cmd_list)
 
-    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig = sub.add_parser(
+        "figure", help="regenerate one paper figure", parents=[study, engine]
+    )
     fig.add_argument("number", type=int, help="figure number (2-7)")
     _add_profile_arg(fig)
-    fig.add_argument("--rms", default=None, help="comma-separated subset of designs")
-    fig.add_argument("--seed", type=int, default=7)
     fig.add_argument("--sa-iterations", type=int, default=None)
     fig.add_argument("--quantity", default=None, help="override plotted quantity")
     fig.add_argument("--precision", type=int, default=1)
     fig.add_argument("--csv", default=None, help="also write the series to CSV")
-    _add_engine_args(fig)
     fig.add_argument(
         "--resume",
         action="store_true",
@@ -790,10 +763,15 @@ def build_parser() -> argparse.ArgumentParser:
     faults = sub.add_parser(
         "faults",
         help="churn study: Case-1 G(k) under a fault-injection plan",
+        parents=[
+            study,
+            engine,
+            fault_plan_parent(
+                "JSON FaultPlan to inject instead of the default churn plan"
+            ),
+        ],
     )
     _add_profile_arg(faults)
-    faults.add_argument("--rms", default=None, help="comma-separated subset of designs")
-    faults.add_argument("--seed", type=int, default=7)
     faults.add_argument(
         "--mttf",
         type=float,
@@ -807,28 +785,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="resource mean time to recovery (default: MTTF / 10)",
     )
     faults.add_argument(
-        "--fault-plan",
-        default=None,
-        metavar="FILE",
-        help="JSON FaultPlan to inject instead of the default churn plan",
-    )
-    faults.add_argument(
         "--events-out",
         default=None,
         metavar="PATH",
         help="also dump the smallest config's fault-event timeline as JSONL",
     )
     faults.add_argument("--precision", type=int, default=1)
-    _add_engine_args(faults)
     faults.set_defaults(fn=_cmd_faults)
 
     ser = sub.add_parser(
         "series",
         help="time-resolved study: windowed F/G/H/E(t) streams with in-sim probes",
+        parents=[study, engine],
     )
     _add_profile_arg(ser)
-    ser.add_argument("--rms", default=None, help="comma-separated subset of designs")
-    ser.add_argument("--seed", type=int, default=7)
     ser.add_argument(
         "--window",
         type=float,
@@ -859,16 +829,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write Prometheus text exposition of final/steady quantities",
     )
-    _add_engine_args(ser)
     ser.set_defaults(fn=_cmd_series)
 
     trc = sub.add_parser(
         "trace",
         help="causal tracing study: critical-path phase decomposition per job",
+        parents=[
+            study,
+            engine,
+            fault_plan_parent(
+                "JSON FaultPlan applied to every run (failed dispatches and "
+                "redispatch waits then appear as the recovery_wait phase)"
+            ),
+        ],
     )
     _add_profile_arg(trc)
-    trc.add_argument("--rms", default=None, help="comma-separated subset of designs")
-    trc.add_argument("--seed", type=int, default=7)
     trc.add_argument(
         "--trace-sample",
         type=float,
@@ -894,13 +869,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="span-DAG bound per traced job; completion always records "
         "(default: $REPRO_TRACE_MAX_EVENTS or 64)",
     )
-    trc.add_argument(
-        "--fault-plan",
-        default=None,
-        metavar="FILE",
-        help="JSON FaultPlan applied to every run (failed dispatches and "
-        "redispatch waits then appear as the recovery_wait phase)",
-    )
     trc.add_argument("--precision", type=int, default=3)
     trc.add_argument("--csv", default=None, help="write per-phase rows as CSV")
     trc.add_argument(
@@ -912,8 +880,121 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write Prometheus text exposition of phase/latency/overhead samples",
     )
-    _add_engine_args(trc)
     trc.set_defaults(fn=_cmd_trace)
+
+    srv = sub.add_parser(
+        "serve",
+        help="fabric coordinator: accept studies and workers on one socket",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_FABRIC_PORT,
+        help=f"bind port (default {DEFAULT_FABRIC_PORT}; 0 = any free port)",
+    )
+    srv.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        metavar="SEC",
+        help="silence after which a worker is declared failed and its "
+        "leases requeue (default 10)",
+    )
+    srv.set_defaults(fn=_cmd_serve)
+
+    wrk = sub.add_parser(
+        "work",
+        help="fabric worker: execute simulation leases for a coordinator",
+    )
+    wrk.add_argument(
+        "address",
+        nargs="?",
+        default=f"127.0.0.1:{DEFAULT_FABRIC_PORT}",
+        help=f"coordinator HOST:PORT (default 127.0.0.1:{DEFAULT_FABRIC_PORT})",
+    )
+    wrk.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity across reconnects (default: host-pid)",
+    )
+    wrk.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="seconds between heartbeats (keep well under the "
+        "coordinator's --heartbeat-timeout)",
+    )
+    wrk.add_argument(
+        "--reconnect-attempts",
+        type=int,
+        default=3,
+        help="times a lost coordinator connection is retried (with a "
+        "bumped incarnation) before giving up",
+    )
+    wrk.set_defaults(fn=_cmd_work)
+
+    sbm = sub.add_parser(
+        "submit",
+        help="ship a StudySpec to a `repro serve` coordinator and await "
+        "the (byte-identical) report",
+        parents=[
+            study,
+            engine,
+            fault_plan_parent("JSON FaultPlan applied to every run"),
+        ],
+    )
+    sbm.add_argument(
+        "kind",
+        nargs="?",
+        choices=list(KINDS),
+        help="study kind to submit (or use --spec FILE)",
+    )
+    _add_profile_arg(sbm)
+    sbm.add_argument(
+        "--address",
+        default=f"127.0.0.1:{DEFAULT_FABRIC_PORT}",
+        help=f"coordinator HOST:PORT (default 127.0.0.1:{DEFAULT_FABRIC_PORT})",
+    )
+    sbm.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="give up waiting for the result after SEC seconds",
+    )
+    sbm.add_argument(
+        "--spec",
+        dest="spec_file",
+        default=None,
+        metavar="FILE",
+        help="submit a spec_to_jsonable JSON file instead of building "
+        "one from flags",
+    )
+    sbm.add_argument("--figure", type=int, default=None, help="figure number (2-7)")
+    sbm.add_argument("--sa-iterations", type=int, default=None)
+    sbm.add_argument("--quantity", default=None, help="override plotted quantity")
+    sbm.add_argument("--precision", type=int, default=None)
+    sbm.add_argument("--resume", action="store_true")
+    sbm.add_argument("--speculate", type=int, nargs="?",
+                     const=DEFAULT_SPECULATION_WIDTH, default=None, metavar="W")
+    sbm.add_argument("--no-warm-start", action="store_true")
+    sbm.add_argument("--mttf", type=float, default=None)
+    sbm.add_argument("--mttr", type=float, default=None)
+    sbm.add_argument("--window", type=float, default=None)
+    sbm.add_argument("--probe-interval", default=None, metavar="T[,T...]")
+    sbm.add_argument("--charge-rate", type=float, default=None)
+    sbm.add_argument("--trace-sample", type=float, default=None, metavar="FRAC")
+    sbm.add_argument("--trace-charge", type=float, default=None, metavar="COST")
+    sbm.add_argument("--max-events", type=int, default=None, metavar="N")
+    sbm.set_defaults(fn=_cmd_submit)
+
+    knb = sub.add_parser(
+        "knobs",
+        help="print the REPRO_* environment-knob table (type, default, consumer)",
+    )
+    knb.set_defaults(fn=_cmd_knobs)
 
     wat = sub.add_parser(
         "watch",
@@ -948,11 +1029,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench-perf",
         help="measure kernel/sim/study performance and write BENCH_perf.json",
+        parents=[study],
     )
     _add_profile_arg(bench)
-    bench.add_argument("--rms", default=None, help="comma-separated subset of designs")
     bench.add_argument("--case", type=int, default=1, help="experiment case (1-4)")
-    bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--sa-iterations", type=int, default=None)
     bench.add_argument(
         "--jobs",
@@ -1072,16 +1152,16 @@ def build_parser() -> argparse.ArgumentParser:
     att.add_argument("--rms", default=None, help="filter by RMS design")
     att.set_defaults(fn=_cmd_attrib)
 
-    cmp_ = sub.add_parser("compare", help="quick 7-design comparison run")
-    _add_profile_arg(cmp_)
-    cmp_.add_argument("--seed", type=int, default=7)
-    cmp_.add_argument(
-        "--fault-plan",
-        default=None,
-        metavar="FILE",
-        help="JSON FaultPlan applied to every design's run",
+    cmp_ = sub.add_parser(
+        "compare",
+        help="quick 7-design comparison run",
+        parents=[
+            study,
+            engine,
+            fault_plan_parent("JSON FaultPlan applied to every design's run"),
+        ],
     )
-    _add_engine_args(cmp_)
+    _add_profile_arg(cmp_)
     cmp_.set_defaults(fn=_cmd_compare)
 
     tel = sub.add_parser(
@@ -1113,78 +1193,6 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def _add_engine_args(sub: argparse.ArgumentParser) -> None:
-    """Engine flags shared by the simulation-running subcommands."""
-    sub.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes (default: $REPRO_JOBS or 1; 0 = one per CPU)",
-    )
-    sub.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="do not read the run cache (fresh results are still written)",
-    )
-    sub.add_argument(
-        "--cache-dir",
-        default=None,
-        help="run-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
-    )
-    sub.add_argument(
-        "--telemetry",
-        action="store_true",
-        help="record spans/events/metrics for this invocation "
-        "(also: REPRO_TELEMETRY=1)",
-    )
-    sub.add_argument(
-        "--telemetry-dir",
-        default=None,
-        help="root for per-run telemetry directories "
-        f"(default: $REPRO_TELEMETRY_DIR or {DEFAULT_TELEMETRY_DIR}/)",
-    )
-    sub.add_argument(
-        "--flight-recorder",
-        action="store_true",
-        help="keep rolling forensic ring buffers (kernel events, ledger "
-        "charges, tuner moves) and dump a JSON bundle on crash, cancel, "
-        "or invariant trip (also: REPRO_FLIGHT_RECORDER=1)",
-    )
-    sub.add_argument(
-        "--flight-dir",
-        default=None,
-        help="flight-recorder bundle directory "
-        f"(default: $REPRO_FLIGHT_DIR or {flightrec.DEFAULT_DIR}/)",
-    )
-    from ..sim.backend import backend_names
-
-    sub.add_argument(
-        "--kernel-backend",
-        default=None,
-        choices=backend_names(),
-        help="kernel backend for every simulation (default: "
-        "$REPRO_KERNEL_BACKEND or reference); backends are bit-identical "
-        "— the choice affects speed only and is recorded as provenance",
-    )
-    sub.add_argument(
-        "--traffic-mode",
-        default=None,
-        choices=["discrete", "fluid"],
-        help="traffic model for every simulation (default: "
-        "$REPRO_TRAFFIC_MODE or discrete); fluid replaces bulk periodic "
-        "status/keepalive/heartbeat events with closed-form rate charges "
-        "so extreme-scale cases (k=1e5-1e6 resources) stay measurable",
-    )
-    sub.add_argument(
-        "--aggregator-fanout",
-        type=int,
-        default=None,
-        metavar="N",
-        help="fluid mode only: fan-out of the hierarchical status-"
-        "estimator tree (>= 2; default 0 = flat)",
-    )
-
-
 _logging_configured = False
 
 
@@ -1196,7 +1204,7 @@ def _configure_logging(level: Optional[str]) -> None:
     global _logging_configured
     if _logging_configured:
         return
-    name = (level or os.environ.get("REPRO_LOG_LEVEL") or "warning").upper()
+    name = get_str("REPRO_LOG_LEVEL", override=level, default="warning").upper()
     logging.basicConfig(
         level=getattr(logging, name, logging.WARNING),
         format="%(levelname)s %(name)s: %(message)s",

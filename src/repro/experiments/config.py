@@ -21,17 +21,33 @@ consume work comparable to the delivered computation.
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-from ..faults.plan import FaultPlan
-from ..fluid.plan import FluidPlan
+from ..faults.plan import FaultPlan, plan_from_jsonable, plan_to_jsonable
+from ..fluid.plan import FluidPlan, fluid_plan_from_jsonable, fluid_plan_to_jsonable
 from ..grid.costs import CostModel
-from ..telemetry.timeseries import MonitorPlan
-from ..telemetry.tracing import TracePlan
+from ..telemetry.timeseries import (
+    MonitorPlan,
+    monitor_plan_from_jsonable,
+    monitor_plan_to_jsonable,
+)
+from ..telemetry.tracing import (
+    TracePlan,
+    trace_plan_from_jsonable,
+    trace_plan_to_jsonable,
+)
 
-__all__ = ["CommonParameters", "ScaleProfile", "SimulationConfig", "PROFILES"]
+__all__ = [
+    "CommonParameters",
+    "ScaleProfile",
+    "SimulationConfig",
+    "PROFILES",
+    "config_from_jsonable",
+    "config_to_jsonable",
+]
 
 
 @dataclass(frozen=True)
@@ -334,3 +350,62 @@ class SimulationConfig:
             attr = mapping[name]
             kwargs[attr] = int(value) if attr == "neighborhood_size" else value
         return replace(self, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Wire (de)serialization — the fabric protocol's config transport
+# ---------------------------------------------------------------------------
+
+#: nested dataclass fields with dedicated (de)serializers
+_NESTED_SERIALIZERS = {
+    "common": (dataclasses.asdict, None),
+    "costs": (dataclasses.asdict, None),
+    "faults": (plan_to_jsonable, plan_from_jsonable),
+    "monitor": (monitor_plan_to_jsonable, monitor_plan_from_jsonable),
+    "fluid": (fluid_plan_to_jsonable, fluid_plan_from_jsonable),
+    "trace": (trace_plan_to_jsonable, trace_plan_from_jsonable),
+}
+
+
+def config_to_jsonable(config: SimulationConfig) -> Dict[str, Any]:
+    """Flatten a :class:`SimulationConfig` into plain JSON types.
+
+    Every field rides along verbatim (plans through their existing plan
+    serializers), so :func:`config_from_jsonable` reconstructs an
+    **equal** config — same dataclass equality, same run-cache key.
+    That exactness is what lets fabric workers receive configs over the
+    wire and return results byte-identical to an in-process run.
+    """
+    out: Dict[str, Any] = {}
+    for f in dataclasses.fields(SimulationConfig):
+        value = getattr(config, f.name)
+        encode = _NESTED_SERIALIZERS.get(f.name, (None, None))[0]
+        out[f.name] = value if encode is None else encode(value)
+    return out
+
+
+def config_from_jsonable(payload: Dict[str, Any]) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from :func:`config_to_jsonable`
+    output (unknown keys rejected)."""
+    if not isinstance(payload, dict):
+        raise TypeError("a simulation config must be a JSON object")
+    known = {f.name for f in dataclasses.fields(SimulationConfig)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    kwargs: Dict[str, Any] = {}
+    for name, value in payload.items():
+        if name in _NESTED_SERIALIZERS:
+            decode = _NESTED_SERIALIZERS[name][1]
+            if decode is not None:
+                kwargs[name] = decode(value)
+            elif name == "common":
+                value = dict(value)
+                if "efficiency_band" in value:
+                    value["efficiency_band"] = tuple(value["efficiency_band"])
+                kwargs[name] = CommonParameters(**value)
+            else:
+                kwargs[name] = CostModel(**value)
+        else:
+            kwargs[name] = value
+    return SimulationConfig(**kwargs)

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ...core.efficiency import EfficiencyRecord
+from ...envknobs import get_str
 from ...telemetry.spans import current as _telemetry
 from ..config import SimulationConfig
 from ..runner import RunMetrics
@@ -147,7 +148,7 @@ class RunCache:
         write: bool = True,
     ) -> None:
         if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+            root = get_str("REPRO_CACHE_DIR", default=DEFAULT_CACHE_DIR)
         self.root = Path(root)
         self.read = read
         self.write = write
@@ -244,6 +245,21 @@ class RunCache:
         self.writes += 1
 
     # ------------------------------------------------------------------
+    def entry_bytes(self) -> Dict[str, bytes]:
+        """Every on-disk entry as ``{key: file bytes}``.
+
+        The byte-identity witness for whole caches: two caches hold
+        identical results iff these mappings are equal (entries are
+        canonical JSON, so equal payloads are equal bytes).  Used by the
+        fabric tests/CI to prove a distributed study populated the cache
+        exactly as a local ``--jobs N`` run would have.
+        """
+        out: Dict[str, bytes] = {}
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*/*.json")):
+                out[path.stem] = path.read_bytes()
+        return out
+
     def __len__(self) -> int:
         """Number of entries currently on disk."""
         if not self.root.is_dir():

@@ -29,6 +29,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...envknobs import get_int
 from ...telemetry.spans import current as _telemetry
 from ..config import SimulationConfig
 from ..runner import RunMetrics, run_simulation
@@ -44,12 +45,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     ``0`` or a negative value (from either source) selects
     ``os.cpu_count()`` workers.
     """
-    if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        if not env:
-            return 1
-        jobs = int(env)
-    jobs = int(jobs)
+    jobs = get_int("REPRO_JOBS", override=jobs, default=1)
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return max(1, jobs)
@@ -147,48 +143,14 @@ class ExperimentEngine:
                     miss_keys.append(key)
                     miss_configs.append(config)
 
-            # 3) execute
+            # 3) execute — through the overridable seam, so alternative
+            #    execution vehicles (the distributed fabric) plug in here
+            #    while cache policy and result ordering stay identical
             busy = 0.0
             wall = 0.0
             if miss_configs:
                 t_exec = time.monotonic()
-                if self.jobs == 1 or len(miss_configs) == 1:
-                    computed = []
-                    for key, c in zip(miss_keys, miss_configs):
-                        t0 = time.monotonic()
-                        computed.append(_run_config(c))
-                        seconds = time.monotonic() - t0
-                        busy += seconds
-                        if tel.enabled:
-                            tel.event(
-                                "engine.run",
-                                key=key[:12],
-                                rms=c.rms,
-                                seed=c.seed,
-                                seconds=round(seconds, 6),
-                                worker_pid=os.getpid(),
-                            )
-                            tel.metrics.histogram("engine.run_seconds").record(seconds)
-                elif tel.enabled:
-                    computed = []
-                    for (metrics, pid, seconds), key, c in zip(
-                        self._executor().map(_run_config_timed, miss_configs),
-                        miss_keys,
-                        miss_configs,
-                    ):
-                        computed.append(metrics)
-                        busy += seconds
-                        tel.event(
-                            "engine.run",
-                            key=key[:12],
-                            rms=c.rms,
-                            seed=c.seed,
-                            seconds=round(seconds, 6),
-                            worker_pid=pid,
-                        )
-                        tel.metrics.histogram("engine.run_seconds").record(seconds)
-                else:
-                    computed = list(self._executor().map(_run_config, miss_configs))
+                computed, busy = self._execute_batch(miss_keys, miss_configs, tel)
                 wall = time.monotonic() - t_exec
                 self.runs_executed += len(miss_configs)
                 for key, config, metrics in zip(miss_keys, miss_configs, computed):
@@ -221,6 +183,59 @@ class ExperimentEngine:
         return [results[key] for key in keys]
 
     # ------------------------------------------------------------------
+    def _execute_batch(
+        self, miss_keys: List[str], miss_configs: List[SimulationConfig], tel
+    ) -> Tuple[List[RunMetrics], float]:
+        """Execute the unique cache misses; return ``(metrics, busy_seconds)``.
+
+        The execution seam of :meth:`run_many`: subclasses swap the
+        vehicle (e.g. :class:`~repro.fabric.coordinator.FabricEngine`
+        dispatches to socket workers) without touching dedup, cache
+        policy, or result ordering — which is exactly what makes a
+        fabric study byte-identical to a local ``--jobs N`` run.
+        ``metrics`` must align with ``miss_keys``; ``busy_seconds`` is
+        the summed worker-side wall-clock (0.0 when unknown).
+        """
+        busy = 0.0
+        if self.jobs == 1 or len(miss_configs) == 1:
+            computed = []
+            for key, c in zip(miss_keys, miss_configs):
+                t0 = time.monotonic()
+                computed.append(_run_config(c))
+                seconds = time.monotonic() - t0
+                busy += seconds
+                if tel.enabled:
+                    tel.event(
+                        "engine.run",
+                        key=key[:12],
+                        rms=c.rms,
+                        seed=c.seed,
+                        seconds=round(seconds, 6),
+                        worker_pid=os.getpid(),
+                    )
+                    tel.metrics.histogram("engine.run_seconds").record(seconds)
+        elif tel.enabled:
+            computed = []
+            for (metrics, pid, seconds), key, c in zip(
+                self._executor().map(_run_config_timed, miss_configs),
+                miss_keys,
+                miss_configs,
+            ):
+                computed.append(metrics)
+                busy += seconds
+                tel.event(
+                    "engine.run",
+                    key=key[:12],
+                    rms=c.rms,
+                    seed=c.seed,
+                    seconds=round(seconds, 6),
+                    worker_pid=pid,
+                )
+                tel.metrics.histogram("engine.run_seconds").record(seconds)
+        else:
+            computed = list(self._executor().map(_run_config, miss_configs))
+        return computed, busy
+
     def _executor(self) -> ProcessPoolExecutor:
         """The lazily created, reused worker pool."""
         if self._pool is None:

@@ -220,6 +220,21 @@ class StudyManifest:
         """Keys of every completed point, in insertion order."""
         return list(self._completed)
 
+    def snapshot(self) -> Dict[str, Any]:
+        """The completed-points mapping as plain JSON types (a copy)."""
+        return json.loads(canonical_json(self._completed).decode("utf-8"))
+
+    def fingerprint(self) -> str:
+        """Content hash over the completed points (insertion-order free).
+
+        Two manifests fingerprint equal iff they record the same points
+        with byte-equal payloads — the identity witness the fabric's
+        lease-recovery tests compare against an uninterrupted run.
+        """
+        import hashlib
+
+        return hashlib.sha256(canonical_json(self._completed)).hexdigest()
+
     def __len__(self) -> int:
         """Number of completed points."""
         return len(self._completed)

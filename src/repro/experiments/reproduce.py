@@ -10,13 +10,13 @@ results within a :class:`Study`.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.annealing import AnnealingSchedule
 from ..core.procedure import ScalabilityProcedure, ScalabilityResult
+from ..envknobs import get_bool, get_str, raw as _env_raw
 from ..fluid.plan import FluidPlan, resolve_fluid_plan
 from ..rms.registry import rms_names
 from ..sim.backend import resolve_backend
@@ -57,7 +57,7 @@ def resolve_speculation(speculate: "bool | int | None" = None) -> int:
     the width directly.
     """
     if speculate is None:
-        env = os.environ.get("REPRO_SPECULATE", "").strip().lower()
+        env = (_env_raw("REPRO_SPECULATE") or "").lower()
         if env in ("", "0", "false", "no", "off"):
             return 1
         if env in ("1", "true", "yes", "on"):
@@ -72,10 +72,7 @@ def resolve_speculation(speculate: "bool | int | None" = None) -> int:
 
 def resolve_warm_start(warm_start: "bool | None" = None) -> bool:
     """Resolve the warm-start flag: argument > ``$REPRO_WARM_START`` > on."""
-    if warm_start is None:
-        env = os.environ.get("REPRO_WARM_START", "").strip().lower()
-        return env not in ("0", "false", "no", "off")
-    return bool(warm_start)
+    return get_bool("REPRO_WARM_START", override=warm_start, default=True)
 
 
 @dataclass
@@ -238,7 +235,7 @@ class Study:
         self._manifest: Optional[StudyManifest] = None
         if resume or manifest_path is not None:
             if manifest_path is None:
-                root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+                root = get_str("REPRO_CACHE_DIR", default=DEFAULT_CACHE_DIR)
                 manifest_path = Path(root) / "manifests" / "study.json"
             self._manifest = StudyManifest(manifest_path)
         self._case_cache: Dict[int, Dict[str, RMSSeries]] = {}

@@ -1,0 +1,41 @@
+"""The distributed experiment fabric: ``repro serve`` / ``repro work``.
+
+A :class:`~repro.fabric.coordinator.Coordinator` accepts study jobs —
+serialized :class:`~repro.experiments.spec.StudySpec` payloads — over a
+length-prefixed JSON socket protocol (:mod:`repro.fabric.protocol`),
+tracks :class:`~repro.fabric.worker.Worker` processes through
+heartbeats with incarnation numbers
+(:mod:`repro.fabric.failure`), leases unique cache-miss configs to idle
+workers (:mod:`repro.fabric.leases`), and reschedules leases when a
+worker goes silent or its socket drops.
+
+The coordinator runs the *study logic* itself — the same
+:func:`repro.api.run_study` path the CLI uses — with a
+:class:`~repro.fabric.coordinator.FabricEngine` plugged into the
+experiment engine's execution seam.  Dedup, cache policy, manifest
+writes, and result ordering therefore stay coordinator-side and
+single-threaded, which is what makes a fabric study **byte-identical**
+to the same spec run locally with ``--jobs N``: workers only ever
+compute ``run_simulation(config)`` for configs the shared
+content-addressed :class:`~repro.experiments.parallel.RunCache` does
+not already hold, and every result lands in that cache exactly once.
+"""
+
+from .coordinator import Coordinator, FabricEngine
+from .failure import FailureDetector
+from .leases import Lease, LeaseBoard
+from .protocol import PROTOCOL_VERSION, ProtocolError, recv_frame, send_frame
+from .worker import Worker
+
+__all__ = [
+    "Coordinator",
+    "FabricEngine",
+    "FailureDetector",
+    "Lease",
+    "LeaseBoard",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Worker",
+    "recv_frame",
+    "send_frame",
+]

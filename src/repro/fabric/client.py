@@ -1,0 +1,74 @@
+"""Client side of the fabric: submit a spec, await the result.
+
+:func:`submit` is what :func:`repro.api.submit_study` and the
+``repro submit`` CLI use; :func:`status` backs ``repro serve --status``
+style introspection.  Both open one short-lived connection — the
+protocol has no client sessions to manage.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..experiments.spec import StudySpec, spec_to_jsonable
+from .protocol import PROTOCOL_VERSION, ProtocolError, recv_frame, send_frame
+
+__all__ = ["status", "submit"]
+
+
+def submit(
+    spec: StudySpec,
+    address: Tuple[str, int],
+    timeout: Optional[float] = None,
+):
+    """Run a spec on a coordinator; blocks until its result arrives.
+
+    ``timeout`` bounds the *whole* wait (``None`` = indefinitely).
+    Raises ``RuntimeError`` when the coordinator reports an error and
+    ``socket.timeout`` when the deadline passes.
+    """
+    from ..api import StudyResult
+
+    sock = socket.create_connection((address[0], int(address[1])), timeout=10.0)
+    try:
+        sock.settimeout(timeout)
+        send_frame(sock, {
+            "type": "submit",
+            "v": PROTOCOL_VERSION,
+            "spec": spec_to_jsonable(spec),
+        })
+        ack = recv_frame(sock)
+        if ack is None or ack.get("type") != "accepted":
+            raise ProtocolError(f"submission not acknowledged: {ack!r}")
+        msg = recv_frame(sock)
+        if msg is None:
+            raise ProtocolError("coordinator closed before sending a result")
+        if msg.get("type") == "error":
+            raise RuntimeError(f"coordinator error: {msg.get('message')}")
+        if msg.get("type") != "result":
+            raise ProtocolError(f"unexpected reply {msg.get('type')!r}")
+        manifest = msg.get("manifest_path")
+        return StudyResult(
+            kind=msg["kind"],
+            spec=spec,
+            report=msg["report"],
+            data=None,
+            manifest_path=None if manifest is None else Path(manifest),
+        )
+    finally:
+        sock.close()
+
+
+def status(address: Tuple[str, int], timeout: float = 10.0) -> Dict[str, Any]:
+    """One status snapshot from a coordinator (workers, queues, jobs)."""
+    sock = socket.create_connection((address[0], int(address[1])), timeout=timeout)
+    try:
+        send_frame(sock, {"type": "status"})
+        msg = recv_frame(sock)
+        if msg is None or msg.get("type") != "status_ok":
+            raise ProtocolError(f"unexpected status reply: {msg!r}")
+        return msg
+    finally:
+        sock.close()

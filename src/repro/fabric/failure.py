@@ -1,0 +1,106 @@
+"""Heartbeat-based failure detection with incarnation numbers.
+
+The coordinator cannot distinguish a crashed worker from a slow one —
+it can only bound how long it is willing to wait.  The
+:class:`FailureDetector` keeps, per worker id, the incarnation number
+announced at registration and the clock reading of the last heartbeat;
+a worker silent for longer than ``timeout`` is *declared* failed (its
+leases requeue), which is safe even when the declaration is wrong: runs
+are pure functions of their configs, so a late result from a
+falsely-declared worker is at worst a duplicate the lease board drops.
+
+Incarnations make restarts unambiguous.  A worker that crashes and
+reconnects registers with a **higher** incarnation; the detector treats
+that as a new life (old leases are already forfeit), while messages
+still in flight from the previous life carry the old incarnation and
+are rejected as stale.  The clock is injectable so every timing rule is
+unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["FailureDetector", "WorkerState"]
+
+
+@dataclass
+class WorkerState:
+    """What the detector knows about one live worker."""
+
+    worker_id: str
+    incarnation: int
+    last_beat: float
+
+
+class FailureDetector:
+    """Tracks worker liveness from heartbeats (not thread-safe; callers lock).
+
+    Parameters
+    ----------
+    timeout:
+        Seconds of silence after which a worker is declared failed.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self, timeout: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if not timeout > 0.0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self.clock = clock
+        self._workers: Dict[str, WorkerState] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, worker_id: str, incarnation: int) -> bool:
+        """Admit a worker life; ``False`` if it is stale or a duplicate.
+
+        A strictly higher incarnation than the one on record replaces it
+        (the caller requeues the old life's leases first); an equal or
+        lower one is a ghost of a life already superseded.
+        """
+        state = self._workers.get(worker_id)
+        if state is not None and incarnation <= state.incarnation:
+            return False
+        self._workers[worker_id] = WorkerState(worker_id, incarnation, self.clock())
+        return True
+
+    def beat(self, worker_id: str, incarnation: int) -> bool:
+        """Record a heartbeat; ``False`` for unknown workers or stale lives."""
+        state = self._workers.get(worker_id)
+        if state is None or incarnation != state.incarnation:
+            return False
+        state.last_beat = self.clock()
+        return True
+
+    def deregister(self, worker_id: str) -> None:
+        """Forget a worker (clean disconnect or failure declaration)."""
+        self._workers.pop(worker_id, None)
+
+    # ------------------------------------------------------------------
+    def is_alive(self, worker_id: str) -> bool:
+        """Whether the worker is registered and within its timeout."""
+        state = self._workers.get(worker_id)
+        return state is not None and self.clock() - state.last_beat <= self.timeout
+
+    def incarnation(self, worker_id: str) -> Optional[int]:
+        """The registered incarnation, or ``None`` when unknown."""
+        state = self._workers.get(worker_id)
+        return None if state is None else state.incarnation
+
+    def silent(self) -> List[str]:
+        """Worker ids whose last heartbeat is older than the timeout."""
+        now = self.clock()
+        return [
+            w.worker_id
+            for w in self._workers.values()
+            if now - w.last_beat > self.timeout
+        ]
+
+    def workers(self) -> List[WorkerState]:
+        """A snapshot of every registered worker (sorted by id)."""
+        return sorted(self._workers.values(), key=lambda w: w.worker_id)

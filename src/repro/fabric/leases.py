@@ -1,0 +1,166 @@
+"""The lease board: which config runs where, and exactly-once completion.
+
+A *lease* grants one worker life the right to execute one unique
+cache-miss config.  The board is a pure data structure (no sockets, no
+threads — callers hold the coordinator lock) with three pools:
+
+* ``pending`` — keys waiting for an idle worker, FIFO so the dispatch
+  order matches a local engine's first-appearance execution order;
+* ``active`` — leases granted to a specific ``(worker_id,
+  incarnation)``;
+* ``done`` — completed keys with their metrics payload, drained by the
+  batch that asked for them.
+
+Exactly-once is enforced at :meth:`LeaseBoard.complete`: a result is
+accepted only while its lease is still active **and** comes from the
+exact worker life it was granted to.  Everything else — duplicates
+after a requeue, ghosts from a superseded incarnation, keys already
+done — returns ``False`` and is dropped.  Because every run is a pure
+function of its config, dropping a late duplicate loses nothing: the
+accepted copy is byte-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["Lease", "LeaseBoard"]
+
+
+@dataclass
+class Lease:
+    """One granted execution right."""
+
+    lease_id: int
+    key: str
+    config: Dict[str, Any]  # config_to_jsonable payload
+    worker_id: str
+    incarnation: int
+
+
+class LeaseBoard:
+    """Tracks pending/active/done work (not thread-safe; callers lock)."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._pending: Deque[Tuple[str, Dict[str, Any]]] = deque()
+        self._pending_keys: set = set()
+        self._active: Dict[int, Lease] = {}
+        self._active_keys: set = set()
+        self._done: Dict[str, Any] = {}
+        #: completions accepted / duplicates dropped, for status & tests
+        self.completed = 0
+        self.duplicates = 0
+        self.requeues = 0
+
+    # -- intake --------------------------------------------------------
+    def submit(self, key: str, config: Dict[str, Any]) -> bool:
+        """Queue a key for execution; ``False`` if already known."""
+        if key in self._pending_keys or key in self._active_keys or key in self._done:
+            return False
+        self._pending.append((key, config))
+        self._pending_keys.add(key)
+        return True
+
+    # -- dispatch ------------------------------------------------------
+    def next_for(self, worker_id: str, incarnation: int) -> Optional[Lease]:
+        """Grant the oldest pending key to a worker life (``None`` if idle)."""
+        if not self._pending:
+            return None
+        key, config = self._pending.popleft()
+        self._pending_keys.discard(key)
+        lease = Lease(next(self._ids), key, config, worker_id, incarnation)
+        self._active[lease.lease_id] = lease
+        self._active_keys.add(key)
+        return lease
+
+    # -- resolution ----------------------------------------------------
+    def complete(
+        self, lease_id: int, worker_id: str, incarnation: int, metrics: Any
+    ) -> bool:
+        """Accept a lease result exactly once.
+
+        ``True`` only when the lease is still active and the reporting
+        worker life is the one it was granted to; stale incarnations,
+        foreign workers, and post-requeue duplicates all return
+        ``False``.
+        """
+        lease = self._active.get(lease_id)
+        if (
+            lease is None
+            or lease.worker_id != worker_id
+            or lease.incarnation != incarnation
+        ):
+            self.duplicates += 1
+            return False
+        del self._active[lease_id]
+        self._active_keys.discard(lease.key)
+        self._done[lease.key] = metrics
+        self.completed += 1
+        return True
+
+    def abort(self, lease_id: int, payload: Any) -> Optional[str]:
+        """Resolve an active lease with a terminal payload (no requeue).
+
+        Used when a key has exhausted its retry budget: the error
+        payload lands in ``done`` so the waiting batch can raise instead
+        of spinning forever.  Returns the key, or ``None`` when the
+        lease is no longer active.
+        """
+        lease = self._active.pop(lease_id, None)
+        if lease is None:
+            return None
+        self._active_keys.discard(lease.key)
+        self._done[lease.key] = payload
+        return lease.key
+
+    def fail_lease(self, lease_id: int) -> Optional[str]:
+        """Requeue one active lease (worker reported an error); its key."""
+        lease = self._active.pop(lease_id, None)
+        if lease is None:
+            return None
+        self._active_keys.discard(lease.key)
+        self._pending.appendleft((lease.key, lease.config))
+        self._pending_keys.add(lease.key)
+        self.requeues += 1
+        return lease.key
+
+    def fail_worker(self, worker_id: str) -> List[str]:
+        """Requeue every lease held by a (declared-dead) worker; the keys.
+
+        Requeued keys go to the queue *front* so recovery work runs
+        before new work — the stalled batch unblocks soonest.
+        """
+        stale = [l for l in self._active.values() if l.worker_id == worker_id]
+        keys = []
+        for lease in stale:
+            del self._active[lease.lease_id]
+            self._active_keys.discard(lease.key)
+            self._pending.appendleft((lease.key, lease.config))
+            self._pending_keys.add(lease.key)
+            self.requeues += 1
+            keys.append(lease.key)
+        return keys
+
+    # -- inspection ----------------------------------------------------
+    def is_done(self, key: str) -> bool:
+        """Whether a key has an accepted result waiting to be drained."""
+        return key in self._done
+
+    def take_result(self, key: str) -> Any:
+        """Drain one completed key's metrics payload (single consumer)."""
+        return self._done.pop(key)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)

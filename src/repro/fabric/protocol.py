@@ -1,0 +1,108 @@
+"""Wire protocol of the fabric: length-prefixed JSON frames.
+
+Every message is one *frame*: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON encoding one object with a
+``"type"`` field.  Frames are small (specs, configs, metrics), so a
+hard :data:`MAX_FRAME` bound doubles as corruption detection — a
+desynchronized stream almost always reads an absurd length first.
+
+Message vocabulary (``v`` = :data:`PROTOCOL_VERSION`):
+
+=================  =============  ==========================================
+type               direction      payload
+=================  =============  ==========================================
+``submit``         client → coord ``spec`` (``spec_to_jsonable`` shape), ``v``
+``accepted``       coord → client ``job_id``
+``result``         coord → client ``job_id``, ``kind``, ``report``,
+                                  ``digest``, ``manifest_path`` (or null)
+``error``          coord → client ``job_id`` (or null), ``message``
+``status``         client → coord —
+``status_ok``      coord → client ``workers``, ``pending``, ``active``,
+                                  ``jobs_done``
+``register``       worker → coord ``worker_id``, ``incarnation``, ``v``
+``registered``     coord → worker ``worker_id``
+``rejected``       coord → worker ``message`` (stale incarnation, bad ``v``)
+``lease``          coord → worker ``lease_id``, ``key``, ``config``
+                                  (``config_to_jsonable`` shape)
+``lease_result``   worker → coord ``lease_id``, ``worker_id``,
+                                  ``incarnation``, ``key``, ``metrics``
+``lease_error``    worker → coord ``lease_id``, ``worker_id``,
+                                  ``incarnation``, ``key``, ``message``
+``heartbeat``      worker → coord ``worker_id``, ``incarnation``
+``shutdown``       coord → worker —
+=================  =============  ==========================================
+
+Results are deterministic replays of pure functions, so the protocol
+needs no payload checksums: a duplicated or re-executed lease produces
+the same bytes, and the lease board drops all but the first completion.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "recv_frame",
+    "send_frame",
+]
+
+#: bump on any incompatible message-shape change
+PROTOCOL_VERSION = 1
+
+#: largest accepted frame (a desync guard more than a real limit)
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, oversized, or truncated frame."""
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Send one JSON frame (callers serialize access per socket)."""
+    body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one frame; ``None`` when the peer closed cleanly."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME (desync?)")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("a frame must be a JSON object with a 'type' field")
+    return message

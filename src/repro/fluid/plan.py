@@ -40,7 +40,6 @@ flush_interval:
 from __future__ import annotations
 
 import dataclasses
-import os
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -140,7 +139,9 @@ def resolve_fluid_plan(
     neither, the inert discrete default applies.
     """
     if mode is None:
-        env = os.environ.get(ENV_TRAFFIC_MODE, "").strip().lower()
+        from ..envknobs import raw as _env_raw
+
+        env = (_env_raw(ENV_TRAFFIC_MODE) or "").lower()
         if env in ("", "0", "off", "no", "false"):
             mode = "discrete"
         elif env in _MODES:

@@ -34,7 +34,6 @@ tests pick it up automatically (they iterate :func:`backend_names`).
 
 from __future__ import annotations
 
-import os
 from typing import Any, Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
 
 from .fastkernel import FastSimulator
@@ -143,7 +142,9 @@ def resolve_backend(name: Optional[str] = None) -> str:
     ``ValueError`` listing what is registered.
     """
     if name is None:
-        name = os.environ.get(ENV_BACKEND) or DEFAULT_BACKEND
+        from ..envknobs import get_str
+
+        name = get_str(ENV_BACKEND, default=DEFAULT_BACKEND)
     if name not in _REGISTRY:
         raise ValueError(
             f"unknown kernel backend {name!r}; registered: {', '.join(backend_names())}"

@@ -89,7 +89,9 @@ class FlightRecorder:
         if capacity < 1:
             raise ValueError(f"ring capacity must be >= 1, got {capacity}")
         if directory is None:
-            directory = os.environ.get(ENV_DIR) or DEFAULT_DIR
+            from ..envknobs import get_str
+
+            directory = get_str(ENV_DIR, default=DEFAULT_DIR)
         self.directory = Path(directory)
         self.capacity = capacity
         # kernel entries hold raw (time, fn) pairs; labels resolve at
@@ -258,8 +260,10 @@ def current() -> Optional[FlightRecorder]:
     pid = os.getpid()
     if _env_checked_pid != pid:
         _env_checked_pid = pid
-        if os.environ.get(ENV_ENABLE, "") not in ("", "0"):
-            _ambient = FlightRecorder(os.environ.get(ENV_DIR) or DEFAULT_DIR)
+        from ..envknobs import get_bool, get_str
+
+        if get_bool(ENV_ENABLE):
+            _ambient = FlightRecorder(get_str(ENV_DIR, default=DEFAULT_DIR))
         else:
             _ambient = None
     return _ambient

@@ -29,9 +29,10 @@ DEFAULT_INTERVAL = 0.005
 
 def _env_interval() -> float:
     """Interval from ``$REPRO_TELEMETRY_PROFILE`` (ms), else the default."""
-    raw = os.environ.get("REPRO_TELEMETRY_PROFILE", "").strip()
+    from ..envknobs import raw as _env_raw
+
     try:
-        ms = float(raw)
+        ms = float(_env_raw("REPRO_TELEMETRY_PROFILE") or "")
     except ValueError:
         return DEFAULT_INTERVAL
     return ms / 1000.0 if ms > 1.0 else DEFAULT_INTERVAL

@@ -241,7 +241,9 @@ class Telemetry:
                 "argv": [str(a) for a in sys.argv],
             }
         )
-        if os.environ.get("REPRO_TELEMETRY_PROFILE", "").strip() not in ("", "0"):
+        from ..envknobs import get_bool as _env_bool
+
+        if _env_bool("REPRO_TELEMETRY_PROFILE"):
             from .profiler import SamplingProfiler
 
             self._profiler = SamplingProfiler()

@@ -45,7 +45,6 @@ manifests.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -191,23 +190,12 @@ def resolve_monitor_plan(
     environment knob > the plan default.  ``REPRO_SERIES=1`` alone
     enables windowed streams with derived defaults.
     """
-    def _env_float(name: str) -> Optional[float]:
-        raw = os.environ.get(name, "").strip()
-        if not raw:
-            return None
-        try:
-            return float(raw)
-        except ValueError:
-            raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    from ..envknobs import get_bool, get_float
 
-    if series is None:
-        series = os.environ.get(ENV_SERIES, "").strip() not in ("", "0")
-    if window is None:
-        window = _env_float(ENV_SERIES_WINDOW)
-    if probe_interval is None:
-        probe_interval = _env_float(ENV_SERIES_PROBE_INTERVAL)
-    if charge_rate is None:
-        charge_rate = _env_float(ENV_SERIES_CHARGE_RATE)
+    series = get_bool(ENV_SERIES, override=series, default=False)
+    window = get_float(ENV_SERIES_WINDOW, override=window)
+    probe_interval = get_float(ENV_SERIES_PROBE_INTERVAL, override=probe_interval)
+    charge_rate = get_float(ENV_SERIES_CHARGE_RATE, override=charge_rate)
     kwargs: Dict[str, Any] = {"series": bool(series)}
     if window is not None:
         kwargs["window"] = float(window)

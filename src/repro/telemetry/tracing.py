@@ -35,7 +35,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import math
-import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -155,23 +154,12 @@ def resolve_trace_plan(
     sampling rate on instead of off).
     """
 
-    def _env_float(name: str) -> Optional[float]:
-        raw = os.environ.get(name)
-        if raw is None or not raw.strip():
-            return None
-        try:
-            return float(raw)
-        except ValueError:
-            raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    from ..envknobs import get_float
 
-    if sample is None:
-        sample = _env_float(ENV_SAMPLE)
-    if sample is None:
-        sample = default_sample
-    if charge_rate is None:
-        charge_rate = _env_float(ENV_CHARGE)
-    if max_events is None:
-        max_events = _env_float(ENV_MAX_EVENTS)
+    sample = get_float(ENV_SAMPLE, override=sample, default=default_sample)
+    charge_rate = get_float(ENV_CHARGE, override=charge_rate)
+    # read as float for historical tolerance ("64.0"), truncated below
+    max_events = get_float(ENV_MAX_EVENTS, override=max_events)
     kwargs: Dict[str, Any] = {"sample": float(sample)}
     if charge_rate is not None:
         kwargs["charge_rate"] = float(charge_rate)

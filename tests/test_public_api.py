@@ -22,10 +22,13 @@ PACKAGES = [
     "repro.faults",
     "repro.experiments",
     "repro.experiments.parallel",
+    "repro.fabric",
     "repro.telemetry",
 ]
 
 MODULES = PACKAGES + [
+    "repro.api",
+    "repro.envknobs",
     "repro.core.annealing",
     "repro.core.efficiency",
     "repro.core.isoefficiency",
@@ -37,6 +40,7 @@ MODULES = PACKAGES + [
     "repro.core.tuner",
     "repro.experiments.cases",
     "repro.experiments.cli",
+    "repro.experiments.cliargs",
     "repro.experiments.config",
     "repro.experiments.faultstudy",
     "repro.experiments.seriesstudy",
@@ -52,7 +56,14 @@ MODULES = PACKAGES + [
     "repro.experiments.reporting",
     "repro.experiments.reproduce",
     "repro.experiments.runner",
+    "repro.experiments.spec",
     "repro.experiments.summary",
+    "repro.fabric.client",
+    "repro.fabric.coordinator",
+    "repro.fabric.failure",
+    "repro.fabric.leases",
+    "repro.fabric.protocol",
+    "repro.fabric.worker",
     "repro.grid.costs",
     "repro.grid.estimator",
     "repro.grid.jobs",
@@ -140,10 +151,17 @@ TOP_LEVEL_API = [
     "ScalabilityProcedure",
     "SimulationConfig",
     "Study",
+    "StudyResult",
+    "StudySpec",
     "build_system",
     "get_rms",
     "rms_names",
     "run_simulation",
+    "run_study",
+    "spec_digest",
+    "spec_from_jsonable",
+    "spec_to_jsonable",
+    "submit_study",
 ]
 
 
@@ -151,8 +169,10 @@ def test_top_level_reexports():
     """``import repro`` alone gives the documented entry points, and
     they are the same objects the subpackages define (no shadow copies)."""
     import repro
+    from repro.api import StudyResult, run_study, submit_study
     from repro.core import CostLedger, ScalabilityProcedure
     from repro.experiments import RunMetrics, SimulationConfig, run_simulation
+    from repro.experiments.spec import StudySpec, spec_digest
     from repro.faults import FaultPlan
 
     for name in TOP_LEVEL_API:
@@ -164,6 +184,11 @@ def test_top_level_reexports():
     assert repro.run_simulation is run_simulation
     assert repro.CostLedger is CostLedger
     assert repro.ScalabilityProcedure is ScalabilityProcedure
+    assert repro.StudySpec is StudySpec
+    assert repro.StudyResult is StudyResult
+    assert repro.run_study is run_study
+    assert repro.submit_study is submit_study
+    assert repro.spec_digest is spec_digest
 
 
 def test_top_level_surface_snapshot():
@@ -172,8 +197,8 @@ def test_top_level_surface_snapshot():
     import repro
 
     subpackages = {
-        "core", "experiments", "faults", "grid", "network", "rms",
-        "sim", "telemetry", "topology", "workload",
+        "api", "core", "experiments", "fabric", "faults", "grid",
+        "network", "rms", "sim", "telemetry", "topology", "workload",
     }
     assert set(repro.__all__) == subpackages | set(TOP_LEVEL_API)
 
